@@ -1,0 +1,101 @@
+// Command qsbench regenerates the tables and figures of the paper's
+// evaluation (West, Nanz, Meyer: "Efficient and Reasonable
+// Object-Oriented Concurrency", PPoPP 2015).
+//
+// Usage:
+//
+//	qsbench [flags]
+//
+//	-experiment all|table1|table2|table3|table4|table5|
+//	            fig16|fig17|fig18|fig19|fig20|summary
+//	-size      small|paper   problem sizes (paper sizes are large!)
+//	-reps      N             repetitions per measurement (median)
+//	-workers   N             worker/handler count at full width
+//	-cores     1,2,4         worker sweep for fig19/table4
+//
+// Each experiment prints a text table with the same rows/columns as
+// the paper's table or figure; EXPERIMENTS.md records the comparison
+// against the published numbers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"scoopqs/internal/concbench"
+	"scoopqs/internal/cowichan"
+	"scoopqs/internal/harness"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "experiment to run (all, table1..5, fig16..20, summary)")
+	size := flag.String("size", "small", "problem sizes: small or paper")
+	reps := flag.Int("reps", 3, "repetitions per measurement")
+	workers := flag.Int("workers", 0, "workers/handlers (default: NumCPU, min 2)")
+	cores := flag.String("cores", "", "comma-separated worker sweep for fig19/table4")
+	flag.Parse()
+
+	o := harness.Defaults(os.Stdout)
+	o.Reps = *reps
+	if *workers > 0 {
+		o.Workers = *workers
+	}
+	switch *size {
+	case "small":
+	case "paper":
+		o.Cow = cowichan.PaperParams()
+		o.Conc = concbench.PaperParams()
+		fmt.Fprintln(os.Stderr, "qsbench: paper sizes selected; expect long runs and ~GiB memory use")
+	default:
+		fatalf("unknown -size %q", *size)
+	}
+	if *cores != "" {
+		o.Cores = nil
+		for _, s := range strings.Split(*cores, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n < 1 {
+				fatalf("bad -cores entry %q", s)
+			}
+			o.Cores = append(o.Cores, n)
+		}
+	}
+	if err := o.Cow.Validate(); err != nil {
+		fatalf("%v", err)
+	}
+
+	fmt.Printf("qsbench: host CPUs=%d, workers=%d, reps=%d, cow=%+v, conc=%+v\n",
+		runtime.NumCPU(), o.Workers, o.Reps, o.Cow, o.Conc)
+
+	experiments := map[string]func(){
+		"table1": o.Table1, "fig16": o.Fig16,
+		"table2": o.Table2, "fig17": o.Fig17,
+		"table3": o.Table3,
+		"fig18":  o.Fig18, "fig19": o.Fig19, "table4": o.Table4,
+		"table5": o.Table5, "fig20": o.Fig20,
+		"eve":     o.Eve,
+		"summary": o.Summary,
+	}
+	order := []string{"table1", "fig16", "table2", "fig17", "table3",
+		"fig18", "fig19", "table4", "table5", "fig20", "eve", "summary"}
+
+	if *experiment == "all" {
+		for _, name := range order {
+			experiments[name]()
+		}
+		return
+	}
+	f, ok := experiments[*experiment]
+	if !ok {
+		fatalf("unknown -experiment %q (want all, %s)", *experiment, strings.Join(order, ", "))
+	}
+	f()
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "qsbench: "+format+"\n", args...)
+	os.Exit(1)
+}

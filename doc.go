@@ -1,0 +1,91 @@
+// Package scoopqs is a Go implementation of SCOOP/Qs, the efficient
+// execution model for the SCOOP object-oriented concurrency model
+// described in West, Nanz and Meyer, "Efficient and Reasonable
+// Object-Oriented Concurrency" (PPoPP 2015).
+//
+// SCOOP associates every object with a handler — a thread of execution
+// that is the only one allowed to touch the object. Clients interact
+// with a handler inside separate blocks, which guarantee that the calls
+// logged by one client execute in order with no interleaving from other
+// clients, enabling sequential pre-/postcondition reasoning across
+// threads while excluding data races by construction.
+//
+// SCOOP/Qs implements this with a queue of queues: each client gets a
+// private queue per handler, reserved by a single non-blocking enqueue,
+// so clients never wait to log asynchronous calls. Synchronous queries
+// execute on the client after a lightweight sync handshake, and
+// redundant handshakes are elided dynamically (and, for code compiled
+// through the included IR pass, statically).
+//
+// # Quick start
+//
+//	rt := scoopqs.New(scoopqs.ConfigAll)
+//	defer rt.Shutdown()
+//
+//	counter := rt.NewHandler("counter") // owns n
+//	n := 0
+//
+//	c := rt.NewClient()
+//	c.Separate(counter, func(s *scoopqs.Session) {
+//		s.Call(func() { n++ })                          // asynchronous
+//		v := scoopqs.Query(s, func() int { return n })  // synchronous
+//		fmt.Println(v)                                  // 1
+//	})
+//
+// See the examples directory for multi-handler reservations, wait
+// conditions, and the paper's benchmark programs.
+package scoopqs
+
+import "scoopqs/internal/core"
+
+// Re-exported core types. The implementation lives in internal/core;
+// these aliases form the supported public API.
+type (
+	// Runtime owns a set of handlers and a configuration.
+	Runtime = core.Runtime
+	// Handler is an active object executing logged requests in order.
+	Handler = core.Handler
+	// Session is the private queue a client holds inside a separate block.
+	Session = core.Session
+	// Client is a goroutine's context for entering separate blocks.
+	Client = core.Client
+	// Config selects one of the paper's runtime variants.
+	Config = core.Config
+	// Stats is a snapshot of runtime instrumentation counters.
+	Stats = core.Stats
+	// HandlerError reports a panic that occurred in a handler call.
+	HandlerError = core.HandlerError
+	// DeadlockCycle is a cycle in the wait-for graph found by
+	// Runtime.DetectDeadlock (queries can deadlock, §2.5; reservations
+	// cannot).
+	DeadlockCycle = core.DeadlockCycle
+)
+
+// FormatDeadlocks renders Runtime.DetectDeadlock results for logs.
+func FormatDeadlocks(cs []DeadlockCycle) string { return core.FormatDeadlocks(cs) }
+
+// The five configurations evaluated in the paper's §4.
+var (
+	ConfigNone    = core.ConfigNone    // lock-based, packaged queries
+	ConfigDynamic = core.ConfigDynamic // + dynamic sync coalescing
+	ConfigStatic  = core.ConfigStatic  // + static sync coalescing
+	ConfigQoQ     = core.ConfigQoQ     // queue-of-queues only
+	ConfigAll     = core.ConfigAll     // everything (the SCOOP/Qs runtime)
+)
+
+// New creates a runtime with the given configuration.
+func New(cfg Config) *Runtime { return core.New(cfg) }
+
+// Query executes a synchronous query on a session and returns its
+// result, using the configuration's query strategy.
+func Query[T any](s *Session, f func() T) T { return core.Query(s, f) }
+
+// QueryRemote forces the packaged-call query path (the unoptimized
+// rule): the closure executes on the handler.
+func QueryRemote[T any](s *Session, f func() T) T { return core.QueryRemote(s, f) }
+
+// LocalQuery executes f on the client with no synchronization; legal
+// only when the handler is synced on this session (after Sync/SyncNow
+// with no intervening asynchronous call). The static sync-coalescing
+// pass emits this pairing.
+func LocalQuery[T any](s *Session, f func() T) T { return core.LocalQuery(s, f) }

@@ -1,0 +1,73 @@
+// Quickstart: the basic SCOOP/Qs vocabulary — handlers, separate
+// blocks, asynchronous calls, and queries — on a tiny word-count
+// pipeline.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"scoopqs"
+)
+
+func main() {
+	// A runtime with all optimizations (the SCOOP/Qs configuration).
+	rt := scoopqs.New(scoopqs.ConfigAll)
+	defer rt.Shutdown()
+
+	// A handler owns the shared state: only calls executed through it
+	// may touch counts. That is the whole data-race story.
+	counter := rt.NewHandler("word-counter")
+	counts := map[string]int{}
+
+	lines := []string{
+		"the quick brown fox",
+		"jumps over the lazy dog",
+		"the dog barks",
+	}
+
+	// Each goroutine is a client with its own private queues.
+	done := make(chan struct{})
+	for _, line := range lines {
+		line := line
+		go func() {
+			defer func() { done <- struct{}{} }()
+			c := rt.NewClient()
+			// separate counter do ... end — asynchronous calls from
+			// this block execute on the handler in order, with no
+			// interleaving from the other goroutines' blocks.
+			c.Separate(counter, func(s *scoopqs.Session) {
+				for _, w := range strings.Fields(line) {
+					w := w
+					s.Call(func() { counts[w]++ })
+				}
+				// A query synchronizes: it sees all calls above applied.
+				n := scoopqs.Query(s, func() int { return len(counts) })
+				fmt.Printf("after %q: %d distinct words so far\n", line, n)
+			})
+		}()
+	}
+	for range lines {
+		<-done
+	}
+
+	// Read the final state through the handler.
+	c := rt.NewClient()
+	c.Separate(counter, func(s *scoopqs.Session) {
+		the := scoopqs.Query(s, func() int { return counts["the"] })
+		total := scoopqs.Query(s, func() int {
+			sum := 0
+			for _, n := range counts {
+				sum += n
+			}
+			return sum
+		})
+		fmt.Printf("\"the\" appeared %d times; %d words total\n", the, total)
+	})
+
+	st := rt.Stats()
+	fmt.Printf("runtime stats: %d async calls, %d syncs (%d elided)\n",
+		st.AsyncCalls, st.SyncsPerformed, st.SyncsElided)
+}

@@ -1,0 +1,87 @@
+package actor
+
+import (
+	"fmt"
+	"reflect"
+)
+
+// DeepCopy returns a structurally independent copy of msg, the way the
+// BEAM copies every message between process heaps. Supported message
+// shapes: booleans, numbers, strings, slices, arrays, maps, pointers,
+// and structs with only exported fields. Actor references (*Ref) are
+// shared, not copied — they are the analogue of Erlang pids. Channels,
+// functions and structs with unexported fields make DeepCopy panic:
+// such values are not meaningful as isolated messages.
+func DeepCopy(msg any) any {
+	if msg == nil {
+		return nil
+	}
+	return copyValue(reflect.ValueOf(msg)).Interface()
+}
+
+var refType = reflect.TypeOf((*Ref)(nil))
+
+func copyValue(v reflect.Value) reflect.Value {
+	switch v.Kind() {
+	case reflect.Bool, reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32,
+		reflect.Int64, reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32,
+		reflect.Uint64, reflect.Uintptr, reflect.Float32, reflect.Float64,
+		reflect.Complex64, reflect.Complex128, reflect.String:
+		return v
+	case reflect.Ptr:
+		if v.Type() == refType {
+			return v // pids are shared identities
+		}
+		if v.IsNil() {
+			return v
+		}
+		out := reflect.New(v.Type().Elem())
+		out.Elem().Set(copyValue(v.Elem()))
+		return out
+	case reflect.Interface:
+		if v.IsNil() {
+			return v
+		}
+		inner := copyValue(v.Elem())
+		out := reflect.New(v.Type()).Elem()
+		out.Set(inner)
+		return out
+	case reflect.Slice:
+		if v.IsNil() {
+			return v
+		}
+		out := reflect.MakeSlice(v.Type(), v.Len(), v.Len())
+		for i := 0; i < v.Len(); i++ {
+			out.Index(i).Set(copyValue(v.Index(i)))
+		}
+		return out
+	case reflect.Array:
+		out := reflect.New(v.Type()).Elem()
+		for i := 0; i < v.Len(); i++ {
+			out.Index(i).Set(copyValue(v.Index(i)))
+		}
+		return out
+	case reflect.Map:
+		if v.IsNil() {
+			return v
+		}
+		out := reflect.MakeMapWithSize(v.Type(), v.Len())
+		iter := v.MapRange()
+		for iter.Next() {
+			out.SetMapIndex(copyValue(iter.Key()), copyValue(iter.Value()))
+		}
+		return out
+	case reflect.Struct:
+		t := v.Type()
+		out := reflect.New(t).Elem()
+		for i := 0; i < t.NumField(); i++ {
+			if t.Field(i).PkgPath != "" {
+				panic(fmt.Sprintf("actor: message type %s has unexported field %s; messages must be plain data", t, t.Field(i).Name))
+			}
+			out.Field(i).Set(copyValue(v.Field(i)))
+		}
+		return out
+	default:
+		panic(fmt.Sprintf("actor: cannot copy message of kind %s (%s)", v.Kind(), v.Type()))
+	}
+}

@@ -1,0 +1,224 @@
+// Package interp executes compiler IR against the real SCOOP/Qs
+// runtime. It is the stand-in for the paper's generated native code:
+// each sync instruction becomes a Session.Sync, each async becomes a
+// packaged Session.Call, and each qlocal becomes a client-side
+// LocalQuery — which the runtime refuses to run on an unsynced session,
+// so a miscompiled (unsound) sync-coalescing pass is caught at
+// execution time rather than producing a silent race.
+package interp
+
+import (
+	"fmt"
+
+	"scoopqs/internal/compiler/ir"
+	"scoopqs/internal/core"
+)
+
+// HandlerBinding connects an IR handler variable to a live session and
+// the methods callable on the handler's state. Method closures must
+// only touch state owned by that handler.
+type HandlerBinding struct {
+	Session *core.Session
+	Methods map[string]func(args []int64) int64
+}
+
+// Env is the execution environment for one run of a function.
+type Env struct {
+	// Ints provides values for integer parameters.
+	Ints map[string]int64
+	// Arrays provides client-local arrays.
+	Arrays map[string][]int64
+	// Handlers binds handler variables to sessions.
+	Handlers map[string]HandlerBinding
+	// Funcs provides client-local functions for OpCall. A function's
+	// effect on handler state must be consistent with its attribute.
+	Funcs map[string]func(args []int64) int64
+
+	// MaxSteps bounds execution (0 = 50M) to turn non-terminating IR
+	// into an error instead of a hang.
+	MaxSteps int
+}
+
+// Run executes f and returns its return value.
+func Run(f *ir.Func, env *Env) (int64, error) {
+	if err := f.Validate(); err != nil {
+		return 0, err
+	}
+	m := &machine{f: f, env: env, locals: map[string]int64{}}
+	for _, p := range f.Params {
+		v, ok := env.Ints[p]
+		if !ok {
+			return 0, fmt.Errorf("interp: missing integer parameter %q", p)
+		}
+		m.locals[p] = v
+	}
+	for _, h := range f.Handlers {
+		if _, ok := env.Handlers[h]; !ok {
+			return 0, fmt.Errorf("interp: missing handler binding %q", h)
+		}
+	}
+	for _, a := range f.Arrays {
+		if _, ok := env.Arrays[a]; !ok {
+			return 0, fmt.Errorf("interp: missing array %q", a)
+		}
+	}
+	return m.run()
+}
+
+type machine struct {
+	f      *ir.Func
+	env    *Env
+	locals map[string]int64
+	steps  int
+}
+
+func (m *machine) arg(a ir.Arg) (int64, error) {
+	if a.IsConst {
+		return a.Imm, nil
+	}
+	v, ok := m.locals[a.Var]
+	if !ok {
+		return 0, fmt.Errorf("interp: read of undefined local %q", a.Var)
+	}
+	return v, nil
+}
+
+func (m *machine) argList(args []ir.Arg) ([]int64, error) {
+	out := make([]int64, len(args))
+	for i, a := range args {
+		v, err := m.arg(a)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func (m *machine) run() (int64, error) {
+	max := m.env.MaxSteps
+	if max == 0 {
+		max = 50_000_000
+	}
+	b := m.f.Entry()
+	for {
+		// Terminators count against the budget too, so an empty
+		// infinite loop still trips it.
+		m.steps++
+		if m.steps > max {
+			return 0, fmt.Errorf("interp: step budget exceeded (%d)", max)
+		}
+		for i := range b.Instrs {
+			m.steps++
+			if m.steps > max {
+				return 0, fmt.Errorf("interp: step budget exceeded (%d)", max)
+			}
+			if err := m.exec(&b.Instrs[i]); err != nil {
+				return 0, fmt.Errorf("interp: %s[%d] %s: %w", b.Name, i, b.Instrs[i].String(), err)
+			}
+		}
+		switch b.Term.Kind {
+		case ir.TermRet:
+			if !b.Term.HasVal {
+				return 0, nil
+			}
+			return m.arg(b.Term.Val)
+		case ir.TermJmp:
+			b = m.f.Block(b.Term.To)
+		case ir.TermBr:
+			c, err := m.arg(b.Term.Cond)
+			if err != nil {
+				return 0, err
+			}
+			if c != 0 {
+				b = m.f.Block(b.Term.To)
+			} else {
+				b = m.f.Block(b.Term.Else)
+			}
+		}
+	}
+}
+
+func (m *machine) exec(in *ir.Instr) error {
+	switch in.Op {
+	case ir.OpConst:
+		m.locals[in.Dst] = in.Imm
+	case ir.OpBin:
+		a, err := m.arg(in.A)
+		if err != nil {
+			return err
+		}
+		b, err := m.arg(in.B)
+		if err != nil {
+			return err
+		}
+		if (in.Bin == ir.BinDiv || in.Bin == ir.BinMod) && b == 0 {
+			return fmt.Errorf("division by zero")
+		}
+		m.locals[in.Dst] = in.Bin.Eval(a, b)
+	case ir.OpSync:
+		m.env.Handlers[in.Handler].Session.Sync()
+	case ir.OpAsync:
+		hb := m.env.Handlers[in.Handler]
+		method, ok := hb.Methods[in.Fn]
+		if !ok {
+			return fmt.Errorf("handler %q has no method %q", in.Handler, in.Fn)
+		}
+		args, err := m.argList(in.Args)
+		if err != nil {
+			return err
+		}
+		hb.Session.Call(func() { method(args) })
+	case ir.OpQLocal:
+		hb := m.env.Handlers[in.Handler]
+		method, ok := hb.Methods[in.Fn]
+		if !ok {
+			return fmt.Errorf("handler %q has no method %q", in.Handler, in.Fn)
+		}
+		args, err := m.argList(in.Args)
+		if err != nil {
+			return err
+		}
+		m.locals[in.Dst] = core.LocalQuery(hb.Session, func() int64 { return method(args) })
+	case ir.OpCall:
+		fn, ok := m.env.Funcs[in.Fn]
+		if !ok {
+			return fmt.Errorf("unknown function %q", in.Fn)
+		}
+		args, err := m.argList(in.Args)
+		if err != nil {
+			return err
+		}
+		v := fn(args)
+		if in.Dst != "" {
+			m.locals[in.Dst] = v
+		}
+	case ir.OpLoad:
+		arr := m.env.Arrays[in.Arr]
+		i, err := m.arg(in.A)
+		if err != nil {
+			return err
+		}
+		if i < 0 || i >= int64(len(arr)) {
+			return fmt.Errorf("load %s[%d] out of bounds (len %d)", in.Arr, i, len(arr))
+		}
+		m.locals[in.Dst] = arr[i]
+	case ir.OpStore:
+		arr := m.env.Arrays[in.Arr]
+		i, err := m.arg(in.A)
+		if err != nil {
+			return err
+		}
+		v, err := m.arg(in.B)
+		if err != nil {
+			return err
+		}
+		if i < 0 || i >= int64(len(arr)) {
+			return fmt.Errorf("store %s[%d] out of bounds (len %d)", in.Arr, i, len(arr))
+		}
+		arr[i] = v
+	default:
+		return fmt.Errorf("unknown opcode %d", in.Op)
+	}
+	return nil
+}

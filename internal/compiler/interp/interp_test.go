@@ -1,0 +1,268 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+
+	"scoopqs/internal/compiler/ir"
+	"scoopqs/internal/compiler/passes"
+	"scoopqs/internal/core"
+)
+
+// copyLoop is the Fig. 14 communication loop: pull n values from a
+// handler-owned array into the client-local array x, with the naive
+// sync-per-read code.
+const copyLoop = `func copyloop(n) handlers(h) arrays(x) {
+B1:
+  i = const 0
+  sync h
+  jmp B2
+B2:
+  c = lt i, n
+  br c, body, B3
+body:
+  sync h
+  v = qlocal h get(i)
+  store x, i, v
+  i = add i, 1
+  jmp B2
+B3:
+  sync h
+  ret i
+}
+`
+
+// runCopyLoop executes f under cfg and returns the output array plus
+// the runtime stats.
+func runCopyLoop(t *testing.T, f *ir.Func, cfg core.Config, n int) ([]int64, core.Stats) {
+	t.Helper()
+	rt := core.New(cfg)
+	defer rt.Shutdown()
+	h := rt.NewHandler("h")
+	c := rt.NewClient()
+
+	// Handler-owned array, filled by async calls.
+	data := make([]int64, n)
+	out := make([]int64, n)
+	var ret int64
+	var err error
+	c.Separate(h, func(s *core.Session) {
+		s.Call(func() {
+			for i := range data {
+				data[i] = int64(i * i)
+			}
+		})
+		ret, err = Run(f, &Env{
+			Ints:   map[string]int64{"n": int64(n)},
+			Arrays: map[string][]int64{"x": out},
+			Handlers: map[string]HandlerBinding{
+				"h": {Session: s, Methods: map[string]func([]int64) int64{
+					"get": func(a []int64) int64 { return data[a[0]] },
+				}},
+			},
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ret != int64(n) {
+		t.Fatalf("ret = %d, want %d", ret, n)
+	}
+	return out, rt.Stats()
+}
+
+func parse(t *testing.T, src string) *ir.Func {
+	t.Helper()
+	f, err := ir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func checkSquares(t *testing.T, out []int64) {
+	t.Helper()
+	for i, v := range out {
+		if v != int64(i*i) {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestCopyLoopUnoptimized(t *testing.T) {
+	f := parse(t, copyLoop)
+	out, st := runCopyLoop(t, f, core.ConfigStatic, 50)
+	checkSquares(t, out)
+	// Naive code: one sync per read plus the header and exit syncs.
+	if st.SyncsPerformed != 52 {
+		t.Errorf("SyncsPerformed = %d, want 52", st.SyncsPerformed)
+	}
+}
+
+func TestCopyLoopAfterCoalescing(t *testing.T) {
+	f := parse(t, copyLoop)
+	res, err := passes.Coalesce(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, st := runCopyLoop(t, res.Func, core.ConfigStatic, 50)
+	checkSquares(t, out)
+	// The pass leaves exactly one sync; LocalQuery would have panicked
+	// if the elision were unsound.
+	if st.SyncsPerformed != 1 {
+		t.Errorf("SyncsPerformed = %d, want 1 after static coalescing", st.SyncsPerformed)
+	}
+}
+
+func TestCopyLoopDynamicElision(t *testing.T) {
+	// Without the pass but with dynamic coalescing, the redundant syncs
+	// are elided at run time instead.
+	f := parse(t, copyLoop)
+	out, st := runCopyLoop(t, f, core.ConfigDynamic, 50)
+	checkSquares(t, out)
+	if st.SyncsPerformed != 1 {
+		t.Errorf("SyncsPerformed = %d, want 1 under dynamic elision", st.SyncsPerformed)
+	}
+	if st.SyncsElided != 51 {
+		t.Errorf("SyncsElided = %d, want 51", st.SyncsElided)
+	}
+}
+
+// The soundness backstop: IR in which a qlocal is reachable without a
+// sync must make the runtime panic rather than race.
+func TestUnsoundQLocalCaught(t *testing.T) {
+	src := `func bad() handlers(h) arrays() {
+entry:
+  v = qlocal h get(0)
+  ret v
+}
+`
+	f := parse(t, src)
+	rt := core.New(core.ConfigStatic)
+	defer rt.Shutdown()
+	h := rt.NewHandler("h")
+	c := rt.NewClient()
+	c.Separate(h, func(s *core.Session) {
+		defer func() {
+			if r := recover(); r == nil {
+				t.Error("qlocal without sync did not panic")
+			}
+		}()
+		Run(f, &Env{ //nolint:errcheck // panics before returning
+			Handlers: map[string]HandlerBinding{
+				"h": {Session: s, Methods: map[string]func([]int64) int64{
+					"get": func([]int64) int64 { return 0 },
+				}},
+			},
+		})
+	})
+}
+
+// An async call between syncs interleaves correctly: the qlocal sees
+// the async's effect because the sync drains the private queue first.
+func TestAsyncThenQLocalSeesEffect(t *testing.T) {
+	src := `func f(n) handlers(h) arrays() {
+entry:
+  async h add(n)
+  async h add(n)
+  sync h
+  v = qlocal h get()
+  ret v
+}
+`
+	f := parse(t, src)
+	rt := core.New(core.ConfigAll)
+	defer rt.Shutdown()
+	h := rt.NewHandler("h")
+	c := rt.NewClient()
+	var acc int64
+	var got int64
+	var err error
+	c.Separate(h, func(s *core.Session) {
+		got, err = Run(f, &Env{
+			Ints: map[string]int64{"n": 21},
+			Handlers: map[string]HandlerBinding{
+				"h": {Session: s, Methods: map[string]func([]int64) int64{
+					"add": func(a []int64) int64 { acc += a[0]; return 0 },
+					"get": func([]int64) int64 { return acc },
+				}},
+			},
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 42 {
+		t.Fatalf("got %d, want 42", got)
+	}
+}
+
+func TestOpCallAndLocals(t *testing.T) {
+	src := `func f(a, b) handlers() arrays() attr(double, readnone) {
+entry:
+  s = add a, b
+  d = call double(s)
+  ret d
+}
+`
+	f := parse(t, src)
+	got, err := Run(f, &Env{
+		Ints:  map[string]int64{"a": 3, "b": 4},
+		Funcs: map[string]func([]int64) int64{"double": func(a []int64) int64 { return 2 * a[0] }},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 14 {
+		t.Fatalf("got %d, want 14", got)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+		env       *Env
+		want      string
+	}{
+		{"missing param", "func f(n) handlers() arrays() {\ne:\n  ret n\n}\n", &Env{}, "missing integer parameter"},
+		{"missing handler", "func f() handlers(h) arrays() {\ne:\n  sync h\n  ret\n}\n", &Env{}, "missing handler binding"},
+		{"missing array", "func f() handlers() arrays(x) {\ne:\n  v = load x, 0\n  ret v\n}\n", &Env{}, "missing array"},
+		{"oob load", "func f() handlers() arrays(x) {\ne:\n  v = load x, 9\n  ret v\n}\n",
+			&Env{Arrays: map[string][]int64{"x": make([]int64, 2)}}, "out of bounds"},
+		{"oob store", "func f() handlers() arrays(x) {\ne:\n  store x, 9, 1\n  ret\n}\n",
+			&Env{Arrays: map[string][]int64{"x": make([]int64, 2)}}, "out of bounds"},
+		{"div zero", "func f() handlers() arrays() {\ne:\n  v = div 1, 0\n  ret v\n}\n", &Env{}, "division by zero"},
+		{"undefined local", "func f() handlers() arrays() {\ne:\n  v = add q, 1\n  ret v\n}\n", &Env{}, "undefined local"},
+		{"unknown func", "func f() handlers() arrays() {\ne:\n  call nope()\n  ret\n}\n", &Env{}, "unknown function"},
+		{"infinite loop", "func f() handlers() arrays() {\ne:\n  jmp e\n}\n", &Env{MaxSteps: 10}, "step budget"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			f := parse(t, c.src)
+			_, err := Run(f, c.env)
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("err = %v, want containing %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestStepBudgetCountsInstrs(t *testing.T) {
+	src := `func f() handlers() arrays() {
+e:
+  a = const 1
+  b = const 2
+  c = add a, b
+  ret c
+}
+`
+	f := parse(t, src)
+	// One block entry plus three instructions = four steps.
+	if _, err := Run(f, &Env{MaxSteps: 3}); err == nil {
+		t.Fatal("expected step-budget error")
+	}
+	v, err := Run(f, &Env{MaxSteps: 4})
+	if err != nil || v != 3 {
+		t.Fatalf("got %d, %v", v, err)
+	}
+}

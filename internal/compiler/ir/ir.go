@@ -1,0 +1,455 @@
+// Package ir defines the small intermediate representation the static
+// sync-coalescing pass (paper §3.4.2) operates on. It stands in for
+// LLVM bitcode: functions of basic blocks over integer locals,
+// client-local arrays, and handler variables, with the four operations
+// the analysis cares about — sync, asynchronous calls, local handler
+// reads, and opaque/attributed calls.
+//
+// The IR is deliberately not SSA: locals are mutable names. The
+// analysis tracks only handler synchronization state, which locals do
+// not affect.
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Op enumerates instruction opcodes.
+type Op uint8
+
+const (
+	// OpConst: Dst = Imm.
+	OpConst Op = iota
+	// OpBin: Dst = A <Bin> B.
+	OpBin
+	// OpSync: synchronize with Handler ("h_p.sync()"). After it, the
+	// handler is parked on this client's private queue.
+	OpSync
+	// OpAsync: log the asynchronous call Fn(Args...) on Handler
+	// ("h_p.enqueue(...)"). Desynchronizes the handler and anything it
+	// may alias.
+	OpAsync
+	// OpQLocal: Dst = Fn(Args...) evaluated directly against Handler's
+	// state on the client. Legal only when the handler is synced; the
+	// naive code generator always emits OpSync immediately before it.
+	OpQLocal
+	// OpCall: invoke the client-local function Fn(Args...), optionally
+	// into Dst. Unless Fn carries a readonly/readnone attribute the
+	// call may log asynchronous calls on any handler, so it clears the
+	// sync-set.
+	OpCall
+	// OpLoad: Dst = Arr[A] (client-local array).
+	OpLoad
+	// OpStore: Arr[A] = B (client-local array).
+	OpStore
+)
+
+// Bin enumerates binary operators for OpBin.
+type Bin uint8
+
+const (
+	BinAdd Bin = iota
+	BinSub
+	BinMul
+	BinDiv
+	BinMod
+	BinLt
+	BinLe
+	BinEq
+	BinNe
+	BinAnd
+	BinOr
+)
+
+var binNames = map[Bin]string{
+	BinAdd: "add", BinSub: "sub", BinMul: "mul", BinDiv: "div",
+	BinMod: "mod", BinLt: "lt", BinLe: "le", BinEq: "eq", BinNe: "ne",
+	BinAnd: "and", BinOr: "or",
+}
+
+// BinFromName maps a textual operator to a Bin; ok is false if unknown.
+func BinFromName(s string) (Bin, bool) {
+	for b, n := range binNames {
+		if n == s {
+			return b, true
+		}
+	}
+	return 0, false
+}
+
+// Eval applies the operator.
+func (b Bin) Eval(x, y int64) int64 {
+	switch b {
+	case BinAdd:
+		return x + y
+	case BinSub:
+		return x - y
+	case BinMul:
+		return x * y
+	case BinDiv:
+		return x / y
+	case BinMod:
+		return x % y
+	case BinLt:
+		return b2i(x < y)
+	case BinLe:
+		return b2i(x <= y)
+	case BinEq:
+		return b2i(x == y)
+	case BinNe:
+		return b2i(x != y)
+	case BinAnd:
+		return b2i(x != 0 && y != 0)
+	case BinOr:
+		return b2i(x != 0 || y != 0)
+	}
+	panic("ir: unknown Bin")
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (b Bin) String() string { return binNames[b] }
+
+// Arg is an instruction operand: either an integer literal or a local
+// variable reference.
+type Arg struct {
+	IsConst bool
+	Imm     int64
+	Var     string
+}
+
+// ConstArg returns a literal operand.
+func ConstArg(v int64) Arg { return Arg{IsConst: true, Imm: v} }
+
+// VarArg returns a variable operand.
+func VarArg(name string) Arg { return Arg{Var: name} }
+
+func (a Arg) String() string {
+	if a.IsConst {
+		return fmt.Sprint(a.Imm)
+	}
+	return a.Var
+}
+
+// Instr is a single (non-terminator) instruction.
+type Instr struct {
+	Op      Op
+	Dst     string // OpConst, OpBin, OpQLocal, OpLoad, OpCall (optional)
+	Imm     int64  // OpConst
+	Bin     Bin    // OpBin
+	A, B    Arg    // OpBin, OpLoad (A=index), OpStore (A=index, B=value)
+	Handler string // OpSync, OpAsync, OpQLocal
+	Fn      string // OpAsync, OpQLocal, OpCall
+	Args    []Arg  // OpAsync, OpQLocal, OpCall
+	Arr     string // OpLoad, OpStore
+}
+
+func (in Instr) String() string {
+	argList := func() string {
+		parts := make([]string, len(in.Args))
+		for i, a := range in.Args {
+			parts[i] = a.String()
+		}
+		return strings.Join(parts, ", ")
+	}
+	switch in.Op {
+	case OpConst:
+		return fmt.Sprintf("%s = const %d", in.Dst, in.Imm)
+	case OpBin:
+		return fmt.Sprintf("%s = %s %s, %s", in.Dst, in.Bin, in.A, in.B)
+	case OpSync:
+		return fmt.Sprintf("sync %s", in.Handler)
+	case OpAsync:
+		return fmt.Sprintf("async %s %s(%s)", in.Handler, in.Fn, argList())
+	case OpQLocal:
+		return fmt.Sprintf("%s = qlocal %s %s(%s)", in.Dst, in.Handler, in.Fn, argList())
+	case OpCall:
+		if in.Dst != "" {
+			return fmt.Sprintf("%s = call %s(%s)", in.Dst, in.Fn, argList())
+		}
+		return fmt.Sprintf("call %s(%s)", in.Fn, argList())
+	case OpLoad:
+		return fmt.Sprintf("%s = load %s, %s", in.Dst, in.Arr, in.A)
+	case OpStore:
+		return fmt.Sprintf("store %s, %s, %s", in.Arr, in.A, in.B)
+	}
+	return "<invalid>"
+}
+
+// TermKind enumerates block terminators.
+type TermKind uint8
+
+const (
+	// TermJmp: unconditional jump to To.
+	TermJmp TermKind = iota
+	// TermBr: if Cond != 0 jump To else Else.
+	TermBr
+	// TermRet: return Val (or 0 when absent).
+	TermRet
+)
+
+// Term is a block terminator.
+type Term struct {
+	Kind     TermKind
+	Cond     Arg
+	To, Else string
+	Val      Arg
+	HasVal   bool
+}
+
+func (t Term) String() string {
+	switch t.Kind {
+	case TermJmp:
+		return "jmp " + t.To
+	case TermBr:
+		return fmt.Sprintf("br %s, %s, %s", t.Cond, t.To, t.Else)
+	case TermRet:
+		if t.HasVal {
+			return "ret " + t.Val.String()
+		}
+		return "ret"
+	}
+	return "<invalid>"
+}
+
+// Block is a basic block: a label, straight-line instructions, and a
+// terminator.
+type Block struct {
+	Name   string
+	Instrs []Instr
+	Term   Term
+
+	// Preds and Succs are filled in by Func.BuildCFG.
+	Preds, Succs []*Block
+}
+
+// Attr is a function attribute for OpCall targets, mirroring LLVM's
+// readonly/readnone flags (§3.4.2: calls with these flags do not clear
+// the sync-set).
+type Attr uint8
+
+const (
+	// AttrOpaque: the callee may issue asynchronous calls on any
+	// handler; clears the sync-set. The default.
+	AttrOpaque Attr = iota
+	// AttrReadOnly: the callee reads memory but issues no calls.
+	AttrReadOnly
+	// AttrReadNone: the callee touches no memory.
+	AttrReadNone
+)
+
+func (a Attr) String() string {
+	switch a {
+	case AttrReadOnly:
+		return "readonly"
+	case AttrReadNone:
+		return "readnone"
+	}
+	return "opaque"
+}
+
+// Func is an IR function.
+type Func struct {
+	Name     string
+	Params   []string // integer parameters
+	Handlers []string // handler-variable parameters
+	Arrays   []string // client-local array parameters
+	// NoAlias records handler-variable pairs declared never to alias.
+	// By default any two handler variables may alias (the conservative
+	// assumption of Fig. 15).
+	NoAlias map[[2]string]bool
+	// Attrs records attributes of OpCall targets; absent means opaque.
+	Attrs  map[string]Attr
+	Blocks []*Block // Blocks[0] is the entry
+}
+
+// NewFunc returns an empty function with initialized maps.
+func NewFunc(name string) *Func {
+	return &Func{Name: name, NoAlias: map[[2]string]bool{}, Attrs: map[string]Attr{}}
+}
+
+// DeclareNoAlias records that a and b never refer to the same handler.
+func (f *Func) DeclareNoAlias(a, b string) {
+	f.NoAlias[[2]string{a, b}] = true
+	f.NoAlias[[2]string{b, a}] = true
+}
+
+// MayAlias reports whether two handler variables may refer to the same
+// handler. Identical names always alias; distinct names alias unless
+// declared otherwise.
+func (f *Func) MayAlias(a, b string) bool {
+	if a == b {
+		return true
+	}
+	return !f.NoAlias[[2]string{a, b}]
+}
+
+// Block returns the named block, or nil.
+func (f *Func) Block(name string) *Block {
+	for _, b := range f.Blocks {
+		if b.Name == name {
+			return b
+		}
+	}
+	return nil
+}
+
+// Entry returns the entry block.
+func (f *Func) Entry() *Block {
+	if len(f.Blocks) == 0 {
+		return nil
+	}
+	return f.Blocks[0]
+}
+
+// BuildCFG recomputes predecessor/successor edges. It must be called
+// after constructing or mutating blocks and before analysis.
+func (f *Func) BuildCFG() error {
+	for _, b := range f.Blocks {
+		b.Preds, b.Succs = nil, nil
+	}
+	link := func(from *Block, to string) error {
+		t := f.Block(to)
+		if t == nil {
+			return fmt.Errorf("ir: %s: branch to unknown block %q", from.Name, to)
+		}
+		from.Succs = append(from.Succs, t)
+		t.Preds = append(t.Preds, from)
+		return nil
+	}
+	for _, b := range f.Blocks {
+		switch b.Term.Kind {
+		case TermJmp:
+			if err := link(b, b.Term.To); err != nil {
+				return err
+			}
+		case TermBr:
+			if err := link(b, b.Term.To); err != nil {
+				return err
+			}
+			if err := link(b, b.Term.Else); err != nil {
+				return err
+			}
+		case TermRet:
+		default:
+			return fmt.Errorf("ir: block %q has no terminator", b.Name)
+		}
+	}
+	return nil
+}
+
+// Validate checks structural well-formedness: unique block names,
+// known branch targets, declared handler variables, and non-empty
+// entry.
+func (f *Func) Validate() error {
+	if len(f.Blocks) == 0 {
+		return fmt.Errorf("ir: function %q has no blocks", f.Name)
+	}
+	seen := map[string]bool{}
+	for _, b := range f.Blocks {
+		if seen[b.Name] {
+			return fmt.Errorf("ir: duplicate block %q", b.Name)
+		}
+		seen[b.Name] = true
+	}
+	handlers := map[string]bool{}
+	for _, h := range f.Handlers {
+		handlers[h] = true
+	}
+	arrays := map[string]bool{}
+	for _, a := range f.Arrays {
+		arrays[a] = true
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			switch in.Op {
+			case OpSync, OpAsync, OpQLocal:
+				if !handlers[in.Handler] {
+					return fmt.Errorf("ir: %s: undeclared handler %q", b.Name, in.Handler)
+				}
+			case OpLoad, OpStore:
+				if !arrays[in.Arr] {
+					return fmt.Errorf("ir: %s: undeclared array %q", b.Name, in.Arr)
+				}
+			}
+		}
+	}
+	return f.BuildCFG()
+}
+
+// Clone returns a deep copy of the function (blocks and instruction
+// slices), so a transform can be compared against the original.
+func (f *Func) Clone() *Func {
+	g := NewFunc(f.Name)
+	g.Params = append([]string(nil), f.Params...)
+	g.Handlers = append([]string(nil), f.Handlers...)
+	g.Arrays = append([]string(nil), f.Arrays...)
+	for k, v := range f.NoAlias {
+		g.NoAlias[k] = v
+	}
+	for k, v := range f.Attrs {
+		g.Attrs[k] = v
+	}
+	for _, b := range f.Blocks {
+		nb := &Block{Name: b.Name, Term: b.Term}
+		nb.Instrs = make([]Instr, len(b.Instrs))
+		for i, in := range b.Instrs {
+			in.Args = append([]Arg(nil), in.Args...)
+			nb.Instrs[i] = in
+		}
+		g.Blocks = append(g.Blocks, nb)
+	}
+	g.BuildCFG() //nolint:errcheck // clone of a valid func stays valid
+	return g
+}
+
+// String renders the function in the textual IR format accepted by
+// Parse.
+func (f *Func) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "func %s(%s) handlers(%s) arrays(%s)",
+		f.Name, strings.Join(f.Params, ", "),
+		strings.Join(f.Handlers, ", "), strings.Join(f.Arrays, ", "))
+	for pair := range f.NoAlias {
+		if pair[0] < pair[1] {
+			fmt.Fprintf(&sb, " noalias(%s, %s)", pair[0], pair[1])
+		}
+	}
+	// Deterministic attr order.
+	for _, b := range []Attr{AttrReadOnly, AttrReadNone} {
+		names := make([]string, 0, len(f.Attrs))
+		for n, a := range f.Attrs {
+			if a == b {
+				names = append(names, n)
+			}
+		}
+		sortStrings(names)
+		for _, n := range names {
+			fmt.Fprintf(&sb, " attr(%s, %s)", n, b)
+		}
+	}
+	sb.WriteString(" {\n")
+	for _, blk := range f.Blocks {
+		fmt.Fprintf(&sb, "%s:\n", blk.Name)
+		for _, in := range blk.Instrs {
+			fmt.Fprintf(&sb, "  %s\n", in)
+		}
+		fmt.Fprintf(&sb, "  %s\n", blk.Term)
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

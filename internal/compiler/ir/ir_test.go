@@ -1,0 +1,168 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+const roundTripSrc = `func demo(n, p) handlers(h, i) arrays(x) noalias(h, i) attr(helper, readonly) {
+entry:
+  k = const 0
+  jmp loop
+loop:
+  c = lt k, n
+  br c, body, exit
+body:
+  sync h
+  v = qlocal h get(k)
+  store x, k, v
+  w = load x, k
+  async i put(k, w)
+  r = call helper(w)
+  k = add k, 1
+  jmp loop
+exit:
+  ret k
+}
+`
+
+func TestParseRoundTrip(t *testing.T) {
+	f, err := Parse(roundTripSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := f.String()
+	g, err := Parse(printed)
+	if err != nil {
+		t.Fatalf("re-parse of printed form failed: %v\n%s", err, printed)
+	}
+	if g.String() != printed {
+		t.Fatalf("print/parse not idempotent:\n--- first ---\n%s\n--- second ---\n%s", printed, g.String())
+	}
+}
+
+func TestParseHeader(t *testing.T) {
+	f, err := Parse(roundTripSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name != "demo" {
+		t.Errorf("name = %q", f.Name)
+	}
+	if len(f.Params) != 2 || f.Params[0] != "n" || f.Params[1] != "p" {
+		t.Errorf("params = %v", f.Params)
+	}
+	if len(f.Handlers) != 2 || f.Handlers[0] != "h" || f.Handlers[1] != "i" {
+		t.Errorf("handlers = %v", f.Handlers)
+	}
+	if len(f.Arrays) != 1 || f.Arrays[0] != "x" {
+		t.Errorf("arrays = %v", f.Arrays)
+	}
+	if f.MayAlias("h", "i") {
+		t.Error("noalias(h, i) not honoured")
+	}
+	if !f.MayAlias("h", "h") {
+		t.Error("a variable must alias itself")
+	}
+	if f.Attrs["helper"] != AttrReadOnly {
+		t.Errorf("attr(helper) = %v", f.Attrs["helper"])
+	}
+}
+
+func TestParseDefaultsToMayAlias(t *testing.T) {
+	f, err := Parse("func f() handlers(a, b) arrays() {\nentry:\n  ret\n}\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.MayAlias("a", "b") {
+		t.Error("handlers must may-alias by default (Fig. 15)")
+	}
+}
+
+func TestCFGEdges(t *testing.T) {
+	f, err := Parse(roundTripSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loop := f.Block("loop")
+	if len(loop.Preds) != 2 { // entry and body
+		t.Errorf("loop preds = %d, want 2", len(loop.Preds))
+	}
+	body := f.Block("body")
+	if len(body.Succs) != 1 || body.Succs[0] != loop {
+		t.Errorf("body succs wrong")
+	}
+	exit := f.Block("exit")
+	if len(exit.Succs) != 0 {
+		t.Errorf("exit should have no successors")
+	}
+}
+
+func TestValidateCatchesUnknownBlock(t *testing.T) {
+	_, err := Parse("func f() handlers() arrays() {\nentry:\n  jmp nowhere\n}\n")
+	if err == nil || !strings.Contains(err.Error(), "nowhere") {
+		t.Fatalf("expected unknown-block error, got %v", err)
+	}
+}
+
+func TestValidateCatchesUndeclaredHandler(t *testing.T) {
+	_, err := Parse("func f() handlers() arrays() {\nentry:\n  sync h\n  ret\n}\n")
+	if err == nil || !strings.Contains(err.Error(), "undeclared handler") {
+		t.Fatalf("expected undeclared-handler error, got %v", err)
+	}
+}
+
+func TestValidateCatchesDuplicateBlocks(t *testing.T) {
+	_, err := Parse("func f() handlers() arrays() {\na:\n  ret\na:\n  ret\n}\n")
+	if err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("expected duplicate-block error, got %v", err)
+	}
+}
+
+func TestParseErrorsOnGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"func {",
+		"func f() handlers() arrays() {\nentry:\n  frobnicate x\n  ret\n}\n",
+		"func f() handlers() arrays() {\nentry:\n  br x, only_two\n  ret\n}\n",
+		"func f() handlers() arrays() {\nentry:\n  ret\n", // missing }
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	f, err := Parse(roundTripSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := f.Clone()
+	g.Blocks[2].Instrs = g.Blocks[2].Instrs[:0]
+	g.DeclareNoAlias("x", "y")
+	if len(f.Block("body").Instrs) == 0 {
+		t.Error("mutating clone changed original blocks")
+	}
+	if f.NoAlias[[2]string{"x", "y"}] {
+		t.Error("mutating clone changed original alias info")
+	}
+}
+
+func TestBinEval(t *testing.T) {
+	cases := []struct {
+		b       Bin
+		x, y, w int64
+	}{
+		{BinAdd, 2, 3, 5}, {BinSub, 2, 3, -1}, {BinMul, 4, 3, 12},
+		{BinDiv, 7, 2, 3}, {BinMod, 7, 2, 1}, {BinLt, 1, 2, 1},
+		{BinLt, 2, 2, 0}, {BinLe, 2, 2, 1}, {BinEq, 5, 5, 1},
+		{BinNe, 5, 5, 0}, {BinAnd, 1, 0, 0}, {BinOr, 1, 0, 1},
+	}
+	for _, c := range cases {
+		if got := c.b.Eval(c.x, c.y); got != c.w {
+			t.Errorf("%s(%d,%d) = %d, want %d", c.b, c.x, c.y, got, c.w)
+		}
+	}
+}

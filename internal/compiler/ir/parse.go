@@ -1,0 +1,340 @@
+package ir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse reads a function in the textual IR format produced by
+// Func.String:
+//
+//	func name(p1, p2) handlers(h, i) arrays(x) noalias(h, i) attr(f, readonly) {
+//	entry:
+//	  n = const 10
+//	  v = qlocal h get(n)
+//	  async h set(1, v)
+//	  sync h
+//	  c = lt v, n
+//	  store x, n, v
+//	  w = load x, n
+//	  call log(w)
+//	  br c, entry, done
+//	done:
+//	  ret v
+//	}
+//
+// Lines starting with ';' or '#' are comments.
+func Parse(src string) (*Func, error) {
+	p := &parser{lines: strings.Split(src, "\n")}
+	f, err := p.parseFunc()
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+type parser struct {
+	lines []string
+	pos   int
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("ir: line %d: %s", p.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) next() (string, bool) {
+	for p.pos < len(p.lines) {
+		line := strings.TrimSpace(p.lines[p.pos])
+		p.pos++
+		if line == "" || strings.HasPrefix(line, ";") || strings.HasPrefix(line, "#") {
+			continue
+		}
+		return line, true
+	}
+	return "", false
+}
+
+func splitList(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, x := range parts {
+		if t := strings.TrimSpace(x); t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// clause extracts "kw( ... )" occurrences from the header.
+func clauses(header, kw string) []string {
+	var out []string
+	rest := header
+	for {
+		i := strings.Index(rest, kw+"(")
+		if i < 0 {
+			return out
+		}
+		j := strings.Index(rest[i:], ")")
+		if j < 0 {
+			return out
+		}
+		out = append(out, rest[i+len(kw)+1:i+j])
+		rest = rest[i+j:]
+	}
+}
+
+func (p *parser) parseFunc() (*Func, error) {
+	header, ok := p.next()
+	if !ok {
+		return nil, p.errf("empty input")
+	}
+	if !strings.HasPrefix(header, "func ") || !strings.HasSuffix(header, "{") {
+		return nil, p.errf("expected 'func name(...) ... {', got %q", header)
+	}
+	nameEnd := strings.Index(header, "(")
+	if nameEnd < 0 {
+		return nil, p.errf("missing parameter list")
+	}
+	f := NewFunc(strings.TrimSpace(header[len("func "):nameEnd]))
+	if f.Name == "" {
+		return nil, p.errf("missing function name")
+	}
+	paramEnd := strings.Index(header, ")")
+	f.Params = splitList(header[nameEnd+1 : paramEnd])
+	tail := header[paramEnd+1:]
+	if hs := clauses(tail, "handlers"); len(hs) > 0 {
+		f.Handlers = splitList(hs[0])
+	}
+	if as := clauses(tail, "arrays"); len(as) > 0 {
+		f.Arrays = splitList(as[0])
+	}
+	for _, na := range clauses(tail, "noalias") {
+		vars := splitList(na)
+		if len(vars) != 2 {
+			return nil, p.errf("noalias wants exactly 2 names, got %v", vars)
+		}
+		f.DeclareNoAlias(vars[0], vars[1])
+	}
+	for _, at := range clauses(tail, "attr") {
+		vars := splitList(at)
+		if len(vars) != 2 {
+			return nil, p.errf("attr wants (name, readonly|readnone|opaque)")
+		}
+		switch vars[1] {
+		case "readonly":
+			f.Attrs[vars[0]] = AttrReadOnly
+		case "readnone":
+			f.Attrs[vars[0]] = AttrReadNone
+		case "opaque":
+			f.Attrs[vars[0]] = AttrOpaque
+		default:
+			return nil, p.errf("unknown attribute %q", vars[1])
+		}
+	}
+
+	var cur *Block
+	for {
+		line, ok := p.next()
+		if !ok {
+			return nil, p.errf("missing closing '}'")
+		}
+		if line == "}" {
+			break
+		}
+		if strings.HasSuffix(line, ":") {
+			cur = &Block{Name: strings.TrimSuffix(line, ":")}
+			f.Blocks = append(f.Blocks, cur)
+			continue
+		}
+		if cur == nil {
+			return nil, p.errf("instruction before first block label")
+		}
+		if err := p.parseLine(cur, line); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+func (p *parser) arg(s string) (Arg, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return Arg{}, p.errf("empty operand")
+	}
+	if v, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return ConstArg(v), nil
+	}
+	return VarArg(s), nil
+}
+
+func (p *parser) args(list string) ([]Arg, error) {
+	var out []Arg
+	for _, s := range splitList(list) {
+		a, err := p.arg(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// parseCallLike parses "h fn(a, b)" or "fn(a, b)".
+func (p *parser) parseCallLike(s string, withHandler bool) (handler, fn string, args []Arg, err error) {
+	open := strings.Index(s, "(")
+	closeP := strings.LastIndex(s, ")")
+	if open < 0 || closeP < open {
+		return "", "", nil, p.errf("malformed call %q", s)
+	}
+	head := strings.Fields(strings.TrimSpace(s[:open]))
+	if withHandler {
+		if len(head) != 2 {
+			return "", "", nil, p.errf("expected 'handler fn(args)' in %q", s)
+		}
+		handler, fn = head[0], head[1]
+	} else {
+		if len(head) != 1 {
+			return "", "", nil, p.errf("expected 'fn(args)' in %q", s)
+		}
+		fn = head[0]
+	}
+	args, err = p.args(s[open+1 : closeP])
+	return handler, fn, args, err
+}
+
+func (p *parser) parseLine(b *Block, line string) error {
+	// Terminators.
+	switch {
+	case strings.HasPrefix(line, "jmp "):
+		b.Term = Term{Kind: TermJmp, To: strings.TrimSpace(line[4:])}
+		return nil
+	case strings.HasPrefix(line, "br "):
+		parts := splitList(line[3:])
+		if len(parts) != 3 {
+			return p.errf("br wants cond, then, else")
+		}
+		cond, err := p.arg(parts[0])
+		if err != nil {
+			return err
+		}
+		b.Term = Term{Kind: TermBr, Cond: cond, To: parts[1], Else: parts[2]}
+		return nil
+	case line == "ret":
+		b.Term = Term{Kind: TermRet}
+		return nil
+	case strings.HasPrefix(line, "ret "):
+		v, err := p.arg(line[4:])
+		if err != nil {
+			return err
+		}
+		b.Term = Term{Kind: TermRet, Val: v, HasVal: true}
+		return nil
+	}
+
+	// Instructions without a destination.
+	switch {
+	case strings.HasPrefix(line, "sync "):
+		b.Instrs = append(b.Instrs, Instr{Op: OpSync, Handler: strings.TrimSpace(line[5:])})
+		return nil
+	case strings.HasPrefix(line, "async "):
+		h, fn, args, err := p.parseCallLike(line[6:], true)
+		if err != nil {
+			return err
+		}
+		b.Instrs = append(b.Instrs, Instr{Op: OpAsync, Handler: h, Fn: fn, Args: args})
+		return nil
+	case strings.HasPrefix(line, "call "):
+		_, fn, args, err := p.parseCallLike(line[5:], false)
+		if err != nil {
+			return err
+		}
+		b.Instrs = append(b.Instrs, Instr{Op: OpCall, Fn: fn, Args: args})
+		return nil
+	case strings.HasPrefix(line, "store "):
+		parts := splitList(line[6:])
+		if len(parts) != 3 {
+			return p.errf("store wants arr, idx, val")
+		}
+		idx, err := p.arg(parts[1])
+		if err != nil {
+			return err
+		}
+		val, err := p.arg(parts[2])
+		if err != nil {
+			return err
+		}
+		b.Instrs = append(b.Instrs, Instr{Op: OpStore, Arr: parts[0], A: idx, B: val})
+		return nil
+	}
+
+	// "dst = ..." forms.
+	eq := strings.Index(line, "=")
+	if eq < 0 {
+		return p.errf("unrecognized instruction %q", line)
+	}
+	dst := strings.TrimSpace(line[:eq])
+	rhs := strings.TrimSpace(line[eq+1:])
+	switch {
+	case strings.HasPrefix(rhs, "const "):
+		v, err := strconv.ParseInt(strings.TrimSpace(rhs[6:]), 10, 64)
+		if err != nil {
+			return p.errf("bad const: %v", err)
+		}
+		b.Instrs = append(b.Instrs, Instr{Op: OpConst, Dst: dst, Imm: v})
+		return nil
+	case strings.HasPrefix(rhs, "qlocal "):
+		h, fn, args, err := p.parseCallLike(rhs[7:], true)
+		if err != nil {
+			return err
+		}
+		b.Instrs = append(b.Instrs, Instr{Op: OpQLocal, Dst: dst, Handler: h, Fn: fn, Args: args})
+		return nil
+	case strings.HasPrefix(rhs, "call "):
+		_, fn, args, err := p.parseCallLike(rhs[5:], false)
+		if err != nil {
+			return err
+		}
+		b.Instrs = append(b.Instrs, Instr{Op: OpCall, Dst: dst, Fn: fn, Args: args})
+		return nil
+	case strings.HasPrefix(rhs, "load "):
+		parts := splitList(rhs[5:])
+		if len(parts) != 2 {
+			return p.errf("load wants arr, idx")
+		}
+		idx, err := p.arg(parts[1])
+		if err != nil {
+			return err
+		}
+		b.Instrs = append(b.Instrs, Instr{Op: OpLoad, Dst: dst, Arr: parts[0], A: idx})
+		return nil
+	}
+	// Binary op: "dst = op a, b".
+	fields := strings.SplitN(rhs, " ", 2)
+	if len(fields) == 2 {
+		if bin, ok := BinFromName(fields[0]); ok {
+			parts := splitList(fields[1])
+			if len(parts) != 2 {
+				return p.errf("%s wants two operands", fields[0])
+			}
+			a, err := p.arg(parts[0])
+			if err != nil {
+				return err
+			}
+			c, err := p.arg(parts[1])
+			if err != nil {
+				return err
+			}
+			b.Instrs = append(b.Instrs, Instr{Op: OpBin, Dst: dst, Bin: bin, A: a, B: c})
+			return nil
+		}
+	}
+	return p.errf("unrecognized instruction %q", line)
+}

@@ -1,0 +1,168 @@
+package passes
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"scoopqs/internal/compiler/interp"
+	"scoopqs/internal/compiler/ir"
+	"scoopqs/internal/core"
+)
+
+// Randomized soundness check: generate random acyclic CFGs mixing
+// syncs, asyncs, local handler reads, and attributed calls over two
+// possibly-aliasing handler variables; run the sync-coalescing pass;
+// then execute both versions against the real runtime. The runtime's
+// LocalQuery guard panics if the pass ever removed a sync that was
+// actually needed (the handler would not be parked), and the final
+// handler states must agree.
+
+// genFunc builds a random DAG-shaped function of `blocks` basic blocks
+// (block i only branches to blocks > i, the last returns).
+func genFunc(rng *rand.Rand, blocks int, noalias bool) *ir.Func {
+	f := ir.NewFunc("fuzz")
+	f.Handlers = []string{"g", "h"}
+	f.Attrs["ro"] = ir.AttrReadOnly
+	if noalias {
+		f.DeclareNoAlias("g", "h")
+	}
+	for i := 0; i < blocks; i++ {
+		b := &ir.Block{Name: fmt.Sprintf("b%d", i)}
+		n := rng.Intn(5)
+		for k := 0; k < n; k++ {
+			h := f.Handlers[rng.Intn(2)]
+			switch rng.Intn(6) {
+			case 0, 1:
+				b.Instrs = append(b.Instrs, ir.Instr{Op: ir.OpSync, Handler: h})
+			case 2:
+				b.Instrs = append(b.Instrs, ir.Instr{
+					Op: ir.OpAsync, Handler: h, Fn: "bump",
+					Args: []ir.Arg{ir.ConstArg(int64(rng.Intn(5)))},
+				})
+			case 3:
+				// A read is only legal after a sync on the same
+				// handler within this block (the naive generator's
+				// pairing), so emit the pair.
+				b.Instrs = append(b.Instrs,
+					ir.Instr{Op: ir.OpSync, Handler: h},
+					ir.Instr{Op: ir.OpQLocal, Dst: fmt.Sprintf("v%d_%d", i, k), Handler: h, Fn: "get"})
+			case 4:
+				b.Instrs = append(b.Instrs, ir.Instr{Op: ir.OpCall, Fn: "ro"})
+			case 5:
+				b.Instrs = append(b.Instrs, ir.Instr{Op: ir.OpCall, Fn: "opaque"})
+			}
+		}
+		if i == blocks-1 {
+			b.Term = ir.Term{Kind: ir.TermRet}
+		} else if i+2 < blocks && rng.Intn(2) == 0 {
+			t1 := i + 1 + rng.Intn(blocks-i-1)
+			t2 := i + 1 + rng.Intn(blocks-i-1)
+			b.Term = ir.Term{Kind: ir.TermBr, Cond: ir.ConstArg(int64(rng.Intn(2))),
+				To: fmt.Sprintf("b%d", t1), Else: fmt.Sprintf("b%d", t2)}
+		} else {
+			b.Term = ir.Term{Kind: ir.TermJmp, To: fmt.Sprintf("b%d", i+1)}
+		}
+		f.Blocks = append(f.Blocks, b)
+	}
+	return f
+}
+
+// execute runs f with two handler-owned counters and returns their
+// final values. It fails the test on interpreter errors or panics
+// (which would indicate an unsound elision).
+func execute(t *testing.T, f *ir.Func, seed int64) (int64, int64) {
+	t.Helper()
+	rt := core.New(core.ConfigStatic)
+	defer rt.Shutdown()
+	hg := rt.NewHandler("g")
+	hh := rt.NewHandler("h")
+	var cg, ch int64
+
+	c := rt.NewClient()
+	var err error
+	c.SeparateMany([]*core.Handler{hg, hh}, func(ss []*core.Session) {
+		bind := func(s *core.Session, counter *int64) interp.HandlerBinding {
+			return interp.HandlerBinding{
+				Session: s,
+				Methods: map[string]func([]int64) int64{
+					"bump": func(a []int64) int64 { *counter += a[0] + 1; return 0 },
+					"get":  func([]int64) int64 { return *counter },
+				},
+			}
+		}
+		_, err = interp.Run(f, &interp.Env{
+			Handlers: map[string]interp.HandlerBinding{
+				"g": bind(ss[0], &cg),
+				"h": bind(ss[1], &ch),
+			},
+			Funcs: map[string]func([]int64) int64{
+				"ro":     func([]int64) int64 { return 7 },
+				"opaque": func([]int64) int64 { return 8 },
+			},
+		})
+		// Drain before reading the counters.
+		ss[0].SyncNow()
+		ss[1].SyncNow()
+	})
+	if err != nil {
+		t.Fatalf("interp error (seed %d):\n%s\n%v", seed, f.String(), err)
+	}
+	return cg, ch
+}
+
+func TestFuzzCoalesceSoundness(t *testing.T) {
+	const rounds = 120
+	for seed := int64(0); seed < rounds; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		f := genFunc(rng, 3+rng.Intn(5), seed%3 == 0)
+		if err := f.Validate(); err != nil {
+			t.Fatalf("seed %d: generated invalid IR: %v", seed, err)
+		}
+		res, err := Coalesce(f)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if CountSyncs(res.Func)+len(res.Removed) != CountSyncs(f) {
+			t.Fatalf("seed %d: sync accounting broken", seed)
+		}
+		// Both versions must run cleanly (LocalQuery panics on an
+		// unsound elision) and leave identical handler state.
+		g1, h1 := execute(t, f, seed)
+		g2, h2 := execute(t, res.Func, seed)
+		if g1 != g2 || h1 != h2 {
+			t.Fatalf("seed %d: pass changed behaviour: (%d,%d) vs (%d,%d)\n--- before ---\n%s--- after ---\n%s",
+				seed, g1, h1, g2, h2, f.String(), res.Func.String())
+		}
+	}
+}
+
+// The same fuzz against the analysis only: In/Out sets must be
+// consistent (Out = UpdateSync(In)) and In must equal the intersection
+// of predecessors' Outs at the fixpoint.
+func TestFuzzSyncSetFixpointConsistency(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(seed + 10_000))
+		f := genFunc(rng, 3+rng.Intn(6), seed%2 == 0)
+		if err := f.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		sets := Compute(f)
+		for _, b := range f.Blocks {
+			if !sets.Out[b].Equal(UpdateSync(f, b, sets.In[b])) {
+				t.Fatalf("seed %d: block %s: Out != transfer(In)", seed, b.Name)
+			}
+			if len(b.Preds) > 0 {
+				common := sets.Out[b.Preds[0]].Clone()
+				for _, p := range b.Preds[1:] {
+					common = common.Intersect(sets.Out[p])
+				}
+				if !sets.In[b].Equal(common) {
+					t.Fatalf("seed %d: block %s: In != meet of preds", seed, b.Name)
+				}
+			} else if len(sets.In[b]) != 0 {
+				t.Fatalf("seed %d: entry block %s has non-empty In", seed, b.Name)
+			}
+		}
+	}
+}

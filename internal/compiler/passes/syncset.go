@@ -1,0 +1,244 @@
+// Package passes implements the static sync-coalescing optimization of
+// the paper's §3.4.2: a forward dataflow analysis over the control-flow
+// graph that computes, for every program point, the set of handler
+// variables known to be synchronized (the sync-set), and a transform
+// that deletes sync instructions whose handler is already in the set.
+//
+// The analysis is the literal algorithm of the paper's Figs. 12 and 13:
+// a worklist iteration whose per-block input is the intersection of the
+// predecessors' output sync-sets, with a transfer function that adds
+// the handler on sync, removes the handler and all of its may-aliases
+// on an asynchronous call, clears the set on an opaque call, and leaves
+// it unchanged for calls attributed readonly/readnone.
+package passes
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"scoopqs/internal/compiler/ir"
+)
+
+// VarSet is a set of handler variable names.
+type VarSet map[string]bool
+
+// NewVarSet builds a set from names.
+func NewVarSet(names ...string) VarSet {
+	s := make(VarSet, len(names))
+	for _, n := range names {
+		s[n] = true
+	}
+	return s
+}
+
+// Clone copies the set.
+func (s VarSet) Clone() VarSet {
+	out := make(VarSet, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}
+
+// Equal reports set equality.
+func (s VarSet) Equal(o VarSet) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for k := range s {
+		if !o[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersect returns s ∩ o.
+func (s VarSet) Intersect(o VarSet) VarSet {
+	out := VarSet{}
+	for k := range s {
+		if o[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+func (s VarSet) String() string {
+	names := make([]string, 0, len(s))
+	for k := range s {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return "{" + strings.Join(names, ", ") + "}"
+}
+
+// SyncSets holds the analysis result: for each block, the sync-set at
+// entry (In) and at exit (Out).
+type SyncSets struct {
+	In, Out map[*ir.Block]VarSet
+}
+
+// UpdateSync is the block transfer function of Fig. 13: it walks the
+// block's instructions, updating the set of synced handlers.
+func UpdateSync(f *ir.Func, b *ir.Block, synced VarSet) VarSet {
+	out := synced.Clone()
+	for i := range b.Instrs {
+		out = transfer(f, &b.Instrs[i], out)
+	}
+	return out
+}
+
+// transfer applies one instruction's effect on the sync-set.
+func transfer(f *ir.Func, in *ir.Instr, synced VarSet) VarSet {
+	switch in.Op {
+	case ir.OpSync:
+		out := synced.Clone()
+		out[in.Handler] = true
+		return out
+	case ir.OpAsync:
+		// Remove the target handler and anything it may be aliased to
+		// (Fig. 15: handler variables are only variables; without
+		// aliasing information they may name the same handler).
+		out := VarSet{}
+		for h := range synced {
+			if !f.MayAlias(in.Handler, h) {
+				out[h] = true
+			}
+		}
+		return out
+	case ir.OpCall:
+		switch f.Attrs[in.Fn] {
+		case ir.AttrReadOnly, ir.AttrReadNone:
+			return synced // cannot issue asynchronous calls
+		default:
+			return VarSet{} // may affect every handler in the set
+		}
+	default:
+		// OpConst, OpBin, OpQLocal, OpLoad, OpStore: no effect on
+		// handler synchronization.
+		return synced
+	}
+}
+
+// Compute runs the worklist fixpoint of Fig. 12. Sets start empty and
+// grow monotonically toward the least fixpoint, which under-approximates
+// the synced handlers and is therefore always safe to elide against.
+func Compute(f *ir.Func) *SyncSets {
+	res := &SyncSets{
+		In:  make(map[*ir.Block]VarSet, len(f.Blocks)),
+		Out: make(map[*ir.Block]VarSet, len(f.Blocks)),
+	}
+	for _, b := range f.Blocks {
+		res.In[b] = VarSet{}
+		res.Out[b] = VarSet{}
+	}
+	changed := make(map[*ir.Block]bool, len(f.Blocks))
+	var work []*ir.Block
+	for _, b := range f.Blocks {
+		changed[b] = true
+		work = append(work, b)
+	}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		if !changed[b] {
+			continue
+		}
+		changed[b] = false
+
+		var common VarSet
+		if len(b.Preds) == 0 {
+			common = VarSet{} // entry: nothing synced
+		} else {
+			common = res.Out[b.Preds[0]].Clone()
+			for _, p := range b.Preds[1:] {
+				common = common.Intersect(res.Out[p])
+			}
+		}
+		res.In[b] = common
+		newOut := UpdateSync(f, b, common)
+		if !newOut.Equal(res.Out[b]) {
+			res.Out[b] = newOut
+			for _, s := range b.Succs {
+				if !changed[s] {
+					changed[s] = true
+					work = append(work, s)
+				}
+			}
+		}
+	}
+	return res
+}
+
+// RemovedSync identifies one deleted sync instruction.
+type RemovedSync struct {
+	Block   string
+	Index   int // instruction index in the original block
+	Handler string
+}
+
+// Result reports what Coalesce did.
+type Result struct {
+	Func    *ir.Func // the transformed function (a copy)
+	Sets    *SyncSets
+	Removed []RemovedSync
+}
+
+func (r *Result) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "sync-coalescing: removed %d sync(s)\n", len(r.Removed))
+	for _, rm := range r.Removed {
+		fmt.Fprintf(&sb, "  %s[%d]: sync %s\n", rm.Block, rm.Index, rm.Handler)
+	}
+	for _, b := range r.Func.Blocks {
+		fmt.Fprintf(&sb, "  %s: in=%s out=%s\n", b.Name, r.Sets.In[b], r.Sets.Out[b])
+	}
+	return sb.String()
+}
+
+// Coalesce runs the analysis on f and returns a transformed copy in
+// which every sync instruction whose handler is provably already
+// synced at that point has been removed (Fig. 14). f itself is not
+// modified.
+func Coalesce(f *ir.Func) (*Result, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	g := f.Clone()
+	sets := Compute(g)
+	res := &Result{Func: g, Sets: sets}
+	for _, b := range g.Blocks {
+		cur := sets.In[b].Clone()
+		kept := b.Instrs[:0]
+		for i := range b.Instrs {
+			in := b.Instrs[i]
+			if in.Op == ir.OpSync && cur[in.Handler] {
+				res.Removed = append(res.Removed, RemovedSync{Block: b.Name, Index: i, Handler: in.Handler})
+				continue // elide: already synced on every path here
+			}
+			cur = transfer(g, &in, cur)
+			kept = append(kept, in)
+		}
+		b.Instrs = kept
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("passes: transform produced invalid IR: %w", err)
+	}
+	return res, nil
+}
+
+// CountSyncs returns the number of sync instructions in f, a
+// convenience for tests and reports.
+func CountSyncs(f *ir.Func) int {
+	n := 0
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpSync {
+				n++
+			}
+		}
+	}
+	return n
+}

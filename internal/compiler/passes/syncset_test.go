@@ -1,0 +1,330 @@
+package passes
+
+import (
+	"testing"
+
+	"scoopqs/internal/compiler/ir"
+)
+
+// fig14 is the paper's Fig. 14 example: a loop reading a handler-owned
+// array, with the naive code generator's sync before every read. B1 is
+// the loop header holding the first sync, B2 the body with the back
+// edge, B3 the exit.
+const fig14 = `func fig14(n) handlers(h) arrays(x) {
+B1:
+  i = const 0
+  sync h
+  jmp B2
+B2:
+  c = lt i, n
+  br c, body, B3
+body:
+  sync h
+  v = qlocal h get(i)
+  store x, i, v
+  i = add i, 1
+  jmp B2
+B3:
+  sync h
+  ret i
+}
+`
+
+// fig15 adds an asynchronous call on a second handler variable i_p
+// inside the loop. Without aliasing information i_p may be the same
+// handler as h, so no sync may be removed.
+const fig15 = `func fig15(n) handlers(h, ip) arrays(x) {
+B1:
+  i = const 0
+  sync h
+  jmp B2
+B2:
+  c = lt i, n
+  br c, body, B3
+body:
+  sync h
+  v = qlocal h get(i)
+  store x, i, v
+  async ip put(i, v)
+  i = add i, 1
+  jmp B2
+B3:
+  sync h
+  ret i
+}
+`
+
+func parse(t *testing.T, src string) *ir.Func {
+	t.Helper()
+	f, err := ir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestFig14LoopSyncsElided(t *testing.T) {
+	f := parse(t, fig14)
+	res, err := Coalesce(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The syncs in the loop body and exit are redundant; only B1's
+	// initial sync survives.
+	if got := CountSyncs(res.Func); got != 1 {
+		t.Fatalf("syncs after pass = %d, want 1\n%s", got, res)
+	}
+	if len(res.Removed) != 2 {
+		t.Fatalf("removed = %v, want body and B3 syncs", res.Removed)
+	}
+	// Sync-sets on the loop edges contain h (Fig. 14b).
+	for _, name := range []string{"B2", "body", "B3"} {
+		b := res.Func.Block(name)
+		if !res.Sets.In[b]["h"] {
+			t.Errorf("sync-set at entry of %s = %s, want {h}", name, res.Sets.In[b])
+		}
+	}
+	if CountSyncs(f) != 3 {
+		t.Error("Coalesce mutated its input")
+	}
+}
+
+func TestFig15AliasingDefeatsElision(t *testing.T) {
+	f := parse(t, fig15)
+	res, err := Coalesce(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// h and ip may alias: the async on ip kills h from the sync-set,
+	// so the loop-body sync must stay, and so must B3's (the edge
+	// B2->B3 can come from body's end where h is dead).
+	if got := CountSyncs(res.Func); got != 3 {
+		t.Fatalf("syncs after pass = %d, want 3 (no elision)\n%s", got, res)
+	}
+	body := res.Func.Block("body")
+	if len(res.Sets.Out[body]) != 0 {
+		t.Errorf("body out-set = %s, want {} (async on may-aliased ip)", res.Sets.Out[body])
+	}
+}
+
+func TestFig15NoAliasRestoresElision(t *testing.T) {
+	f := parse(t, fig15)
+	f.DeclareNoAlias("h", "ip")
+	res, err := Coalesce(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With alias information the async on ip no longer kills h
+	// (Fig. 15b discussion): loop-body and exit syncs go away.
+	if got := CountSyncs(res.Func); got != 1 {
+		t.Fatalf("syncs after pass = %d, want 1\n%s", got, res)
+	}
+}
+
+func TestOpaqueCallClearsSyncSet(t *testing.T) {
+	src := `func f() handlers(h) arrays() {
+entry:
+  sync h
+  call mystery()
+  sync h
+  ret
+}
+`
+	res, err := Coalesce(parse(t, src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := CountSyncs(res.Func); got != 2 {
+		t.Fatalf("syncs = %d, want 2: opaque call must clear the sync-set", got)
+	}
+}
+
+func TestReadOnlyCallPreservesSyncSet(t *testing.T) {
+	for _, attr := range []string{"readonly", "readnone"} {
+		src := `func f() handlers(h) arrays() attr(mystery, ` + attr + `) {
+entry:
+  sync h
+  call mystery()
+  sync h
+  ret
+}
+`
+		res, err := Coalesce(parse(t, src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := CountSyncs(res.Func); got != 1 {
+			t.Fatalf("%s: syncs = %d, want 1: attributed call must preserve the sync-set", attr, got)
+		}
+	}
+}
+
+func TestAsyncOnSameHandlerKillsElision(t *testing.T) {
+	src := `func f() handlers(h) arrays() {
+entry:
+  sync h
+  async h poke()
+  sync h
+  ret
+}
+`
+	res, err := Coalesce(parse(t, src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := CountSyncs(res.Func); got != 2 {
+		t.Fatalf("syncs = %d, want 2: async desynchronizes its own handler", got)
+	}
+}
+
+func TestBranchJoinIntersects(t *testing.T) {
+	// Only one branch syncs h: after the join h must not be considered
+	// synced, so the final sync stays.
+	src := `func f(c) handlers(h) arrays() {
+entry:
+  br c, yes, no
+yes:
+  sync h
+  jmp join
+no:
+  jmp join
+join:
+  sync h
+  ret
+}
+`
+	res, err := Coalesce(parse(t, src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := CountSyncs(res.Func); got != 2 {
+		t.Fatalf("syncs = %d, want 2: join of {h} and {} is {}", got)
+	}
+}
+
+func TestBranchJoinBothSyncedElides(t *testing.T) {
+	src := `func f(c) handlers(h) arrays() {
+entry:
+  br c, yes, no
+yes:
+  sync h
+  jmp join
+no:
+  sync h
+  jmp join
+join:
+  sync h
+  ret
+}
+`
+	res, err := Coalesce(parse(t, src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := CountSyncs(res.Func); got != 2 {
+		t.Fatalf("syncs = %d, want 2: join of {h} and {h} is {h}, third sync elided", got)
+	}
+	if len(res.Removed) != 1 || res.Removed[0].Block != "join" {
+		t.Fatalf("removed = %v", res.Removed)
+	}
+}
+
+func TestConsecutiveSyncsCollapse(t *testing.T) {
+	src := `func f() handlers(h) arrays() {
+entry:
+  sync h
+  sync h
+  sync h
+  ret
+}
+`
+	res, err := Coalesce(parse(t, src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := CountSyncs(res.Func); got != 1 {
+		t.Fatalf("syncs = %d, want 1", got)
+	}
+}
+
+func TestMultiHandlerIndependence(t *testing.T) {
+	// Syncs on independent handlers don't elide each other, but a
+	// repeat sync on either one does (handlers may alias — aliasing
+	// only weakens async-kill, not sync membership, which is by name).
+	src := `func f() handlers(a, b) arrays() {
+entry:
+  sync a
+  sync b
+  sync a
+  sync b
+  ret
+}
+`
+	res, err := Coalesce(parse(t, src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := CountSyncs(res.Func); got != 2 {
+		t.Fatalf("syncs = %d, want 2", got)
+	}
+}
+
+func TestVarSetOps(t *testing.T) {
+	a := NewVarSet("x", "y")
+	b := NewVarSet("y", "z")
+	got := a.Intersect(b)
+	if !got.Equal(NewVarSet("y")) {
+		t.Errorf("intersect = %s", got)
+	}
+	if a.Equal(b) {
+		t.Error("distinct sets reported equal")
+	}
+	c := a.Clone()
+	c["w"] = true
+	if a["w"] {
+		t.Error("Clone is shallow")
+	}
+	if got := NewVarSet("b", "a").String(); got != "{a, b}" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// Property: the pass never increases the number of syncs and the
+// transformed function still validates, across a family of generated
+// CFGs.
+func TestCoalesceNeverAddsSyncs(t *testing.T) {
+	srcs := []string{fig14, fig15, `func g(c, n) handlers(p, q) arrays(z) noalias(p, q) {
+e:
+  sync p
+  br c, l, r
+l:
+  async q w(1)
+  sync p
+  jmp m
+r:
+  sync q
+  jmp m
+m:
+  sync p
+  sync q
+  v = qlocal p rd(0)
+  store z, 0, v
+  ret v
+}
+`}
+	for _, src := range srcs {
+		f := parse(t, src)
+		before := CountSyncs(f)
+		res, err := Coalesce(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		after := CountSyncs(res.Func)
+		if after > before {
+			t.Errorf("pass increased syncs: %d -> %d", before, after)
+		}
+		if after+len(res.Removed) != before {
+			t.Errorf("accounting broken: before=%d after=%d removed=%d", before, after, len(res.Removed))
+		}
+	}
+}

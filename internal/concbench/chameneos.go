@@ -1,0 +1,355 @@
+package concbench
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"scoopqs/internal/actor"
+	"scoopqs/internal/core"
+	"scoopqs/internal/stm"
+)
+
+// The chameneos benchmark (Computer Language Benchmarks Game):
+// Creatures creatures meet pairwise at a mall NC times; each partner
+// takes the complement of the two colours. Self-check: total meetings
+// counted by the creatures == 2*NC (each meeting involves two
+// creatures).
+
+// ChameneosCxx guards the meeting place with a mutex: the first
+// creature deposits itself and blocks on its reply channel, the second
+// completes the meeting. A registered waiter is always consumed by the
+// next arrival before the meeting budget can reach zero (registration
+// is only possible while meetings remain), so no separate release path
+// is needed.
+func ChameneosCxx(p Params) error {
+	type visitor struct {
+		colour Colour
+		reply  chan Colour
+	}
+	var mu sync.Mutex
+	meetingsLeft := p.NC
+	var waiting *visitor
+
+	var total atomic.Int64
+	var wg sync.WaitGroup
+	colours := startColours(p.Creatures)
+	for id := 0; id < p.Creatures; id++ {
+		id := id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			colour := colours[id]
+			for {
+				mu.Lock()
+				if meetingsLeft == 0 {
+					mu.Unlock()
+					return
+				}
+				if waiting == nil {
+					me := &visitor{colour: colour, reply: make(chan Colour, 1)}
+					waiting = me
+					mu.Unlock()
+					other := <-me.reply
+					colour = Complement(colour, other)
+					total.Add(1)
+					continue
+				}
+				first := waiting
+				waiting = nil
+				meetingsLeft--
+				mu.Unlock()
+				first.reply <- colour
+				colour = Complement(colour, first.colour)
+				total.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	return checkCount("chameneos/cxx meetings", total.Load(), 2*int64(p.NC))
+}
+
+// sentinelStop is an out-of-band colour telling a waiting creature the
+// meetings are over.
+const sentinelStop = Colour(255)
+
+// ChameneosGo runs the mall as a broker goroutine pairing meet requests
+// arriving on a channel — the classic Go formulation.
+func ChameneosGo(p Params) error {
+	type meetReq struct {
+		colour Colour
+		reply  chan Colour
+	}
+	mall := make(chan meetReq)
+	done := make(chan struct{})
+	go func() { // broker
+		defer close(done)
+		for k := 0; k < p.NC; k++ {
+			a := <-mall
+			b := <-mall
+			a.reply <- b.colour
+			b.reply <- a.colour
+		}
+		// Meetings exhausted: tell every subsequent visitor to stop.
+		for i := 0; i < p.Creatures; i++ {
+			select {
+			case r := <-mall:
+				r.reply <- sentinelStop
+			default:
+			}
+		}
+	}()
+
+	var total atomic.Int64
+	var wg sync.WaitGroup
+	colours := startColours(p.Creatures)
+	for id := 0; id < p.Creatures; id++ {
+		id := id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			colour := colours[id]
+			reply := make(chan Colour, 1)
+			for {
+				select {
+				case mall <- meetReq{colour: colour, reply: reply}:
+					other := <-reply
+					if other == sentinelStop {
+						return
+					}
+					colour = Complement(colour, other)
+					total.Add(1)
+				case <-done:
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return checkCount("chameneos/go meetings", total.Load(), 2*int64(p.NC))
+}
+
+// ChameneosStm keeps the mall state in TVars; the first creature
+// registers and retries until a partner fills in its colour.
+func ChameneosStm(p Params) error {
+	meetingsLeft := stm.NewTVar(p.NC)
+	waitingColour := stm.NewTVar(int(-1)) // -1: nobody waiting
+	// Per-creature result slots: -1 = empty, otherwise partner colour.
+	slots := make([]*stm.TVar, p.Creatures)
+	for i := range slots {
+		slots[i] = stm.NewTVar(int(-1))
+	}
+	waitingID := stm.NewTVar(int(-1))
+
+	var total atomic.Int64
+	var wg sync.WaitGroup
+	colours := startColours(p.Creatures)
+	for id := 0; id < p.Creatures; id++ {
+		id := id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			colour := colours[id]
+			for {
+				// Phase 1: try to meet.
+				action := stm.Atomically(func(tx *stm.Txn) any {
+					left := tx.ReadInt(meetingsLeft)
+					w := tx.ReadInt(waitingColour)
+					if left == 0 {
+						return "stop"
+					}
+					if w < 0 {
+						tx.Write(waitingColour, int(colour))
+						tx.Write(waitingID, id)
+						return "wait"
+					}
+					// Complete the meeting with the waiter.
+					wid := tx.ReadInt(waitingID)
+					tx.Write(waitingColour, int(-1))
+					tx.Write(waitingID, int(-1))
+					tx.Write(meetingsLeft, left-1)
+					tx.Write(slots[wid], int(colour))
+					return int(Complement(colour, Colour(w)))
+				})
+				switch v := action.(type) {
+				case string:
+					if v == "stop" {
+						return
+					}
+					// Phase 2: wait for the partner to fill our slot.
+					// A registered waiter is always consumed before the
+					// meeting budget reaches zero, so plain retry
+					// suffices.
+					res := stm.Atomically(func(tx *stm.Txn) any {
+						r := tx.ReadInt(slots[id])
+						if r < 0 {
+							tx.Retry()
+						}
+						tx.Write(slots[id], int(-1))
+						return r
+					}).(int)
+					colour = Complement(colour, Colour(res))
+					total.Add(1)
+				case int:
+					colour = Colour(v)
+					total.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return checkCount("chameneos/stm meetings", total.Load(), 2*int64(p.NC))
+}
+
+// ChameneosActor runs the mall as a server actor that pairs meet
+// requests, deferring the first creature's reply until the second
+// arrives.
+func ChameneosActor(p Params) error {
+	server := actor.Spawn(func(c *actor.Ctx) {
+		meetingsLeft := p.NC
+		stopped := 0
+		var waiting *actor.Request
+		for stopped < p.Creatures {
+			req := c.Receive().(actor.Request)
+			if meetingsLeft == 0 {
+				c.Reply(req, int(sentinelStop))
+				stopped++
+				continue
+			}
+			if waiting == nil {
+				r := req
+				waiting = &r
+				continue
+			}
+			first := *waiting
+			waiting = nil
+			meetingsLeft--
+			c.Reply(first, req.Payload.(int))
+			c.Reply(req, first.Payload.(int))
+		}
+	})
+
+	var total atomic.Int64
+	colours := startColours(p.Creatures)
+	_, wait := actor.SpawnGroup(p.Creatures, func(id int, c *actor.Ctx) {
+		colour := colours[id]
+		for {
+			other := c.Call(server, int(colour)).(int)
+			if Colour(other) == sentinelStop {
+				return
+			}
+			colour = Complement(colour, Colour(other))
+			total.Add(1)
+		}
+	})
+	wait()
+	server.Join()
+	return checkCount("chameneos/erlang meetings", total.Load(), 2*int64(p.NC))
+}
+
+// ChameneosQs keeps the mall state on a handler. A creature reserves
+// the mall and queries tryMeet; if it registered as first it re-enters
+// with a wait condition until its result slot is filled (or the
+// meetings run out).
+func ChameneosQs(cfg core.Config, p Params) error {
+	rt := core.New(cfg)
+	defer rt.Shutdown()
+	mall := rt.NewHandler("mall")
+
+	// Handler-owned state.
+	meetingsLeft := p.NC
+	waitingID := -1
+	waitingColour := Colour(0)
+	results := make([]int, p.Creatures) // -1 empty, else partner colour or stop
+	for i := range results {
+		results[i] = -1
+	}
+
+	// tryMeet runs on the mall handler (or synced client). Returns:
+	// -1: registered as first, wait for the result slot;
+	// -2: stop (meetings exhausted);
+	// >= 0: partner colour, meeting complete.
+	tryMeet := func(id int, colour Colour) int {
+		if meetingsLeft == 0 {
+			return -2
+		}
+		if waitingID < 0 {
+			waitingID = id
+			waitingColour = colour
+			return -1
+		}
+		partner := waitingID
+		pc := waitingColour
+		waitingID = -1
+		meetingsLeft--
+		results[partner] = int(colour)
+		return int(pc)
+	}
+
+	var total atomic.Int64
+	var wg sync.WaitGroup
+	colours := startColours(p.Creatures)
+	for id := 0; id < p.Creatures; id++ {
+		id := id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			colour := colours[id]
+			c := rt.NewClient()
+			hs := []*core.Handler{mall}
+			for {
+				var r int
+				c.Separate(mall, func(s *core.Session) {
+					r = core.Query(s, func() int { return tryMeet(id, colour) })
+				})
+				switch {
+				case r == -2:
+					return
+				case r >= 0:
+					colour = Complement(colour, Colour(r))
+					total.Add(1)
+				default: // registered; wait for the partner
+					var res int
+					c.SeparateWhen(hs,
+						func(ss []*core.Session) bool {
+							return core.Query(ss[0], func() bool { return results[id] >= 0 })
+						},
+						func(ss []*core.Session) {
+							res = core.Query(ss[0], func() int {
+								v := results[id]
+								results[id] = -1
+								return v
+							})
+						})
+					if Colour(res) == sentinelStop {
+						return
+					}
+					colour = Complement(colour, Colour(res))
+					total.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := checkCount("chameneos/Qs meetings", total.Load(), 2*int64(p.NC)); err != nil {
+		return err
+	}
+	// Sanity: all result slots drained.
+	var leftover int
+	c := rt.NewClient()
+	c.Separate(mall, func(s *core.Session) {
+		leftover = core.QueryRemote(s, func() int {
+			n := 0
+			for _, r := range results {
+				if r >= 0 {
+					n++
+				}
+			}
+			return n
+		})
+	})
+	if leftover != 0 {
+		return fmt.Errorf("concbench: chameneos/Qs left %d undrained result slots", leftover)
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+package concbench
+
+import (
+	"testing"
+
+	"scoopqs/internal/core"
+)
+
+func tinyParams() Params {
+	return Params{N: 3, M: 40, NT: 400, NC: 150, Ring: 16, Creatures: 4}
+}
+
+// TestAllBenchmarksAllLangs runs every benchmark under every paradigm
+// (Qs under ConfigAll) and checks the self-verification built into each
+// program.
+func TestAllBenchmarksAllLangs(t *testing.T) {
+	p := tinyParams()
+	for _, bench := range Names {
+		for _, lang := range Langs {
+			bench, lang := bench, lang
+			t.Run(bench+"/"+lang, func(t *testing.T) {
+				if err := Run(bench, lang, core.ConfigAll, p); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestQsBenchmarksAllConfigs runs the Qs variants under all five
+// optimization configurations — the programs of Table 2 / Fig. 17.
+func TestQsBenchmarksAllConfigs(t *testing.T) {
+	p := tinyParams()
+	for _, bench := range Names {
+		for _, cfg := range core.Configs() {
+			bench, cfg := bench, cfg
+			t.Run(bench+"/"+cfg.Name(), func(t *testing.T) {
+				if err := Run(bench, "Qs", cfg, p); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+func TestRunRejectsUnknown(t *testing.T) {
+	if err := Run("nonesuch", "go", core.ConfigAll, tinyParams()); err == nil {
+		t.Fatal("expected error for unknown benchmark")
+	}
+	if err := Run("mutex", "cobol", core.ConfigAll, tinyParams()); err == nil {
+		t.Fatal("expected error for unknown paradigm")
+	}
+}
+
+func TestComplement(t *testing.T) {
+	cases := []struct{ a, b, want Colour }{
+		{Blue, Blue, Blue},
+		{Red, Red, Red},
+		{Yellow, Yellow, Yellow},
+		{Blue, Red, Yellow},
+		{Red, Blue, Yellow},
+		{Blue, Yellow, Red},
+		{Yellow, Blue, Red},
+		{Red, Yellow, Blue},
+		{Yellow, Red, Blue},
+	}
+	for _, c := range cases {
+		if got := Complement(c.a, c.b); got != c.want {
+			t.Errorf("Complement(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestThreadRingFinisherPrediction(t *testing.T) {
+	// Cross-check the self-check's modular arithmetic on a tiny ring by
+	// running the go variant with several NT values.
+	for _, nt := range []int{1, 5, 16, 33} {
+		p := Params{N: 1, M: 1, NT: nt, NC: 1, Ring: 8, Creatures: 4}
+		if err := ThreadRingGo(p); err != nil {
+			t.Fatalf("NT=%d: %v", nt, err)
+		}
+	}
+}
+
+func TestParamsPresets(t *testing.T) {
+	for _, p := range []Params{SmallParams(), BenchParams(), PaperParams()} {
+		if p.N < 1 || p.M < 1 || p.NT < 1 || p.NC < 1 || p.Ring < 2 || p.Creatures < 2 {
+			t.Errorf("degenerate preset: %+v", p)
+		}
+		if p.Creatures%2 != 0 {
+			t.Errorf("chameneos needs an even creature count to drain all meetings: %+v", p)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package concbench
+
+import (
+	"sync"
+
+	"scoopqs/internal/actor"
+	"scoopqs/internal/core"
+	"scoopqs/internal/stm"
+)
+
+// The condition benchmark: N "odd" workers may only increment the
+// shared variable when it is odd, N "even" workers when it is even;
+// each performs M increments, so each group depends on the other to
+// make progress. Self-check: final value == 2*N*M.
+
+// ConditionCxx uses a mutex and a broadcast condition variable.
+func ConditionCxx(p Params) error {
+	var mu sync.Mutex
+	cond := sync.NewCond(&mu)
+	x := int64(0)
+
+	var wg sync.WaitGroup
+	work := func(parity int64) {
+		defer wg.Done()
+		for i := 0; i < p.M; i++ {
+			mu.Lock()
+			for x%2 != parity {
+				cond.Wait()
+			}
+			x++
+			mu.Unlock()
+			cond.Broadcast()
+		}
+	}
+	for w := 0; w < p.N; w++ {
+		wg.Add(2)
+		go work(1) // odd worker
+		go work(0) // even worker
+	}
+	wg.Wait()
+	return checkCount("condition/cxx x", x, 2*int64(p.N)*int64(p.M))
+}
+
+// ConditionGo passes the value between an odd-turn and an even-turn
+// channel; whichever worker of the right group receives it increments
+// and hands it to the other group.
+func ConditionGo(p Params) error {
+	oddTurn := make(chan int64, 1)  // value is odd: odd workers' turn
+	evenTurn := make(chan int64, 1) // value is even: even workers' turn
+
+	var wg sync.WaitGroup
+	worker := func(parity int64) {
+		defer wg.Done()
+		for i := 0; i < p.M; i++ {
+			var v int64
+			if parity == 1 {
+				v = <-oddTurn
+			} else {
+				v = <-evenTurn
+			}
+			v++
+			if v%2 == 1 {
+				oddTurn <- v
+			} else {
+				evenTurn <- v
+			}
+		}
+	}
+	for w := 0; w < p.N; w++ {
+		wg.Add(2)
+		go worker(1)
+		go worker(0)
+	}
+	evenTurn <- 0 // x starts even: even workers go first
+	wg.Wait()
+	// Drain the final token.
+	var final int64
+	select {
+	case final = <-oddTurn:
+	case final = <-evenTurn:
+	}
+	return checkCount("condition/go x", final, 2*int64(p.N)*int64(p.M))
+}
+
+// ConditionStm retries until the parity matches — the textbook STM
+// wait-condition.
+func ConditionStm(p Params) error {
+	x := stm.NewTVar(0)
+	var wg sync.WaitGroup
+	work := func(parity int) {
+		defer wg.Done()
+		for i := 0; i < p.M; i++ {
+			stm.Void(func(tx *stm.Txn) {
+				v := tx.ReadInt(x)
+				if v%2 != parity {
+					tx.Retry()
+				}
+				tx.Write(x, v+1)
+			})
+		}
+	}
+	for w := 0; w < p.N; w++ {
+		wg.Add(2)
+		go work(1)
+		go work(0)
+	}
+	wg.Wait()
+	got := stm.Atomically(func(tx *stm.Txn) any { return tx.Read(x) }).(int)
+	return checkCount("condition/stm x", int64(got), 2*int64(p.N)*int64(p.M))
+}
+
+// ConditionActor keeps the counter in a server actor that queues
+// increment requests whose parity is not yet right and releases them as
+// the value flips.
+func ConditionActor(p Params) error {
+	type incrReq struct{ Parity int }
+	server := actor.Spawn(func(c *actor.Ctx) {
+		x := 0
+		pending := [2][]actor.Request{}
+		total := 2 * p.N * p.M
+		done := 0
+		release := func() {
+			for {
+				par := x % 2
+				if len(pending[par]) == 0 {
+					return
+				}
+				req := pending[par][0]
+				pending[par] = pending[par][1:]
+				x++
+				done++
+				c.Reply(req, x)
+			}
+		}
+		for done < total {
+			req := c.Receive().(actor.Request)
+			par := req.Payload.(incrReq).Parity
+			pending[par] = append(pending[par], req)
+			release()
+		}
+	})
+	_, wait := actor.SpawnGroup(2*p.N, func(i int, c *actor.Ctx) {
+		parity := i % 2
+		for k := 0; k < p.M; k++ {
+			c.Call(server, incrReq{Parity: parity})
+		}
+	})
+	wait()
+	server.Join()
+	return nil // server accounted for exactly 2*N*M increments
+}
+
+// ConditionQs is the SCOOP wait-condition form: a separate block
+// guarded on the counter's parity.
+func ConditionQs(cfg core.Config, p Params) error {
+	rt := core.New(cfg)
+	defer rt.Shutdown()
+	ch := rt.NewHandler("counter")
+	var x int64 // owned by ch
+
+	var wg sync.WaitGroup
+	work := func(parity int64) {
+		defer wg.Done()
+		c := rt.NewClient()
+		hs := []*core.Handler{ch}
+		for i := 0; i < p.M; i++ {
+			c.SeparateWhen(hs,
+				func(ss []*core.Session) bool {
+					return core.Query(ss[0], func() bool { return x%2 == parity })
+				},
+				func(ss []*core.Session) {
+					ss[0].Call(func() { x++ })
+				})
+		}
+	}
+	for w := 0; w < p.N; w++ {
+		wg.Add(2)
+		go work(1)
+		go work(0)
+	}
+	wg.Wait()
+	var got int64
+	c := rt.NewClient()
+	c.Separate(ch, func(s *core.Session) {
+		got = core.QueryRemote(s, func() int64 { return x })
+	})
+	return checkCount("condition/Qs x", got, 2*int64(p.N)*int64(p.M))
+}

@@ -1,0 +1,124 @@
+package concbench
+
+import (
+	"sync"
+
+	"scoopqs/internal/actor"
+	"scoopqs/internal/core"
+	"scoopqs/internal/stm"
+)
+
+// The mutex benchmark: N independent threads each perform M increments
+// of one shared counter protected by the paradigm's exclusion
+// mechanism. Self-check: counter == N*M.
+
+// MutexCxx uses a plain sync.Mutex.
+func MutexCxx(p Params) error {
+	var mu sync.Mutex
+	var counter int64
+	var wg sync.WaitGroup
+	for w := 0; w < p.N; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < p.M; i++ {
+				mu.Lock()
+				counter++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return checkCount("mutex/cxx counter", counter, int64(p.N)*int64(p.M))
+}
+
+// MutexGo uses a capacity-1 channel as a semaphore, the idiomatic
+// channel mutex.
+func MutexGo(p Params) error {
+	sem := make(chan struct{}, 1)
+	var counter int64
+	var wg sync.WaitGroup
+	for w := 0; w < p.N; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < p.M; i++ {
+				sem <- struct{}{}
+				counter++
+				<-sem
+			}
+		}()
+	}
+	wg.Wait()
+	return checkCount("mutex/go counter", counter, int64(p.N)*int64(p.M))
+}
+
+// MutexStm increments a TVar transactionally; exclusion comes from
+// commit-time validation and re-execution.
+func MutexStm(p Params) error {
+	counter := stm.NewTVar(0)
+	var wg sync.WaitGroup
+	for w := 0; w < p.N; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < p.M; i++ {
+				stm.Void(func(tx *stm.Txn) { tx.Write(counter, tx.ReadInt(counter)+1) })
+			}
+		}()
+	}
+	wg.Wait()
+	got := stm.Atomically(func(tx *stm.Txn) any { return tx.Read(counter) }).(int)
+	return checkCount("mutex/stm counter", int64(got), int64(p.N)*int64(p.M))
+}
+
+// MutexActor funnels increments through a counter server actor via
+// synchronous calls.
+func MutexActor(p Params) error {
+	server := actor.Spawn(func(c *actor.Ctx) {
+		counter := 0
+		for i := 0; i < p.N*p.M; i++ {
+			req := c.Receive().(actor.Request)
+			counter++
+			c.Reply(req, counter)
+		}
+	})
+	_, wait := actor.SpawnGroup(p.N, func(_ int, c *actor.Ctx) {
+		for i := 0; i < p.M; i++ {
+			c.Call(server, "incr")
+		}
+	})
+	wait()
+	server.Join()
+	return nil // the server processed exactly N*M requests by construction
+}
+
+// MutexQs reserves the resource handler once per iteration and logs one
+// asynchronous increment — the SCOOP shape of a critical section.
+func MutexQs(cfg core.Config, p Params) error {
+	rt := core.New(cfg)
+	defer rt.Shutdown()
+	res := rt.NewHandler("resource")
+	var counter int64 // owned by res
+
+	var wg sync.WaitGroup
+	for w := 0; w < p.N; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := rt.NewClient()
+			for i := 0; i < p.M; i++ {
+				c.Separate(res, func(s *core.Session) {
+					s.Call(func() { counter++ })
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	var got int64
+	c := rt.NewClient()
+	c.Separate(res, func(s *core.Session) {
+		got = core.QueryRemote(s, func() int64 { return counter })
+	})
+	return checkCount("mutex/Qs counter", got, int64(p.N)*int64(p.M))
+}

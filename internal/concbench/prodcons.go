@@ -1,0 +1,264 @@
+package concbench
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"scoopqs/internal/actor"
+	"scoopqs/internal/core"
+	"scoopqs/internal/stm"
+)
+
+// The prodcons benchmark: N producers each push M items into one
+// unbounded shared queue; N consumers each pop M items, waiting while
+// the queue is empty. Self-check: sum of consumed values equals the sum
+// of produced values.
+
+func prodConsWant(p Params) int64 {
+	// Producer w pushes values w*M..w*M+M-1.
+	n := int64(p.N) * int64(p.M)
+	return n * (n - 1) / 2
+}
+
+// ProdConsCxx uses a mutex+condvar unbounded queue.
+func ProdConsCxx(p Params) error {
+	var mu sync.Mutex
+	cond := sync.NewCond(&mu)
+	var q []int64
+	var consumed atomic.Int64
+
+	var wg sync.WaitGroup
+	for w := 0; w < p.N; w++ {
+		w := w
+		wg.Add(1)
+		go func() { // producer
+			defer wg.Done()
+			for i := 0; i < p.M; i++ {
+				mu.Lock()
+				q = append(q, int64(w*p.M+i))
+				mu.Unlock()
+				cond.Signal()
+			}
+		}()
+		wg.Add(1)
+		go func() { // consumer
+			defer wg.Done()
+			for i := 0; i < p.M; i++ {
+				mu.Lock()
+				for len(q) == 0 {
+					cond.Wait()
+				}
+				v := q[0]
+				q = q[1:]
+				mu.Unlock()
+				consumed.Add(v)
+			}
+		}()
+	}
+	wg.Wait()
+	return checkCount("prodcons/cxx sum", consumed.Load(), prodConsWant(p))
+}
+
+// ProdConsGo uses the idiomatic unbounded-channel pattern: a buffering
+// goroutine between an input and an output channel.
+func ProdConsGo(p Params) error {
+	in := make(chan int64)
+	out := make(chan int64)
+	go func() { // unbounded buffer
+		var buf []int64
+		total := p.N * p.M
+		sent := 0
+		for sent < total {
+			if len(buf) == 0 {
+				buf = append(buf, <-in)
+			}
+			select {
+			case v := <-in:
+				buf = append(buf, v)
+			case out <- buf[0]:
+				buf = buf[1:]
+				sent++
+			}
+		}
+	}()
+
+	var consumed atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < p.N; w++ {
+		w := w
+		wg.Add(1)
+		go func() { // producer
+			defer wg.Done()
+			for i := 0; i < p.M; i++ {
+				in <- int64(w*p.M + i)
+			}
+		}()
+		wg.Add(1)
+		go func() { // consumer
+			defer wg.Done()
+			for i := 0; i < p.M; i++ {
+				consumed.Add(<-out)
+			}
+		}()
+	}
+	wg.Wait()
+	return checkCount("prodcons/go sum", consumed.Load(), prodConsWant(p))
+}
+
+// ProdConsStm keeps a two-list functional queue in TVars; consumers
+// retry while it is empty.
+func ProdConsStm(p Params) error {
+	front := stm.NewTVar([]int64(nil)) // pop end (reversed)
+	back := stm.NewTVar([]int64(nil))  // push end
+
+	push := func(v int64) {
+		stm.Void(func(tx *stm.Txn) {
+			b := tx.Read(back).([]int64)
+			nb := make([]int64, len(b)+1)
+			copy(nb, b)
+			nb[len(b)] = v
+			tx.Write(back, nb)
+		})
+	}
+	pop := func() int64 {
+		return stm.Atomically(func(tx *stm.Txn) any {
+			f := tx.Read(front).([]int64)
+			if len(f) == 0 {
+				b := tx.Read(back).([]int64)
+				if len(b) == 0 {
+					tx.Retry()
+				}
+				// Reverse back into front.
+				f = make([]int64, len(b))
+				for i, v := range b {
+					f[len(b)-1-i] = v
+				}
+				tx.Write(back, []int64(nil))
+			}
+			v := f[len(f)-1]
+			tx.Write(front, f[:len(f)-1])
+			return v
+		}).(int64)
+	}
+
+	var consumed atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < p.N; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < p.M; i++ {
+				push(int64(w*p.M + i))
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < p.M; i++ {
+				consumed.Add(pop())
+			}
+		}()
+	}
+	wg.Wait()
+	return checkCount("prodcons/stm sum", consumed.Load(), prodConsWant(p))
+}
+
+// ProdConsActor uses a queue server actor that defers replies to
+// consumers while the queue is empty (the gen_server noreply pattern).
+func ProdConsActor(p Params) error {
+	type pushMsg struct{ V int64 }
+	server := actor.Spawn(func(c *actor.Ctx) {
+		var q []int64
+		var pending []actor.Request
+		popsLeft := p.N * p.M
+		pushesLeft := p.N * p.M
+		for popsLeft > 0 || pushesLeft > 0 {
+			switch m := c.Receive().(type) {
+			case pushMsg:
+				pushesLeft--
+				if len(pending) > 0 {
+					c.Reply(pending[0], m.V)
+					pending = pending[1:]
+					popsLeft--
+				} else {
+					q = append(q, m.V)
+				}
+			case actor.Request: // pop
+				if len(q) > 0 {
+					c.Reply(m, q[0])
+					q = q[1:]
+					popsLeft--
+				} else {
+					pending = append(pending, m)
+				}
+			}
+		}
+	})
+
+	var consumed atomic.Int64
+	_, waitProd := actor.SpawnGroup(p.N, func(w int, c *actor.Ctx) {
+		for i := 0; i < p.M; i++ {
+			server.Send(pushMsg{V: int64(w*p.M + i)})
+		}
+	})
+	_, waitCons := actor.SpawnGroup(p.N, func(_ int, c *actor.Ctx) {
+		for i := 0; i < p.M; i++ {
+			consumed.Add(c.Call(server, "pop").(int64))
+		}
+	})
+	waitProd()
+	waitCons()
+	server.Join()
+	return checkCount("prodcons/erlang sum", consumed.Load(), prodConsWant(p))
+}
+
+// ProdConsQs owns the queue on a handler; producers log asynchronous
+// pushes, consumers use a wait condition (separate block guarded on
+// non-emptiness) and pop with a query — the paper's description of the
+// benchmark verbatim.
+func ProdConsQs(cfg core.Config, p Params) error {
+	rt := core.New(cfg)
+	defer rt.Shutdown()
+	qh := rt.NewHandler("queue")
+	var q []int64 // owned by qh
+
+	var consumed atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < p.N; w++ {
+		w := w
+		wg.Add(1)
+		go func() { // producer
+			defer wg.Done()
+			c := rt.NewClient()
+			for i := 0; i < p.M; i++ {
+				v := int64(w*p.M + i)
+				c.Separate(qh, func(s *core.Session) {
+					s.Call(func() { q = append(q, v) })
+				})
+			}
+		}()
+		wg.Add(1)
+		go func() { // consumer
+			defer wg.Done()
+			c := rt.NewClient()
+			hs := []*core.Handler{qh}
+			for i := 0; i < p.M; i++ {
+				c.SeparateWhen(hs,
+					func(ss []*core.Session) bool {
+						return core.Query(ss[0], func() bool { return len(q) > 0 })
+					},
+					func(ss []*core.Session) {
+						v := core.Query(ss[0], func() int64 {
+							v := q[0]
+							q = q[1:]
+							return v
+						})
+						consumed.Add(v)
+					})
+			}
+		}()
+	}
+	wg.Wait()
+	return checkCount("prodcons/Qs sum", consumed.Load(), prodConsWant(p))
+}

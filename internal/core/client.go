@@ -1,0 +1,212 @@
+package core
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"scoopqs/internal/queue"
+	"scoopqs/internal/sched"
+)
+
+// Client is a thread-of-control's context for entering separate blocks.
+// It caches private queues per handler (the paper's "cache of queues")
+// and holds the wait-condition channel used by SeparateWhen. A Client
+// is not safe for concurrent use: create one per goroutine.
+type Client struct {
+	rt     *Runtime
+	cache  map[*Handler]*Session
+	waitCh chan struct{}
+
+	// waitingOn is the handler this client is currently blocked on in
+	// a sync or query, nil when running. Read by DetectDeadlock.
+	waitingOn atomic.Pointer[Handler]
+}
+
+// session returns a private queue for h, reusing the cached one when
+// the handler has finished with it, else allocating fresh (Fig. 8:
+// "freshly created or taken from a cache of queues").
+func (c *Client) session(h *Handler) *Session {
+	if s, ok := c.cache[h]; ok && !s.inUse && s.errPub.Load() == nil {
+		// The handler marks the session reusable once it consumes the
+		// END marker; give it a short grace period, since it is
+		// usually just one scheduling step away.
+		for i := 0; !s.doneByHandler.Load(); i++ {
+			if i >= 128 {
+				goto fresh
+			}
+			sched.SpinWait(i)
+		}
+		s.doneByHandler.Store(false)
+		s.inUse = true
+		s.synced = false
+		c.rt.stats.sessionsReused.Add(1)
+		return s
+	}
+fresh:
+	s := &Session{
+		h:         h,
+		owner:     c,
+		q:         queue.NewSPSC[call](c.rt.cfg.Spin),
+		parker:    sched.NewParker(),
+		ownerWait: c.waitCh,
+		inUse:     true,
+	}
+	c.cache[h] = s
+	c.rt.stats.sessionsNew.Add(1)
+	return s
+}
+
+// reserve1 registers the client's private queue with the handler (the
+// separate rule). In QoQ mode this is a non-blocking enqueue into the
+// queue-of-queues; in lock-based mode the client first takes the
+// handler's lock and holds it until the block ends (Fig. 2 semantics:
+// other clients wait until the current one is finished).
+func (c *Client) reserve1(h *Handler) *Session {
+	if !c.rt.cfg.QoQ {
+		h.resMu.Lock()
+	}
+	s := c.session(h)
+	h.qoq.Enqueue(s)
+	c.rt.stats.reservations.Add(1)
+	return s
+}
+
+// release1 ends the separate block: log END and, in lock-based mode,
+// give up the handler lock.
+func (c *Client) release1(s *Session) {
+	s.end()
+	if !c.rt.cfg.QoQ {
+		s.h.resMu.Unlock()
+	}
+}
+
+// Reserve opens a single-handler separate block without the lexical
+// callback shape: it returns the session plus an idempotent release
+// function that logs the END marker (and releases the handler lock in
+// lock-based mode). It exists for message-driven drivers — the remote
+// package's socket-backed private queues — that cannot express a block
+// as one function call. Forgetting to call release wedges the handler
+// exactly as a never-ending separate block would; prefer Separate.
+func (c *Client) Reserve(h *Handler) (*Session, func()) {
+	s := c.reserve1(h)
+	released := false
+	return s, func() {
+		if released {
+			return
+		}
+		released = true
+		c.release1(s)
+	}
+}
+
+// Separate runs body within a single-handler separate block:
+//
+//	separate h do body end
+//
+// Asynchronous calls logged on the session execute on h in order with
+// no interleaving from other clients. The reservation itself never
+// blocks in QoQ mode. If body panics the block is still terminated
+// correctly before the panic propagates.
+func (c *Client) Separate(h *Handler, body func(*Session)) {
+	s := c.reserve1(h)
+	defer c.release1(s)
+	body(s)
+}
+
+// reserveMany atomically reserves all handlers (deduplicated), in a
+// canonical order. QoQ mode: take every handler's reservation spinlock
+// in id order, enqueue all private queues, release the spinlocks
+// (§3.3). Lock-based mode: acquire the handler locks in id order and
+// hold them for the whole block.
+func (c *Client) reserveMany(hs []*Handler) []*Session {
+	sorted := make([]*Handler, 0, len(hs))
+	sorted = append(sorted, hs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].id < sorted[j].id })
+	// Deduplicate: reserving a handler twice in one block is an error
+	// in SCOOP; we fold duplicates into one reservation.
+	uniq := sorted[:0]
+	for _, h := range sorted {
+		if len(uniq) == 0 || uniq[len(uniq)-1] != h {
+			uniq = append(uniq, h)
+		}
+	}
+
+	if c.rt.cfg.QoQ {
+		for _, h := range uniq {
+			h.resSpin.Lock()
+		}
+		sessions := make([]*Session, len(uniq))
+		for i, h := range uniq {
+			sessions[i] = c.session(h)
+			h.qoq.Enqueue(sessions[i])
+		}
+		for i := len(uniq) - 1; i >= 0; i-- {
+			uniq[i].resSpin.Unlock()
+		}
+		c.rt.stats.multiResGroups.Add(1)
+		return sessions
+	}
+
+	for _, h := range uniq {
+		h.resMu.Lock()
+	}
+	sessions := make([]*Session, len(uniq))
+	for i, h := range uniq {
+		sessions[i] = c.session(h)
+		h.qoq.Enqueue(sessions[i])
+	}
+	c.rt.stats.multiResGroups.Add(1)
+	return sessions
+}
+
+func (c *Client) releaseMany(sessions []*Session) {
+	for _, s := range sessions {
+		s.end()
+	}
+	if !c.rt.cfg.QoQ {
+		for i := len(sessions) - 1; i >= 0; i-- {
+			sessions[i].h.resMu.Unlock()
+		}
+	}
+}
+
+// SeparateMany runs body within a multi-handler separate block (§2.4):
+// all handlers are reserved atomically, so any other client that
+// reserves an overlapping set sees either all or none of this block's
+// effects. The sessions passed to body are ordered by handler id
+// (ascending), after deduplication.
+func (c *Client) SeparateMany(hs []*Handler, body func([]*Session)) {
+	sessions := c.reserveMany(hs)
+	defer c.releaseMany(sessions)
+	body(sessions)
+}
+
+// SeparateWhen runs body within a multi-handler separate block once
+// guard holds. The guard is evaluated with the handlers reserved; if it
+// returns false the reservation is abandoned and retried after some
+// other client's block on one of the handlers completes (SCOOP wait
+// conditions). guard must be side-effect-free on the handlers' state.
+func (c *Client) SeparateWhen(hs []*Handler, guard func([]*Session) bool, body func([]*Session)) {
+	for {
+		sessions := c.reserveMany(hs)
+		if guard(sessions) {
+			defer c.releaseMany(sessions)
+			body(sessions)
+			return
+		}
+		c.rt.stats.guardRetries.Add(1)
+		// Register interest in state changes before releasing so a
+		// block completing between release and wait is not missed.
+		for _, s := range sessions {
+			s.h.addWaiter(c.waitCh)
+		}
+		c.releaseMany(sessions)
+		<-c.waitCh
+		for _, s := range sessions {
+			s.h.removeWaiter(c.waitCh)
+		}
+	}
+}
+
+// Runtime returns the runtime this client belongs to.
+func (c *Client) Runtime() *Runtime { return c.rt }

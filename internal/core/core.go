@@ -1,0 +1,208 @@
+// Package core implements the SCOOP/Qs execution model of West, Nanz
+// and Meyer, "Efficient and Reasonable Object-Oriented Concurrency"
+// (PPoPP 2015): handlers (active objects), private queues, the
+// queue-of-queues, separate blocks with single and multiple
+// reservations, wait conditions, and both sync-coalescing
+// optimizations.
+//
+// # Model
+//
+// Every piece of shared state is owned by exactly one Handler, a
+// goroutine that executes requests one at a time. A client accesses a
+// handler's state only inside a separate block (Client.Separate and
+// friends), which reserves a private queue (Session) on the handler.
+// Within the block the client logs asynchronous calls (Session.Call)
+// and synchronous queries (Query). The runtime guarantees the paper's
+// two reasoning properties:
+//
+//  1. local instructions of the client are synchronous and immediate;
+//  2. calls logged on a handler within one separate block execute in
+//     order, with no interleaved calls from other clients.
+//
+// # Configurations
+//
+// The five optimization configurations of the paper's §4 are selected
+// by Config: None, Dynamic, Static, QoQ, and All. With QoQ enabled
+// reservations are non-blocking enqueues into a lock-free
+// queue-of-queues (Fig. 4); without it the runtime degrades to the
+// original lock-based SCOOP semantics (Fig. 2) in which a client holds
+// the handler's lock for the whole block.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Config selects a SCOOP runtime variant. The zero value is the
+// unoptimized baseline ("None" in the paper's §4).
+type Config struct {
+	// QoQ enables the queue-of-queues handler implementation: clients
+	// reserve by enqueueing their private queue and never block.
+	// Disabled, the runtime uses the original lock-based semantics: a
+	// client owns the handler's lock for the duration of the block.
+	QoQ bool
+
+	// DynElide enables dynamic sync coalescing (§3.4.1): each private
+	// queue records whether the handler is already synced, and
+	// redundant sync round-trips are skipped at run time.
+	DynElide bool
+
+	// StaticElide declares that statically hoisted code paths
+	// (Session.SyncNow + LocalQuery, as produced by the
+	// compiler/passes sync-coalescing pass) may be used. Queries made
+	// through the generic Query helper still sync each time, modelling
+	// the conservatism of the static analysis on irregular code.
+	StaticElide bool
+
+	// Spin is the number of empty polls queue consumers perform before
+	// parking. Zero selects a sensible default.
+	Spin int
+}
+
+// The five named configurations from the paper's evaluation.
+var (
+	ConfigNone    = Config{}
+	ConfigDynamic = Config{DynElide: true}
+	ConfigStatic  = Config{StaticElide: true}
+	ConfigQoQ     = Config{QoQ: true}
+	ConfigAll     = Config{QoQ: true, DynElide: true, StaticElide: true}
+)
+
+// Name returns the paper's label for the configuration.
+func (c Config) Name() string {
+	switch {
+	case c.QoQ && c.DynElide && c.StaticElide:
+		return "All"
+	case c.QoQ && !c.DynElide && !c.StaticElide:
+		return "QoQ"
+	case !c.QoQ && c.DynElide && !c.StaticElide:
+		return "Dynamic"
+	case !c.QoQ && !c.DynElide && c.StaticElide:
+		return "Static"
+	case !c.QoQ && !c.DynElide && !c.StaticElide:
+		return "None"
+	}
+	return fmt.Sprintf("Config{QoQ:%v,Dyn:%v,Static:%v}", c.QoQ, c.DynElide, c.StaticElide)
+}
+
+// clientSideQuery reports whether queries execute on the client after a
+// sync (the modified query rule of §3.2, Fig. 10b) rather than being
+// packaged and executed by the handler (Fig. 10a).
+func (c Config) clientSideQuery() bool { return c.DynElide || c.StaticElide }
+
+// Configs lists the paper's five configurations in presentation order.
+func Configs() []Config {
+	return []Config{ConfigNone, ConfigDynamic, ConfigStatic, ConfigQoQ, ConfigAll}
+}
+
+// Stats is a snapshot of the runtime's instrumentation counters (the
+// "SCOOP-specific instrumentation" the paper's §7 calls for).
+type Stats struct {
+	AsyncCalls     int64 // calls logged via Session.Call
+	RemoteQueries  int64 // packaged queries executed on the handler
+	LocalQueries   int64 // client-side query executions
+	SyncsPerformed int64 // sync round-trips that reached the handler
+	SyncsElided    int64 // syncs skipped by dynamic coalescing
+	Reservations   int64 // single-handler separate blocks entered
+	MultiResGroups int64 // multi-handler separate blocks entered
+	GuardRetries   int64 // wait-condition re-evaluations that failed
+	SessionsNew    int64 // private queues freshly allocated
+	SessionsReused int64 // private queues taken from the client cache
+	EndsProcessed  int64 // END markers consumed by handlers
+}
+
+type statsCounters struct {
+	asyncCalls     atomic.Int64
+	remoteQueries  atomic.Int64
+	localQueries   atomic.Int64
+	syncsPerformed atomic.Int64
+	syncsElided    atomic.Int64
+	reservations   atomic.Int64
+	multiResGroups atomic.Int64
+	guardRetries   atomic.Int64
+	sessionsNew    atomic.Int64
+	sessionsReused atomic.Int64
+	endsProcessed  atomic.Int64
+}
+
+func (s *statsCounters) snapshot() Stats {
+	return Stats{
+		AsyncCalls:     s.asyncCalls.Load(),
+		RemoteQueries:  s.remoteQueries.Load(),
+		LocalQueries:   s.localQueries.Load(),
+		SyncsPerformed: s.syncsPerformed.Load(),
+		SyncsElided:    s.syncsElided.Load(),
+		Reservations:   s.reservations.Load(),
+		MultiResGroups: s.multiResGroups.Load(),
+		GuardRetries:   s.guardRetries.Load(),
+		SessionsNew:    s.sessionsNew.Load(),
+		SessionsReused: s.sessionsReused.Load(),
+		EndsProcessed:  s.endsProcessed.Load(),
+	}
+}
+
+// Runtime owns a set of handlers and the configuration they run under.
+// Create one with New, spawn handlers with NewHandler, create a Client
+// per application goroutine, and call Shutdown when all clients are
+// done.
+type Runtime struct {
+	cfg   Config
+	stats statsCounters
+
+	mu       sync.Mutex
+	handlers []*Handler
+	nextID   int64
+	down     bool
+
+	wg sync.WaitGroup
+}
+
+// New creates a runtime with the given configuration.
+func New(cfg Config) *Runtime {
+	return &Runtime{cfg: cfg}
+}
+
+// Config returns the runtime's configuration.
+func (rt *Runtime) Config() Config { return rt.cfg }
+
+// Stats returns a snapshot of the instrumentation counters.
+func (rt *Runtime) Stats() Stats { return rt.stats.snapshot() }
+
+// Handlers returns the handlers created so far, in creation order.
+func (rt *Runtime) Handlers() []*Handler {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	out := make([]*Handler, len(rt.handlers))
+	copy(out, rt.handlers)
+	return out
+}
+
+// NewClient returns a client context for the calling goroutine. A
+// Client is not safe for concurrent use; create one per goroutine.
+func (rt *Runtime) NewClient() *Client {
+	return &Client{
+		rt:     rt,
+		cache:  make(map[*Handler]*Session),
+		waitCh: make(chan struct{}, 1),
+	}
+}
+
+// Shutdown stops all handlers and waits for them to exit. All separate
+// blocks must have completed; entering a block after Shutdown panics.
+func (rt *Runtime) Shutdown() {
+	rt.mu.Lock()
+	if rt.down {
+		rt.mu.Unlock()
+		return
+	}
+	rt.down = true
+	hs := make([]*Handler, len(rt.handlers))
+	copy(hs, rt.handlers)
+	rt.mu.Unlock()
+	for _, h := range hs {
+		h.qoq.Close()
+	}
+	rt.wg.Wait()
+}

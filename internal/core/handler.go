@@ -1,0 +1,196 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"scoopqs/internal/queue"
+	"scoopqs/internal/sched"
+)
+
+// Handler is a SCOOP handler: an active object that executes the
+// requests logged on it, one private queue at a time (the run and end
+// rules of the paper's Fig. 3). State owned by a handler must only be
+// touched from calls and queries executed through that handler.
+type Handler struct {
+	rt   *Runtime
+	id   int64
+	name string
+
+	// qoq is the queue-of-queues: private queues are enqueued by
+	// clients at reservation time and dequeued by the handler loop.
+	// In lock-based mode it holds at most one live session because
+	// resMu serializes reservations.
+	qoq *queue.MPSC[*Session]
+
+	// resSpin is the per-handler spinlock used to make multi-handler
+	// reservations atomic in QoQ mode (§3.3).
+	resSpin sched.SpinLock
+
+	// resMu is the handler lock of the original SCOOP semantics,
+	// used only when Config.QoQ is false. A client holds it for the
+	// entire duration of its separate block.
+	resMu sync.Mutex
+
+	// Wait-condition support: clients blocked on a guard register a
+	// channel here; the handler pokes them whenever a private queue
+	// completes (state may have changed).
+	wmu     sync.Mutex
+	waiters []chan struct{}
+
+	// selfClient supports handlers acting as clients of other handlers
+	// from within their own calls (e.g. a thread-ring hop). Lazily
+	// created; only ever used by the handler goroutine itself.
+	// selfClientPub publishes it for the deadlock detector.
+	selfClient    *Client
+	selfClientPub atomic.Pointer[Client]
+}
+
+// NewHandler creates a handler and starts its goroutine.
+func (rt *Runtime) NewHandler(name string) *Handler {
+	rt.mu.Lock()
+	if rt.down {
+		rt.mu.Unlock()
+		panic("scoopqs: NewHandler after Shutdown")
+	}
+	rt.nextID++
+	h := &Handler{
+		rt:   rt,
+		id:   rt.nextID,
+		name: name,
+		qoq:  queue.NewMPSC[*Session](rt.cfg.Spin),
+	}
+	rt.handlers = append(rt.handlers, h)
+	rt.wg.Add(1)
+	rt.mu.Unlock()
+	go h.loop()
+	return h
+}
+
+// Name returns the handler's diagnostic name.
+func (h *Handler) Name() string { return h.name }
+
+// ID returns the handler's unique id within its runtime. IDs define
+// the global acquisition order used for multi-handler reservations.
+func (h *Handler) ID() int64 { return h.id }
+
+// AsClient returns a Client context usable from code executing on this
+// handler (i.e. inside a Call or query). It lets a handler log requests
+// on other handlers, the "delegation" pattern of the paper's related
+// work discussion. It must not be used from any other goroutine.
+func (h *Handler) AsClient() *Client {
+	if h.selfClient == nil {
+		h.selfClient = h.rt.NewClient()
+		h.selfClientPub.Store(h.selfClient)
+	}
+	return h.selfClient
+}
+
+// loop is the main handler loop, a direct transcription of the paper's
+// Fig. 7: dequeue private queues from the queue-of-queues; for each,
+// execute calls until the END marker (the end rule); a failed dequeue
+// on the queue-of-queues means shutdown.
+func (h *Handler) loop() {
+	defer h.rt.wg.Done()
+	for {
+		s, ok := h.qoq.Dequeue()
+		if !ok {
+			return // shutdown: no more work
+		}
+		h.runSession(s)
+		h.rt.stats.endsProcessed.Add(1)
+		h.notifyWaiters(s.ownerWait)
+	}
+}
+
+// runSession drains one private queue (the run rule) until END.
+func (h *Handler) runSession(s *Session) {
+	for {
+		c, qok := s.q.Dequeue()
+		if !qok {
+			return // queue closed underneath us; only in teardown tests
+		}
+		switch c.kind {
+		case callEnd:
+			s.doneByHandler.Store(true)
+			return
+		case callCall:
+			h.execCall(s, c.fn)
+		case callSync:
+			// The sync rule: the client is parked in wait; release it.
+			// The handler then loops straight back to dequeueing this
+			// same private queue — it is now idle at the client's
+			// disposal, which is what makes client-side query
+			// execution safe.
+			s.parker.Unpark()
+		case callQueryRemote:
+			v, err := h.execQuery(s, c.qfn)
+			s.replyVal, s.replyErr = v, err
+			s.parker.Unpark()
+		}
+	}
+}
+
+func (h *Handler) execCall(s *Session, fn func()) {
+	if s.errPub.Load() != nil {
+		return // session poisoned by an earlier panic; skip
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			s.errPub.Store(&HandlerError{Handler: h.name, Value: r})
+		}
+	}()
+	fn()
+}
+
+func (h *Handler) execQuery(s *Session, qfn func() any) (v any, err error) {
+	if e := s.errPub.Load(); e != nil {
+		return nil, e
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			he := &HandlerError{Handler: h.name, Value: r}
+			s.errPub.Store(he)
+			err = he
+		}
+	}()
+	return qfn(), nil
+}
+
+// addWaiter registers a wait-condition channel to be poked on every
+// session completion.
+func (h *Handler) addWaiter(ch chan struct{}) {
+	h.wmu.Lock()
+	h.waiters = append(h.waiters, ch)
+	h.wmu.Unlock()
+}
+
+// removeWaiter unregisters ch.
+func (h *Handler) removeWaiter(ch chan struct{}) {
+	h.wmu.Lock()
+	for i, w := range h.waiters {
+		if w == ch {
+			h.waiters[i] = h.waiters[len(h.waiters)-1]
+			h.waiters = h.waiters[:len(h.waiters)-1]
+			break
+		}
+	}
+	h.wmu.Unlock()
+}
+
+// notifyWaiters pokes all registered wait-condition channels except the
+// one belonging to the client whose block just ended (its own END is
+// not a state change it should retry on).
+func (h *Handler) notifyWaiters(except chan struct{}) {
+	h.wmu.Lock()
+	for _, w := range h.waiters {
+		if w == except {
+			continue
+		}
+		select {
+		case w <- struct{}{}:
+		default: // already poked
+		}
+	}
+	h.wmu.Unlock()
+}

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"scoopqs/internal/queue"
+	"scoopqs/internal/sched"
+)
+
+// HandlerError is the error recorded when a call or query executed on a
+// handler panics. It poisons the session: subsequent calls in the same
+// separate block are skipped, and the client observes the error at its
+// next synchronization point (Sync, a query, or the end of the block).
+type HandlerError struct {
+	Handler string // handler name
+	Value   any    // the recovered panic value
+}
+
+func (e *HandlerError) Error() string {
+	return fmt.Sprintf("scoopqs: panic on handler %q: %v", e.Handler, e.Value)
+}
+
+type callKind uint8
+
+const (
+	callCall callKind = iota
+	callSync
+	callQueryRemote
+	callEnd
+)
+
+// call is a packaged request. The paper packages calls with libffi; in
+// Go the closure is the package (heap allocation plus indirect call,
+// the same cost shape).
+type call struct {
+	kind callKind
+	fn   func()
+	qfn  func() any
+}
+
+// Session is a private queue: the communication channel between one
+// client and one handler for the duration of one separate block (and,
+// via the client's cache, across blocks). The client logs requests on
+// it; the handler drains it. A Session is only valid inside the
+// separate block that produced it and must not be shared between
+// goroutines.
+type Session struct {
+	h      *Handler
+	owner  *Client // the client this private queue belongs to
+	q      *queue.SPSC[call]
+	parker *sched.Parker // client waits here for sync/query replies
+
+	// synced tracks whether the handler is known to be parked on this
+	// private queue (dynamic sync coalescing, §3.4.1). Client-owned.
+	synced bool
+	inUse  bool
+
+	// ownerWait is the owning client's wait-condition channel; the
+	// handler skips it when broadcasting session-end notifications.
+	ownerWait chan struct{}
+
+	// replyVal/replyErr carry a remote query result from handler to
+	// client; the parker handoff orders the accesses.
+	replyVal any
+	replyErr error
+
+	// errPub poisons the session after a handler-side panic. Written
+	// only by the handler; read by the client, hence atomic
+	// publication.
+	errPub atomic.Pointer[HandlerError]
+
+	// doneByHandler is set once the handler has consumed this
+	// session's END, after which the client may safely reuse it.
+	doneByHandler atomic.Bool
+}
+
+// Handler returns the handler this session is reserved on.
+func (s *Session) Handler() *Handler { return s.h }
+
+// Call logs an asynchronous call on the handler (the call rule). It
+// never blocks and returns immediately; fn will run on the handler
+// after all previously logged requests of this session.
+func (s *Session) Call(fn func()) {
+	rt := s.h.rt
+	rt.stats.asyncCalls.Add(1)
+	s.synced = false // an async call desynchronizes the handler
+	s.q.Enqueue(call{kind: callCall, fn: fn})
+}
+
+// Sync brings the handler to a quiescent point on this private queue:
+// when Sync returns, every previously logged call has executed and the
+// handler is parked waiting on this session. Under dynamic
+// sync-coalescing the round-trip is skipped if the handler is already
+// synced. Sync panics with *HandlerError if a previous call panicked.
+func (s *Session) Sync() {
+	rt := s.h.rt
+	if rt.cfg.DynElide && s.synced {
+		rt.stats.syncsElided.Add(1)
+		return
+	}
+	s.SyncNow()
+}
+
+// SyncNow performs the sync round-trip unconditionally. It is the
+// primitive the static sync-coalescing pass emits for the one sync it
+// hoists out of a loop; application code normally wants Sync.
+func (s *Session) SyncNow() {
+	rt := s.h.rt
+	rt.stats.syncsPerformed.Add(1)
+	s.owner.setWaiting(s.h)
+	s.q.Enqueue(call{kind: callSync})
+	s.parker.Park()
+	s.owner.clearWaiting()
+	s.synced = true
+	s.checkErr()
+}
+
+// Synced reports whether the handler is known to be parked on this
+// queue (i.e. a client-side query needs no round-trip).
+func (s *Session) Synced() bool { return s.synced }
+
+// queryRemote packages qfn, has the handler execute it, and waits for
+// the result (the original query rule, Fig. 10a).
+func (s *Session) queryRemote(qfn func() any) any {
+	rt := s.h.rt
+	rt.stats.remoteQueries.Add(1)
+	s.owner.setWaiting(s.h)
+	s.q.Enqueue(call{kind: callQueryRemote, qfn: qfn})
+	s.parker.Park()
+	s.owner.clearWaiting()
+	v, err := s.replyVal, s.replyErr
+	s.replyVal, s.replyErr = nil, nil
+	// After the reply the handler loops back to dequeue on this same
+	// private queue: it is synced from the client's point of view.
+	s.synced = true
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// checkErr surfaces a handler-side panic to the client.
+func (s *Session) checkErr() {
+	if e := s.errPub.Load(); e != nil {
+		panic(e)
+	}
+}
+
+// Err returns the handler-side error recorded on this session, if any,
+// without panicking. It is only guaranteed to observe errors from
+// calls that happened before the client's last synchronization point.
+func (s *Session) Err() error {
+	if e := s.errPub.Load(); e != nil {
+		return e
+	}
+	return nil
+}
+
+// end logs the END marker (the separate rule appends call(x, end)),
+// releasing the handler to serve other clients.
+func (s *Session) end() {
+	s.q.Enqueue(call{kind: callEnd})
+	s.synced = false
+	s.inUse = false
+}
+
+// Query executes a synchronous query and returns its result. Depending
+// on the configuration this is either a packaged remote execution
+// (None/QoQ), or a sync followed by client-side execution of f
+// (Dynamic/Static/All; the modified query rule of §3.2). Under Dynamic
+// the sync is elided when the handler is already synced; under a pure
+// Static configuration every Query pays a sync, modelling the
+// conservatism of static analysis on code it cannot prove regular —
+// statically optimized code uses SyncNow + LocalQuery instead.
+func Query[T any](s *Session, f func() T) T {
+	rt := s.h.rt
+	if rt.cfg.clientSideQuery() {
+		s.Sync()
+		rt.stats.localQueries.Add(1)
+		v := f()
+		s.checkErr()
+		return v
+	}
+	return QueryRemote(s, f)
+}
+
+// QueryRemote always uses the packaged-call path of Fig. 10a: the
+// closure is boxed, shipped to the handler, executed there, and the
+// result shipped back. The boxing through any is deliberate: it models
+// the encode/decode cost the optimized rule avoids.
+func QueryRemote[T any](s *Session, f func() T) T {
+	v := s.queryRemote(func() any { return f() })
+	return v.(T)
+}
+
+// LocalQuery executes f directly on the client with no synchronization.
+// It is only legal when the handler is known to be synced on this
+// session — either because the static sync-coalescing pass proved it
+// (the generated pairing is SyncNow once, LocalQuery in the loop) or
+// because the caller just invoked Sync. Misuse is a data race; when the
+// session is not marked synced this panics to catch miscompiled code.
+func LocalQuery[T any](s *Session, f func() T) T {
+	if !s.synced {
+		panic("scoopqs: LocalQuery on unsynced session (miscompiled static elision)")
+	}
+	s.h.rt.stats.localQueries.Add(1)
+	return f()
+}

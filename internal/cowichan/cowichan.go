@@ -1,0 +1,342 @@
+// Package cowichan defines the five Cowichan problems used as the
+// paper's parallel benchmarks — randmat, thresh, winnow, outer,
+// product — plus their composition into the chain benchmark, a
+// sequential reference implementation, and verification helpers.
+//
+// All implementations (sequential and every parallel paradigm) are
+// deterministic for a given Params: random numbers come from per-row
+// LCG streams, sorts break ties on position, and winnow's selection is
+// index-based. Cross-implementation equality is therefore exact and is
+// asserted in tests.
+package cowichan
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Params are the problem sizes, mirroring the paper's nr (matrix
+// dimension), p (thresh percentage) and nw (winnow selection count).
+type Params struct {
+	NR   int    // matrix is NR x NR
+	P    int    // thresh keeps the top P percent of values
+	NW   int    // winnow selects NW points
+	Seed uint32 // randmat seed
+}
+
+// SmallParams is a laptop-scale configuration used by tests and the
+// default harness runs.
+func SmallParams() Params { return Params{NR: 256, P: 10, NW: 256, Seed: 42} }
+
+// BenchParams is an even smaller configuration for testing.B loops.
+func BenchParams() Params { return Params{NR: 96, P: 15, NW: 96, Seed: 42} }
+
+// PaperParams are the sizes of the paper's §4.1 evaluation
+// (nr = 10,000, p = 1, nw = 10,000). A full matrix is 100M cells:
+// expect long runs and ~1 GiB of memory.
+func PaperParams() Params { return Params{NR: 10000, P: 1, NW: 10000, Seed: 42} }
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.NR < 2 {
+		return fmt.Errorf("cowichan: NR must be >= 2, got %d", p.NR)
+	}
+	if p.P < 1 || p.P > 100 {
+		return fmt.Errorf("cowichan: P must be in [1,100], got %d", p.P)
+	}
+	if p.NW < 1 {
+		return fmt.Errorf("cowichan: NW must be >= 1, got %d", p.NW)
+	}
+	// winnow needs at least NW masked cells; the mask keeps ~P% of
+	// NR*NR cells. Require a 2x margin so rounding can't starve it.
+	if est := p.NR * p.NR * p.P / 100; est < 2*p.NW {
+		return fmt.Errorf("cowichan: P=%d%% of %dx%d yields ~%d masked cells; too few for NW=%d",
+			p.P, p.NR, p.NR, est, p.NW)
+	}
+	return nil
+}
+
+// MaxValue is the exclusive upper bound of matrix cell values; thresh
+// histograms have this many buckets.
+const MaxValue = 1000
+
+// Matrix is a dense NR x NR matrix of small non-negative integers,
+// stored row-major in a single allocation.
+type Matrix struct {
+	N int
+	A []int32
+}
+
+// NewMatrix allocates an n x n zero matrix.
+func NewMatrix(n int) *Matrix { return &Matrix{N: n, A: make([]int32, n*n)} }
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) int32 { return m.A[i*m.N+j] }
+
+// Set stores v at row i, column j.
+func (m *Matrix) Set(i, j int, v int32) { m.A[i*m.N+j] = v }
+
+// Row returns row i as a shared sub-slice.
+func (m *Matrix) Row(i int) []int32 { return m.A[i*m.N : (i+1)*m.N] }
+
+// Equal reports exact equality.
+func (m *Matrix) Equal(o *Matrix) bool {
+	if m.N != o.N {
+		return false
+	}
+	for i, v := range m.A {
+		if o.A[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Mask is a boolean NR x NR matrix.
+type Mask struct {
+	N int
+	B []bool
+}
+
+// NewMask allocates an n x n all-false mask.
+func NewMask(n int) *Mask { return &Mask{N: n, B: make([]bool, n*n)} }
+
+// At returns the mask bit at row i, column j.
+func (m *Mask) At(i, j int) bool { return m.B[i*m.N+j] }
+
+// Set stores b at row i, column j.
+func (m *Mask) Set(i, j int, b bool) { m.B[i*m.N+j] = b }
+
+// Row returns row i as a shared sub-slice.
+func (m *Mask) Row(i int) []bool { return m.B[i*m.N : (i+1)*m.N] }
+
+// Count returns the number of set bits.
+func (m *Mask) Count() int {
+	n := 0
+	for _, b := range m.B {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// Equal reports exact equality.
+func (m *Mask) Equal(o *Mask) bool {
+	if m.N != o.N {
+		return false
+	}
+	for i, v := range m.B {
+		if o.B[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Point is a masked matrix cell: its value and position.
+type Point struct {
+	Value int32
+	I, J  int32
+}
+
+// Less orders points by (value, i, j) — the deterministic winnow order.
+func (p Point) Less(q Point) bool {
+	if p.Value != q.Value {
+		return p.Value < q.Value
+	}
+	if p.I != q.I {
+		return p.I < q.I
+	}
+	return p.J < q.J
+}
+
+// PointsEqual reports exact slice equality.
+func PointsEqual(a, b []Point) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// FMatrix is a dense float64 matrix (outer's output).
+type FMatrix struct {
+	N int
+	A []float64
+}
+
+// NewFMatrix allocates an n x n zero matrix.
+func NewFMatrix(n int) *FMatrix { return &FMatrix{N: n, A: make([]float64, n*n)} }
+
+// At returns the element at row i, column j.
+func (m *FMatrix) At(i, j int) float64 { return m.A[i*m.N+j] }
+
+// Set stores v at row i, column j.
+func (m *FMatrix) Set(i, j int, v float64) { m.A[i*m.N+j] = v }
+
+// Row returns row i as a shared sub-slice.
+func (m *FMatrix) Row(i int) []float64 { return m.A[i*m.N : (i+1)*m.N] }
+
+// Equal reports exact (bitwise) equality, which deterministic
+// implementations achieve because every row is computed with the same
+// operation order.
+func (m *FMatrix) Equal(o *FMatrix) bool {
+	if m.N != o.N {
+		return false
+	}
+	for i, v := range m.A {
+		if o.A[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Vector is a dense float64 vector.
+type Vector []float64
+
+// Equal reports exact equality.
+func (v Vector) Equal(o Vector) bool {
+	if len(v) != len(o) {
+		return false
+	}
+	for i := range v {
+		if v[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Timing splits a kernel's elapsed time the way the paper's Figs. 18/19
+// do: Compute is parallel kernel work, Comm is data distribution and
+// result collection. Paradigms without an explicit communication phase
+// report everything as Compute.
+type Timing struct {
+	Compute time.Duration
+	Comm    time.Duration
+}
+
+// Total returns Compute + Comm.
+func (t Timing) Total() time.Duration { return t.Compute + t.Comm }
+
+// Add accumulates another timing.
+func (t Timing) Add(o Timing) Timing {
+	return Timing{Compute: t.Compute + o.Compute, Comm: t.Comm + o.Comm}
+}
+
+// Impl is one paradigm's implementation of the Cowichan kernels. All
+// implementations must produce outputs identical to the Seq reference.
+type Impl interface {
+	// Name is the paradigm label used in tables ("cxx", "go",
+	// "haskell", "erlang", "Qs", "seq").
+	Name() string
+	// Close releases pools/handlers. The Impl is unusable afterwards.
+	Close()
+
+	Randmat(p Params) (*Matrix, Timing)
+	Thresh(m *Matrix, pct int) (*Mask, Timing)
+	Winnow(m *Matrix, mask *Mask, nw int) ([]Point, Timing)
+	Outer(pts []Point) (*FMatrix, Vector, Timing)
+	Product(m *FMatrix, v Vector) (Vector, Timing)
+}
+
+// ChainResult carries the chain benchmark's final output and the
+// accumulated timing.
+type ChainResult struct {
+	Result Vector
+	Timing Timing
+}
+
+// Chain composes the five kernels, feeding each output into the next —
+// the paper's chain benchmark.
+func Chain(im Impl, p Params) ChainResult {
+	mat, t1 := im.Randmat(p)
+	mask, t2 := im.Thresh(mat, p.P)
+	pts, t3 := im.Winnow(mat, mask, p.NW)
+	om, ov, t4 := im.Outer(pts)
+	res, t5 := im.Product(om, ov)
+	return ChainResult{Result: res, Timing: t1.Add(t2).Add(t3).Add(t4).Add(t5)}
+}
+
+// lcgA and lcgC are the Numerical Recipes LCG constants used by
+// randmat's per-row streams.
+const (
+	lcgA uint32 = 1664525
+	lcgC uint32 = 1013904223
+)
+
+// RowSeed derives the deterministic seed of row i.
+func RowSeed(seed uint32, i int) uint32 {
+	return seed + uint32(i)*2654435761
+}
+
+// NextValue advances an LCG state and produces a cell value in
+// [0, MaxValue).
+func NextValue(s *uint32) int32 {
+	*s = *s*lcgA + lcgC
+	return int32((*s >> 8) % MaxValue)
+}
+
+// FillRow fills one randmat row from its row seed; every implementation
+// shares this so decomposition cannot change results.
+func FillRow(row []int32, seed uint32, i int) {
+	s := RowSeed(seed, i)
+	for j := range row {
+		row[j] = NextValue(&s)
+	}
+}
+
+// ThresholdFromHist computes the thresh cutoff value from a value
+// histogram: the smallest value v such that keeping all cells >= v
+// keeps at most (pct% of total) cells, scanning from the top. It
+// returns the cutoff.
+func ThresholdFromHist(hist []int, total, pct int) int32 {
+	target := total * pct / 100
+	kept := 0
+	v := MaxValue - 1
+	for ; v >= 0; v-- {
+		if kept+hist[v] > target {
+			break
+		}
+		kept += hist[v]
+	}
+	return int32(v + 1)
+}
+
+// WinnowIndices returns the nw evenly spread indices into a sorted
+// point list of length n (endpoints included when nw > 1).
+func WinnowIndices(n, nw int) []int {
+	idx := make([]int, nw)
+	if nw == 1 {
+		idx[0] = 0
+		return idx
+	}
+	for k := 0; k < nw; k++ {
+		idx[k] = k * (n - 1) / (nw - 1)
+	}
+	return idx
+}
+
+// OuterDistance is the distance function shared by outer and the
+// winnow->outer hand-off: Euclidean distance between matrix positions.
+// Every implementation must use this helper so results stay bitwise
+// identical.
+func OuterDistance(a, b Point) float64 {
+	dx := float64(a.I - b.I)
+	dy := float64(a.J - b.J)
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// OriginDistance is the distance of a point from the origin.
+func OriginDistance(a Point) float64 {
+	dx := float64(a.I)
+	dy := float64(a.J)
+	return math.Sqrt(dx*dx + dy*dy)
+}

@@ -1,0 +1,33 @@
+package goimpl
+
+import (
+	"testing"
+
+	"scoopqs/internal/cowichan"
+)
+
+func TestWorkerCountsProduceIdenticalResults(t *testing.T) {
+	p := cowichan.Params{NR: 48, P: 20, NW: 48, Seed: 3}
+	want := cowichan.Chain(cowichan.NewSeq(), p)
+	for _, w := range []int{1, 2, 7, 100} {
+		im := New(w)
+		got := cowichan.Chain(im, p)
+		if !got.Result.Equal(want.Result) {
+			t.Errorf("workers=%d: chain diverges", w)
+		}
+		im.Close()
+	}
+}
+
+func TestZeroWorkersClamps(t *testing.T) {
+	im := New(0)
+	defer im.Close()
+	p := cowichan.Params{NR: 32, P: 25, NW: 32, Seed: 3}
+	m, tm := im.Randmat(p)
+	if m.N != p.NR || tm.Total() <= 0 {
+		t.Fatal("degenerate result with workers=0")
+	}
+	if tm.Comm != 0 {
+		t.Error("the go paradigm reports no separate comm phase")
+	}
+}

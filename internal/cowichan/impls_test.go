@@ -1,0 +1,259 @@
+package cowichan_test
+
+import (
+	"testing"
+
+	"scoopqs/internal/core"
+	"scoopqs/internal/cowichan"
+	"scoopqs/internal/cowichan/actorimpl"
+	"scoopqs/internal/cowichan/goimpl"
+	"scoopqs/internal/cowichan/pureimpl"
+	"scoopqs/internal/cowichan/qsimpl"
+	"scoopqs/internal/cowichan/tbbimpl"
+)
+
+func smallParams() cowichan.Params {
+	return cowichan.Params{NR: 64, P: 20, NW: 64, Seed: 7}
+}
+
+// makeImpls builds one implementation per paradigm (Qs under the All
+// configuration); callers must Close them.
+func makeImpls(workers int) []cowichan.Impl {
+	return []cowichan.Impl{
+		cowichan.NewSeq(),
+		goimpl.New(workers),
+		tbbimpl.New(workers),
+		pureimpl.New(workers),
+		actorimpl.New(workers),
+		qsimpl.New(core.ConfigAll, workers),
+	}
+}
+
+// TestAllImplsMatchReference checks every paradigm's output for every
+// kernel against the sequential reference, end to end.
+func TestAllImplsMatchReference(t *testing.T) {
+	p := smallParams()
+	seq := cowichan.NewSeq()
+	wantMat, _ := seq.Randmat(p)
+	wantMask, _ := seq.Thresh(wantMat, p.P)
+	wantPts, _ := seq.Winnow(wantMat, wantMask, p.NW)
+	wantOM, wantVec, _ := seq.Outer(wantPts)
+	wantRes, _ := seq.Product(wantOM, wantVec)
+
+	for _, im := range makeImpls(3) {
+		im := im
+		t.Run(im.Name(), func(t *testing.T) {
+			defer im.Close()
+			mat, _ := im.Randmat(p)
+			if !mat.Equal(wantMat) {
+				t.Fatal("randmat diverges from reference")
+			}
+			mask, _ := im.Thresh(mat, p.P)
+			if !mask.Equal(wantMask) {
+				t.Fatal("thresh diverges from reference")
+			}
+			pts, _ := im.Winnow(mat, mask, p.NW)
+			if !cowichan.PointsEqual(pts, wantPts) {
+				t.Fatal("winnow diverges from reference")
+			}
+			om, vec, _ := im.Outer(pts)
+			if !om.Equal(wantOM) || !vec.Equal(wantVec) {
+				t.Fatal("outer diverges from reference")
+			}
+			res, _ := im.Product(om, vec)
+			if !res.Equal(wantRes) {
+				t.Fatal("product diverges from reference")
+			}
+		})
+	}
+}
+
+// TestChainMatchesAcrossImpls runs the composed chain and compares
+// final vectors.
+func TestChainMatchesAcrossImpls(t *testing.T) {
+	p := smallParams()
+	want := cowichan.Chain(cowichan.NewSeq(), p)
+	for _, im := range makeImpls(2) {
+		im := im
+		t.Run(im.Name(), func(t *testing.T) {
+			defer im.Close()
+			got := cowichan.Chain(im, p)
+			if !got.Result.Equal(want.Result) {
+				t.Fatal("chain result diverges from reference")
+			}
+			if got.Timing.Total() <= 0 {
+				t.Fatal("chain reported non-positive timing")
+			}
+		})
+	}
+}
+
+// TestQsAllConfigsMatch runs the Qs implementation under all five
+// optimization configurations; results must be identical (the
+// optimizations must not change semantics).
+func TestQsAllConfigsMatch(t *testing.T) {
+	p := cowichan.Params{NR: 48, P: 20, NW: 48, Seed: 11}
+	want := cowichan.Chain(cowichan.NewSeq(), p)
+	for _, cfg := range core.Configs() {
+		cfg := cfg
+		t.Run(cfg.Name(), func(t *testing.T) {
+			im := qsimpl.New(cfg, 3)
+			defer im.Close()
+			got := cowichan.Chain(im, p)
+			if !got.Result.Equal(want.Result) {
+				t.Fatalf("chain under %s diverges from reference", cfg.Name())
+			}
+		})
+	}
+}
+
+// TestQsElisionActuallyHappens asserts that the optimized
+// configurations eliminate sync round-trips relative to Dynamic's
+// accounting, via the runtime's instrumentation.
+func TestQsElisionActuallyHappens(t *testing.T) {
+	p := cowichan.Params{NR: 48, P: 20, NW: 48, Seed: 11}
+
+	dyn := qsimpl.New(core.ConfigDynamic, 2)
+	cowichan.Chain(dyn, p)
+	dstats := dyn.Runtime().Stats()
+	dyn.Close()
+	if dstats.SyncsElided == 0 {
+		t.Error("Dynamic config elided no syncs on a pull-heavy workload")
+	}
+	if dstats.SyncsPerformed > dstats.SyncsElided/10+100 {
+		t.Errorf("Dynamic config performed too many syncs: %+v", dstats)
+	}
+
+	none := qsimpl.New(core.ConfigNone, 2)
+	cowichan.Chain(none, p)
+	nstats := none.Runtime().Stats()
+	none.Close()
+	if nstats.RemoteQueries == 0 {
+		t.Error("None config issued no remote queries")
+	}
+	if nstats.SyncsElided != 0 {
+		t.Error("None config should elide nothing")
+	}
+
+	all := qsimpl.New(core.ConfigAll, 2)
+	cowichan.Chain(all, p)
+	astats := all.Runtime().Stats()
+	all.Close()
+	if astats.RemoteQueries != 0 {
+		t.Error("All config should not use remote queries")
+	}
+	if astats.LocalQueries == 0 {
+		t.Error("All config performed no local queries")
+	}
+	// The hoisted path needs only a handful of syncs per pull loop.
+	if astats.SyncsPerformed >= nstats.RemoteQueries/10 {
+		t.Errorf("All config still synchronizing heavily: %d syncs vs %d remote queries under None",
+			astats.SyncsPerformed, nstats.RemoteQueries)
+	}
+}
+
+func TestValidateParams(t *testing.T) {
+	cases := []struct {
+		p  cowichan.Params
+		ok bool
+	}{
+		{cowichan.Params{NR: 64, P: 20, NW: 64}, true},
+		{cowichan.Params{NR: 1, P: 20, NW: 1}, false},   // NR too small
+		{cowichan.Params{NR: 64, P: 0, NW: 1}, false},   // P out of range
+		{cowichan.Params{NR: 64, P: 101, NW: 1}, false}, // P out of range
+		{cowichan.Params{NR: 64, P: 1, NW: 0}, false},   // NW too small
+		{cowichan.Params{NR: 10, P: 1, NW: 50}, false},  // too few masked cells
+		{cowichan.SmallParams(), true},
+		{cowichan.BenchParams(), true},
+		{cowichan.PaperParams(), true},
+	}
+	for i, c := range cases {
+		if err := c.p.Validate(); (err == nil) != c.ok {
+			t.Errorf("case %d (%+v): Validate() = %v, want ok=%v", i, c.p, err, c.ok)
+		}
+	}
+}
+
+func TestSplitRowsCoversExactly(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 64, 100} {
+		for _, parts := range []int{1, 2, 3, 8, 200} {
+			ranges := cowichan.SplitRows(n, parts)
+			covered := 0
+			last := 0
+			for _, r := range ranges {
+				if r[0] != last {
+					t.Fatalf("SplitRows(%d,%d): gap at %d", n, parts, last)
+				}
+				if r[1] <= r[0] {
+					t.Fatalf("SplitRows(%d,%d): empty range", n, parts)
+				}
+				covered += r[1] - r[0]
+				last = r[1]
+			}
+			if covered != n || last != n {
+				t.Fatalf("SplitRows(%d,%d) covers %d", n, parts, covered)
+			}
+		}
+	}
+}
+
+func TestWinnowIndices(t *testing.T) {
+	idx := cowichan.WinnowIndices(100, 10)
+	if idx[0] != 0 || idx[9] != 99 {
+		t.Errorf("endpoints wrong: %v", idx)
+	}
+	for k := 1; k < len(idx); k++ {
+		if idx[k] < idx[k-1] {
+			t.Errorf("indices not monotone: %v", idx)
+		}
+	}
+	if got := cowichan.WinnowIndices(50, 1); got[0] != 0 {
+		t.Errorf("single selection should be index 0, got %v", got)
+	}
+}
+
+func TestThresholdFromHist(t *testing.T) {
+	// 100 cells of value 0..99, one each; keep top 10% -> cutoff 90.
+	hist := make([]int, cowichan.MaxValue)
+	for v := 0; v < 100; v++ {
+		hist[v] = 1
+	}
+	if cut := cowichan.ThresholdFromHist(hist, 100, 10); cut != 90 {
+		t.Errorf("cutoff = %d, want 90", cut)
+	}
+	// Keeping 100% keeps everything: cutoff 0.
+	if cut := cowichan.ThresholdFromHist(hist, 100, 100); cut != 0 {
+		t.Errorf("cutoff at 100%% = %d, want 0", cut)
+	}
+}
+
+func TestRandmatDeterminism(t *testing.T) {
+	p := smallParams()
+	seq := cowichan.NewSeq()
+	m1, _ := seq.Randmat(p)
+	m2, _ := seq.Randmat(p)
+	if !m1.Equal(m2) {
+		t.Fatal("randmat is not deterministic")
+	}
+	p2 := p
+	p2.Seed++
+	m3, _ := seq.Randmat(p2)
+	if m1.Equal(m3) {
+		t.Fatal("different seeds produced identical matrices")
+	}
+}
+
+func TestMaskCount(t *testing.T) {
+	p := smallParams()
+	seq := cowichan.NewSeq()
+	m, _ := seq.Randmat(p)
+	mask, _ := seq.Thresh(m, p.P)
+	frac := float64(mask.Count()) / float64(p.NR*p.NR)
+	want := float64(p.P) / 100
+	if frac > want+0.02 {
+		t.Errorf("mask keeps %.3f of cells, want <= ~%.3f", frac, want)
+	}
+	if mask.Count() < p.NW {
+		t.Errorf("mask keeps %d cells, fewer than NW=%d", mask.Count(), p.NW)
+	}
+}

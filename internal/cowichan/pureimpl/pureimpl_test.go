@@ -1,0 +1,51 @@
+package pureimpl
+
+import (
+	"testing"
+
+	"scoopqs/internal/cowichan"
+)
+
+func TestChunkMergePreservesOrder(t *testing.T) {
+	a := []cowichan.Point{{Value: 1, I: 0, J: 0}, {Value: 3, I: 0, J: 1}}
+	b := []cowichan.Point{{Value: 2, I: 1, J: 0}, {Value: 3, I: 0, J: 0}}
+	got := mergePoints(a, b)
+	for i := 1; i < len(got); i++ {
+		if got[i].Less(got[i-1]) {
+			t.Fatalf("merge not sorted at %d: %v", i, got)
+		}
+	}
+	if len(got) != 4 {
+		t.Fatalf("merge lost elements: %v", got)
+	}
+}
+
+func TestWorkerCountsProduceIdenticalResults(t *testing.T) {
+	p := cowichan.Params{NR: 48, P: 20, NW: 48, Seed: 3}
+	want := cowichan.Chain(cowichan.NewSeq(), p)
+	for _, w := range []int{1, 2, 5} {
+		im := New(w)
+		got := cowichan.Chain(im, p)
+		if !got.Result.Equal(want.Result) {
+			t.Errorf("workers=%d: chain diverges", w)
+		}
+		im.Close()
+	}
+}
+
+// The defining property of the paradigm: workers return fresh storage,
+// never views of the inputs or outputs.
+func TestChunksAreFreshStorage(t *testing.T) {
+	im := New(3)
+	defer im.Close()
+	p := cowichan.Params{NR: 32, P: 25, NW: 32, Seed: 4}
+	m1, _ := im.Randmat(p)
+	m2, _ := im.Randmat(p)
+	if &m1.A[0] == &m2.A[0] {
+		t.Fatal("two randmat calls share storage")
+	}
+	m1.A[0] = -99
+	if m2.A[0] == -99 {
+		t.Fatal("matrices alias each other")
+	}
+}

@@ -1,0 +1,95 @@
+package qsimpl
+
+import (
+	"testing"
+
+	"scoopqs/internal/core"
+	"scoopqs/internal/cowichan"
+)
+
+func params() cowichan.Params {
+	return cowichan.Params{NR: 40, P: 25, NW: 40, Seed: 9}
+}
+
+func TestCommComputeSplitIsReported(t *testing.T) {
+	im := New(core.ConfigAll, 2)
+	defer im.Close()
+	p := params()
+	m, tm := im.Randmat(p)
+	if m.N != p.NR {
+		t.Fatalf("matrix size %d", m.N)
+	}
+	if tm.Comm <= 0 {
+		t.Error("randmat reported no communication time; the pull phase must be timed")
+	}
+	if tm.Compute <= 0 {
+		t.Error("randmat reported no compute time")
+	}
+}
+
+func TestWorkerCountEdgeCases(t *testing.T) {
+	p := params()
+	want, _ := cowichan.NewSeq().Randmat(p)
+	for _, w := range []int{1, 3, p.NR, p.NR * 2} {
+		im := New(core.ConfigAll, w)
+		got, _ := im.Randmat(p)
+		if !got.Equal(want) {
+			t.Errorf("workers=%d: randmat diverges", w)
+		}
+		im.Close()
+	}
+}
+
+func TestZeroWorkersClampsToOne(t *testing.T) {
+	im := New(core.ConfigAll, 0)
+	defer im.Close()
+	p := params()
+	m, _ := im.Randmat(p)
+	want, _ := cowichan.NewSeq().Randmat(p)
+	if !m.Equal(want) {
+		t.Error("workers=0 should behave like workers=1")
+	}
+}
+
+func TestRemoteModeUsesNoLocalQueries(t *testing.T) {
+	im := New(core.ConfigQoQ, 2)
+	defer im.Close()
+	p := params()
+	im.Randmat(p)
+	st := im.Runtime().Stats()
+	if st.LocalQueries != 0 {
+		t.Errorf("QoQ config performed %d local queries; must package all queries", st.LocalQueries)
+	}
+	if st.RemoteQueries == 0 {
+		t.Error("QoQ config performed no remote queries")
+	}
+}
+
+func TestHoistedModeSyncsOncePerPull(t *testing.T) {
+	im := New(core.ConfigStatic, 2)
+	defer im.Close()
+	p := params()
+	im.Randmat(p)
+	st := im.Runtime().Stats()
+	// One barrier sync + one hoisted sync per worker pull loop: far
+	// fewer than the NR*NR queries.
+	if st.SyncsPerformed > int64(8*2+4) {
+		t.Errorf("hoisted mode performed %d syncs; expected a handful", st.SyncsPerformed)
+	}
+	if st.LocalQueries != int64(p.NR*p.NR) {
+		t.Errorf("LocalQueries = %d, want %d", st.LocalQueries, p.NR*p.NR)
+	}
+}
+
+func TestRepeatedKernelsReuseSessions(t *testing.T) {
+	im := New(core.ConfigAll, 2)
+	defer im.Close()
+	p := params()
+	for i := 0; i < 4; i++ {
+		im.Randmat(p)
+	}
+	st := im.Runtime().Stats()
+	if st.SessionsReused == 0 {
+		t.Error("no session reuse across kernels; the queue cache is dead")
+	}
+}

@@ -1,0 +1,158 @@
+package cowichan
+
+import (
+	"sort"
+	"time"
+)
+
+// Seq is the sequential reference implementation. Every parallel
+// paradigm is verified against it; it is also the single-core baseline
+// of the speedup figures.
+type Seq struct{}
+
+// NewSeq returns the sequential implementation.
+func NewSeq() *Seq { return &Seq{} }
+
+// Name implements Impl.
+func (*Seq) Name() string { return "seq" }
+
+// Close implements Impl.
+func (*Seq) Close() {}
+
+// Randmat generates the deterministic NR x NR random matrix.
+func (*Seq) Randmat(p Params) (*Matrix, Timing) {
+	start := time.Now()
+	m := NewMatrix(p.NR)
+	for i := 0; i < p.NR; i++ {
+		FillRow(m.Row(i), p.Seed, i)
+	}
+	return m, Timing{Compute: time.Since(start)}
+}
+
+// Thresh keeps the top pct percent of values: histogram, cutoff, mask.
+func (*Seq) Thresh(m *Matrix, pct int) (*Mask, Timing) {
+	start := time.Now()
+	hist := make([]int, MaxValue)
+	for _, v := range m.A {
+		hist[v]++
+	}
+	cut := ThresholdFromHist(hist, len(m.A), pct)
+	mask := NewMask(m.N)
+	for i, v := range m.A {
+		mask.B[i] = v >= cut
+	}
+	return mask, Timing{Compute: time.Since(start)}
+}
+
+// Winnow collects masked points, sorts them by (value, position), and
+// selects nw evenly spread ones.
+func (*Seq) Winnow(m *Matrix, mask *Mask, nw int) ([]Point, Timing) {
+	start := time.Now()
+	pts := CollectPoints(m, mask, 0, m.N)
+	sort.Slice(pts, func(a, b int) bool { return pts[a].Less(pts[b]) })
+	out := SelectPoints(pts, nw)
+	return out, Timing{Compute: time.Since(start)}
+}
+
+// Outer builds the distance matrix (diagonal = row-max scaled by n) and
+// the origin-distance vector.
+func (*Seq) Outer(pts []Point) (*FMatrix, Vector, Timing) {
+	start := time.Now()
+	n := len(pts)
+	om := NewFMatrix(n)
+	vec := make(Vector, n)
+	for i := 0; i < n; i++ {
+		OuterRow(om.Row(i), pts, i)
+		vec[i] = OriginDistance(pts[i])
+	}
+	return om, vec, Timing{Compute: time.Since(start)}
+}
+
+// Product is the matrix-vector product.
+func (*Seq) Product(m *FMatrix, v Vector) (Vector, Timing) {
+	start := time.Now()
+	out := make(Vector, m.N)
+	for i := 0; i < m.N; i++ {
+		out[i] = DotRow(m.Row(i), v)
+	}
+	return out, Timing{Compute: time.Since(start)}
+}
+
+// CollectPoints gathers the masked points of rows [lo, hi) in row-major
+// order — the shared leaf used by every winnow decomposition.
+func CollectPoints(m *Matrix, mask *Mask, lo, hi int) []Point {
+	var pts []Point
+	for i := lo; i < hi; i++ {
+		mrow := m.Row(i)
+		krow := mask.Row(i)
+		for j, keep := range krow {
+			if keep {
+				pts = append(pts, Point{Value: mrow[j], I: int32(i), J: int32(j)})
+			}
+		}
+	}
+	return pts
+}
+
+// SelectPoints applies the deterministic winnow selection to a sorted
+// point list.
+func SelectPoints(sorted []Point, nw int) []Point {
+	if nw > len(sorted) {
+		nw = len(sorted)
+	}
+	out := make([]Point, nw)
+	for k, idx := range WinnowIndices(len(sorted), nw) {
+		out[k] = sorted[idx]
+	}
+	return out
+}
+
+// OuterRow fills row i of the outer matrix: distances to every other
+// point, with the diagonal set to n times the row maximum. The shared
+// leaf of every outer decomposition.
+func OuterRow(row []float64, pts []Point, i int) {
+	n := len(pts)
+	rowMax := 0.0
+	for j := 0; j < n; j++ {
+		if i == j {
+			continue
+		}
+		d := OuterDistance(pts[i], pts[j])
+		row[j] = d
+		if d > rowMax {
+			rowMax = d
+		}
+	}
+	row[i] = float64(n) * rowMax
+}
+
+// DotRow is the dot product of one matrix row with v — the shared leaf
+// of every product decomposition.
+func DotRow(row []float64, v Vector) float64 {
+	s := 0.0
+	for j, x := range row {
+		s += x * v[j]
+	}
+	return s
+}
+
+// SplitRows partitions [0, n) into at most parts contiguous ranges of
+// near-equal size; every parallel implementation uses it so that work
+// decomposition is identical across paradigms.
+func SplitRows(n, parts int) [][2]int {
+	if parts < 1 {
+		parts = 1
+	}
+	if parts > n {
+		parts = n
+	}
+	out := make([][2]int, 0, parts)
+	for k := 0; k < parts; k++ {
+		lo := k * n / parts
+		hi := (k + 1) * n / parts
+		if lo < hi {
+			out = append(out, [2]int{lo, hi})
+		}
+	}
+	return out
+}

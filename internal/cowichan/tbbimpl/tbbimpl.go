@@ -1,0 +1,107 @@
+// Package tbbimpl implements the Cowichan kernels on the work-stealing
+// pool of internal/tbb: ParallelFor over row ranges, ParallelReduce for
+// the histogram, ParallelSort for winnow. This is the "cxx"
+// (C++/TBB) comparator of the paper's language study — the unguarded
+// shared-memory performance ceiling.
+package tbbimpl
+
+import (
+	"time"
+
+	"scoopqs/internal/cowichan"
+	"scoopqs/internal/tbb"
+)
+
+// Impl runs the kernels on a private work-stealing pool.
+type Impl struct {
+	pool  *tbb.Pool
+	grain int
+}
+
+// New creates an implementation backed by a pool of the given size.
+func New(workers int) *Impl {
+	return &Impl{pool: tbb.NewPool(workers), grain: 8}
+}
+
+// Name implements cowichan.Impl.
+func (*Impl) Name() string { return "cxx" }
+
+// Close implements cowichan.Impl.
+func (im *Impl) Close() { im.pool.Close() }
+
+// Randmat implements cowichan.Impl.
+func (im *Impl) Randmat(p cowichan.Params) (*cowichan.Matrix, cowichan.Timing) {
+	start := time.Now()
+	m := cowichan.NewMatrix(p.NR)
+	im.pool.ParallelFor(0, p.NR, im.grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			cowichan.FillRow(m.Row(i), p.Seed, i)
+		}
+	})
+	return m, cowichan.Timing{Compute: time.Since(start)}
+}
+
+// Thresh implements cowichan.Impl.
+func (im *Impl) Thresh(m *cowichan.Matrix, pct int) (*cowichan.Mask, cowichan.Timing) {
+	start := time.Now()
+	hist := tbb.ParallelReduce(im.pool, 0, m.N, im.grain,
+		func(lo, hi int) []int {
+			h := make([]int, cowichan.MaxValue)
+			for _, v := range m.A[lo*m.N : hi*m.N] {
+				h[v]++
+			}
+			return h
+		},
+		func(a, b []int) []int {
+			for v := range a {
+				a[v] += b[v]
+			}
+			return a
+		})
+	cut := cowichan.ThresholdFromHist(hist, len(m.A), pct)
+	mask := cowichan.NewMask(m.N)
+	im.pool.ParallelFor(0, m.N, im.grain, func(lo, hi int) {
+		for k := lo * m.N; k < hi*m.N; k++ {
+			mask.B[k] = m.A[k] >= cut
+		}
+	})
+	return mask, cowichan.Timing{Compute: time.Since(start)}
+}
+
+// Winnow implements cowichan.Impl.
+func (im *Impl) Winnow(m *cowichan.Matrix, mask *cowichan.Mask, nw int) ([]cowichan.Point, cowichan.Timing) {
+	start := time.Now()
+	pts := tbb.ParallelReduce(im.pool, 0, m.N, im.grain,
+		func(lo, hi int) []cowichan.Point { return cowichan.CollectPoints(m, mask, lo, hi) },
+		func(a, b []cowichan.Point) []cowichan.Point { return append(a, b...) })
+	tbb.ParallelSort(im.pool, pts, func(a, b cowichan.Point) bool { return a.Less(b) })
+	sel := cowichan.SelectPoints(pts, nw)
+	return sel, cowichan.Timing{Compute: time.Since(start)}
+}
+
+// Outer implements cowichan.Impl.
+func (im *Impl) Outer(pts []cowichan.Point) (*cowichan.FMatrix, cowichan.Vector, cowichan.Timing) {
+	start := time.Now()
+	n := len(pts)
+	om := cowichan.NewFMatrix(n)
+	vec := make(cowichan.Vector, n)
+	im.pool.ParallelFor(0, n, im.grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			cowichan.OuterRow(om.Row(i), pts, i)
+			vec[i] = cowichan.OriginDistance(pts[i])
+		}
+	})
+	return om, vec, cowichan.Timing{Compute: time.Since(start)}
+}
+
+// Product implements cowichan.Impl.
+func (im *Impl) Product(m *cowichan.FMatrix, v cowichan.Vector) (cowichan.Vector, cowichan.Timing) {
+	start := time.Now()
+	out := make(cowichan.Vector, m.N)
+	im.pool.ParallelFor(0, m.N, im.grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = cowichan.DotRow(m.Row(i), v)
+		}
+	})
+	return out, cowichan.Timing{Compute: time.Since(start)}
+}

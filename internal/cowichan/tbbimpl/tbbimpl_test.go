@@ -1,0 +1,53 @@
+package tbbimpl
+
+import (
+	"testing"
+
+	"scoopqs/internal/cowichan"
+)
+
+func TestWorkerCountsProduceIdenticalResults(t *testing.T) {
+	p := cowichan.Params{NR: 48, P: 20, NW: 48, Seed: 3}
+	want := cowichan.Chain(cowichan.NewSeq(), p)
+	for _, w := range []int{1, 2, 4} {
+		im := New(w)
+		got := cowichan.Chain(im, p)
+		if !got.Result.Equal(want.Result) {
+			t.Errorf("workers=%d: chain diverges", w)
+		}
+		im.Close()
+	}
+}
+
+// The histogram reduce must be deterministic despite work stealing:
+// combines happen in range order (see tbb.ParallelReduce).
+func TestThreshDeterministicUnderStealing(t *testing.T) {
+	p := cowichan.Params{NR: 64, P: 20, NW: 64, Seed: 8}
+	seq := cowichan.NewSeq()
+	m, _ := seq.Randmat(p)
+	want, _ := seq.Thresh(m, p.P)
+	im := New(4)
+	defer im.Close()
+	for round := 0; round < 5; round++ {
+		got, _ := im.Thresh(m, p.P)
+		if !got.Equal(want) {
+			t.Fatalf("round %d: thresh nondeterministic", round)
+		}
+	}
+}
+
+// Winnow exercises ParallelSort's stability end to end: equal values
+// must stay in (i, j) order.
+func TestWinnowStableSelection(t *testing.T) {
+	p := cowichan.Params{NR: 64, P: 30, NW: 64, Seed: 8}
+	seq := cowichan.NewSeq()
+	m, _ := seq.Randmat(p)
+	mask, _ := seq.Thresh(m, p.P)
+	want, _ := seq.Winnow(m, mask, p.NW)
+	im := New(4)
+	defer im.Close()
+	got, _ := im.Winnow(m, mask, p.NW)
+	if !cowichan.PointsEqual(got, want) {
+		t.Fatal("winnow selection diverges from the stable reference order")
+	}
+}

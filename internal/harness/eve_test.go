@@ -1,0 +1,25 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestEveExperimentRenders(t *testing.T) {
+	var buf bytes.Buffer
+	o := tinyOptions(&buf)
+	o.Eve()
+	out := buf.String()
+	for _, want := range []string{"EVE/Qs", "parallel(s)", "EVE/Qs over EVE", "paper: 7.7x"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// All three variant rows must be present.
+	for _, row := range []string{"\nEVE ", "\nEVE/Qs ", "\nQs "} {
+		if !strings.Contains(out, row) {
+			t.Errorf("missing variant row %q", strings.TrimSpace(row))
+		}
+	}
+}

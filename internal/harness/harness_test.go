@@ -1,0 +1,125 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"scoopqs/internal/concbench"
+	"scoopqs/internal/core"
+	"scoopqs/internal/cowichan"
+)
+
+// tinyOptions shrink every experiment so the whole suite runs in
+// seconds inside the test.
+func tinyOptions(buf *bytes.Buffer) Options {
+	return Options{
+		Out:     buf,
+		Reps:    1,
+		Workers: 2,
+		Cores:   []int{1, 2},
+		Cow:     cowichan.Params{NR: 40, P: 25, NW: 40, Seed: 5},
+		Conc:    concbench.Params{N: 2, M: 25, NT: 200, NC: 80, Ring: 8, Creatures: 4},
+	}
+}
+
+// TestAllExperimentsRender runs every experiment end to end and checks
+// each emits its header and at least one data row.
+func TestAllExperimentsRender(t *testing.T) {
+	var buf bytes.Buffer
+	o := tinyOptions(&buf)
+	cases := []struct {
+		name string
+		run  func()
+		want []string
+	}{
+		{"Table1", o.Table1, []string{"== Table 1 ==", "randmat", "chain"}},
+		{"Fig16", o.Fig16, []string{"== Figure 16 ==", "winnow"}},
+		{"Table2", o.Table2, []string{"== Table 2 ==", "mutex", "threadring"}},
+		{"Fig17", o.Fig17, []string{"== Figure 17 ==", "condition"}},
+		{"Table3", o.Table3, []string{"== Table 3 ==", "SCOOP/Qs", "Erlang"}},
+		{"Fig18", o.Fig18, []string{"== Figure 18 ==", "product", "comm"}},
+		{"Fig19", o.Fig19, []string{"== Figure 19 ==", "w=1", "w=2"}},
+		{"Table4", o.Table4, []string{"== Table 4 ==", "chain", "T"}},
+		{"Table5", o.Table5, []string{"== Table 5 ==", "prodcons"}},
+		{"Fig20", o.Fig20, []string{"== Figure 20 ==", "chameneos"}},
+		{"Summary", o.Summary, []string{"geometric means", "geomean", "overall"}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			buf.Reset()
+			c.run()
+			out := buf.String()
+			for _, want := range c.want {
+				if !strings.Contains(out, want) {
+					t.Errorf("output missing %q:\n%s", want, out)
+				}
+			}
+		})
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	ds := []time.Duration{time.Second, 4 * time.Second}
+	got := GeoMean(ds)
+	if got < 1990*time.Millisecond || got > 2010*time.Millisecond {
+		t.Errorf("GeoMean(1s,4s) = %v, want ~2s", got)
+	}
+	if GeoMean(nil) != 0 {
+		t.Error("GeoMean(nil) should be 0")
+	}
+	// Zero durations are clamped, not fatal.
+	if GeoMean([]time.Duration{0, time.Second}) <= 0 {
+		t.Error("GeoMean with zero input should stay positive")
+	}
+}
+
+func TestMeasureWallMedian(t *testing.T) {
+	o := Options{Reps: 5}
+	d := o.MeasureWall(func() { time.Sleep(time.Millisecond) })
+	if d < 500*time.Microsecond || d > 100*time.Millisecond {
+		t.Errorf("median wall time implausible: %v", d)
+	}
+}
+
+func TestRunCowTaskAllTasks(t *testing.T) {
+	p := cowichan.Params{NR: 32, P: 25, NW: 32, Seed: 3}
+	in := prepareInputs(p)
+	im := cowichan.NewSeq()
+	for _, task := range CowTasks {
+		tm := RunCowTask(task, im, in)
+		if tm.Total() <= 0 {
+			t.Errorf("task %s reported non-positive time", task)
+		}
+	}
+}
+
+func TestNewImplAllLangs(t *testing.T) {
+	for _, lang := range append([]string{"seq"}, CowLangs...) {
+		im := NewImpl(lang, core.ConfigAll, 2)
+		if im.Name() != lang {
+			t.Errorf("NewImpl(%q).Name() = %q", lang, im.Name())
+		}
+		im.Close()
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("NewImpl with unknown paradigm should panic")
+		}
+	}()
+	NewImpl("cobol", core.ConfigAll, 1)
+}
+
+func TestRatioAndSeconds(t *testing.T) {
+	if got := Ratio(2*time.Second, time.Second); got != "2.00" {
+		t.Errorf("Ratio = %q", got)
+	}
+	if got := Ratio(time.Second, 0); got != "-" {
+		t.Errorf("Ratio with zero base = %q", got)
+	}
+	if got := Seconds(1500 * time.Millisecond); got != "1.500" {
+		t.Errorf("Seconds = %q", got)
+	}
+}

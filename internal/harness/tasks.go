@@ -1,0 +1,99 @@
+package harness
+
+import (
+	"runtime"
+
+	"scoopqs/internal/core"
+	"scoopqs/internal/cowichan"
+	"scoopqs/internal/cowichan/actorimpl"
+	"scoopqs/internal/cowichan/goimpl"
+	"scoopqs/internal/cowichan/pureimpl"
+	"scoopqs/internal/cowichan/qsimpl"
+	"scoopqs/internal/cowichan/tbbimpl"
+)
+
+// CowTasks lists the parallel tasks in the paper's presentation order.
+var CowTasks = []string{"chain", "outer", "product", "randmat", "thresh", "winnow"}
+
+// CowLangs lists the compared paradigms for the parallel tasks.
+var CowLangs = []string{"cxx", "erlang", "go", "haskell", "Qs"}
+
+// NewImpl builds the named paradigm's Cowichan implementation. The Qs
+// paradigm uses cfg; others ignore it.
+func NewImpl(lang string, cfg core.Config, workers int) cowichan.Impl {
+	switch lang {
+	case "seq":
+		return cowichan.NewSeq()
+	case "cxx":
+		return tbbimpl.New(workers)
+	case "go":
+		return goimpl.New(workers)
+	case "haskell":
+		return pureimpl.New(workers)
+	case "erlang":
+		return actorimpl.New(workers)
+	case "Qs":
+		return qsimpl.New(cfg, workers)
+	}
+	panic("harness: unknown paradigm " + lang)
+}
+
+// taskInputs precomputes each kernel's input with the sequential
+// reference so a task measurement times only that kernel (the paper
+// benchmarks the kernels individually plus the full chain).
+type taskInputs struct {
+	p    cowichan.Params
+	mat  *cowichan.Matrix
+	mask *cowichan.Mask
+	pts  []cowichan.Point
+	om   *cowichan.FMatrix
+	vec  cowichan.Vector
+}
+
+func prepareInputs(p cowichan.Params) *taskInputs {
+	seq := cowichan.NewSeq()
+	in := &taskInputs{p: p}
+	in.mat, _ = seq.Randmat(p)
+	in.mask, _ = seq.Thresh(in.mat, p.P)
+	in.pts, _ = seq.Winnow(in.mat, in.mask, p.NW)
+	in.om, in.vec, _ = seq.Outer(in.pts)
+	return in
+}
+
+// RunCowTask executes one named task on an implementation and returns
+// its timing.
+func RunCowTask(task string, im cowichan.Impl, in *taskInputs) cowichan.Timing {
+	switch task {
+	case "randmat":
+		_, t := im.Randmat(in.p)
+		return t
+	case "thresh":
+		_, t := im.Thresh(in.mat, in.p.P)
+		return t
+	case "winnow":
+		_, t := im.Winnow(in.mat, in.mask, in.p.NW)
+		return t
+	case "outer":
+		_, _, t := im.Outer(in.pts)
+		return t
+	case "product":
+		_, t := im.Product(in.om, in.vec)
+		return t
+	case "chain":
+		return cowichan.Chain(im, in.p).Timing
+	}
+	panic("harness: unknown task " + task)
+}
+
+// physicalCPUs reports the host's CPU count, noted in Fig. 19's caption
+// because speedup curves flatten when workers exceed physical cores.
+func physicalCPUs() int { return runtime.NumCPU() }
+
+// withProcs runs f with GOMAXPROCS set to n, restoring it afterwards.
+// On a machine with fewer physical cores than n this exercises the
+// same code paths without real parallel speedup.
+func withProcs(n int, f func()) {
+	old := runtime.GOMAXPROCS(n)
+	defer runtime.GOMAXPROCS(old)
+	f()
+}

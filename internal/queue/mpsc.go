@@ -1,0 +1,115 @@
+package queue
+
+import (
+	"sync/atomic"
+
+	"scoopqs/internal/sched"
+)
+
+type mpscNode[T any] struct {
+	next atomic.Pointer[mpscNode[T]]
+	v    T
+}
+
+// MPSC is an unbounded multiple-producer single-consumer queue in the
+// style of Vyukov's intrusive MPSC queue. Any number of goroutines may
+// Enqueue; exactly one may Dequeue. Producers never block and are
+// wait-free apart from one atomic exchange. The consumer observes each
+// producer's items in that producer's order (per-producer FIFO), which
+// is exactly the guarantee the queue-of-queues needs.
+//
+// The zero value is not usable; use NewMPSC.
+type MPSC[T any] struct {
+	headP  atomic.Pointer[mpscNode[T]] // producers swap here (newest node)
+	parker *sched.Parker
+	closed atomic.Bool
+	spin   int
+
+	_     [32]byte     // separate the consumer's line from the producers'
+	tailC *mpscNode[T] // consumer-owned: most recently consumed node
+}
+
+// NewMPSC returns an empty queue. spin is the number of empty polls the
+// consumer performs before parking; 0 selects sched.DefaultSpin.
+func NewMPSC[T any](spin int) *MPSC[T] {
+	if spin <= 0 {
+		spin = sched.DefaultSpin
+	}
+	stub := &mpscNode[T]{}
+	q := &MPSC[T]{tailC: stub, parker: sched.NewParker(), spin: spin}
+	q.headP.Store(stub)
+	return q
+}
+
+// Enqueue appends v. Safe for concurrent use by many producers; never
+// blocks. Enqueue on a closed queue panics.
+func (q *MPSC[T]) Enqueue(v T) {
+	if q.closed.Load() {
+		panic("queue: Enqueue on closed MPSC")
+	}
+	n := &mpscNode[T]{v: v}
+	prev := q.headP.Swap(n) // serialization point
+	prev.next.Store(n)      // publish; the chain is briefly broken between these
+	q.parker.Unpark()
+}
+
+// Close marks the end of the stream: once drained, Dequeue reports
+// ok=false. Any goroutine may call Close; it is idempotent. Producers
+// must not Enqueue after Close.
+func (q *MPSC[T]) Close() {
+	q.closed.Store(true)
+	q.parker.Unpark()
+}
+
+// TryDequeue removes the head item without blocking. ok=false means the
+// queue is momentarily empty, a producer is mid-enqueue, or the queue is
+// closed and drained; use Dequeue to distinguish.
+func (q *MPSC[T]) TryDequeue() (v T, ok bool) {
+	tail := q.tailC
+	next := tail.next.Load()
+	if next == nil {
+		if q.headP.Load() == tail {
+			return v, false // truly empty
+		}
+		// A producer swapped headP but has not linked prev.next yet.
+		// The link is one store away; spin for it.
+		for i := 0; next == nil; i++ {
+			sched.SpinWait(i)
+			next = tail.next.Load()
+		}
+	}
+	v = next.v
+	var zero T
+	next.v = zero
+	q.tailC = next
+	return v, true
+}
+
+// Dequeue removes the head item, blocking while the queue is empty and
+// open. ok=false means the queue is closed and fully drained.
+func (q *MPSC[T]) Dequeue() (v T, ok bool) {
+	for i := 0; ; i++ {
+		if v, ok = q.TryDequeue(); ok {
+			return v, true
+		}
+		if q.closed.Load() {
+			if v, ok = q.TryDequeue(); ok {
+				return v, true
+			}
+			return v, false
+		}
+		if i < q.spin {
+			sched.SpinWait(i)
+			continue
+		}
+		q.parker.Park()
+		i = 0
+	}
+}
+
+// Empty reports whether the queue currently appears empty. Advisory
+// only.
+func (q *MPSC[T]) Empty() bool {
+	tail := q.tailC
+	return tail.next.Load() == nil && q.headP.Load() == tail
+}

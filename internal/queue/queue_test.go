@@ -1,0 +1,280 @@
+package queue
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSPSCOrder(t *testing.T) {
+	q := NewSPSC[int](0)
+	const n = 100000
+	go func() {
+		for i := 0; i < n; i++ {
+			q.Enqueue(i)
+		}
+		q.Close()
+	}()
+	for i := 0; i < n; i++ {
+		v, ok := q.Dequeue()
+		if !ok {
+			t.Fatalf("queue closed early at %d", i)
+		}
+		if v != i {
+			t.Fatalf("got %d, want %d (FIFO violated)", v, i)
+		}
+	}
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("Dequeue after drain+close returned ok")
+	}
+}
+
+func TestSPSCTryDequeueEmpty(t *testing.T) {
+	q := NewSPSC[string](0)
+	if _, ok := q.TryDequeue(); ok {
+		t.Fatal("TryDequeue on empty queue returned ok")
+	}
+	q.Enqueue("a")
+	v, ok := q.TryDequeue()
+	if !ok || v != "a" {
+		t.Fatalf("got %q,%v want a,true", v, ok)
+	}
+}
+
+func TestSPSCCloseReleasesBlockedConsumer(t *testing.T) {
+	q := NewSPSC[int](0)
+	done := make(chan bool)
+	go func() {
+		_, ok := q.Dequeue()
+		done <- ok
+	}()
+	time.Sleep(20 * time.Millisecond)
+	q.Close()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("Dequeue on closed empty queue returned ok=true")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close did not release blocked consumer")
+	}
+}
+
+func TestSPSCDrainsBeforeClosedReport(t *testing.T) {
+	q := NewSPSC[int](0)
+	q.Enqueue(1)
+	q.Enqueue(2)
+	q.Close()
+	for want := 1; want <= 2; want++ {
+		v, ok := q.Dequeue()
+		if !ok || v != want {
+			t.Fatalf("got %d,%v want %d,true", v, ok, want)
+		}
+	}
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("expected closed after drain")
+	}
+}
+
+func TestSPSCEnqueueAfterClosePanics(t *testing.T) {
+	q := NewSPSC[int](0)
+	q.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	q.Enqueue(1)
+}
+
+// Property: for any sequence of values, SPSC yields exactly that
+// sequence.
+func TestSPSCQuickFIFO(t *testing.T) {
+	f := func(vals []int64) bool {
+		q := NewSPSC[int64](4)
+		go func() {
+			for _, v := range vals {
+				q.Enqueue(v)
+			}
+			q.Close()
+		}()
+		for _, want := range vals {
+			got, ok := q.Dequeue()
+			if !ok || got != want {
+				return false
+			}
+		}
+		_, ok := q.Dequeue()
+		return !ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMPSCSingleProducerOrder(t *testing.T) {
+	q := NewMPSC[int](0)
+	const n = 100000
+	go func() {
+		for i := 0; i < n; i++ {
+			q.Enqueue(i)
+		}
+		q.Close()
+	}()
+	for i := 0; i < n; i++ {
+		v, ok := q.Dequeue()
+		if !ok || v != i {
+			t.Fatalf("got %d,%v want %d,true", v, ok, i)
+		}
+	}
+}
+
+type tagged struct {
+	producer int
+	seq      int
+}
+
+// Per-producer FIFO with no loss and no duplication: the guarantee the
+// queue-of-queues relies on for the separate rule.
+func TestMPSCManyProducers(t *testing.T) {
+	q := NewMPSC[tagged](0)
+	const producers = 8
+	const perProducer = 20000
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				q.Enqueue(tagged{p, i})
+			}
+		}(p)
+	}
+	go func() {
+		wg.Wait()
+		q.Close()
+	}()
+	next := make([]int, producers)
+	total := 0
+	for {
+		v, ok := q.Dequeue()
+		if !ok {
+			break
+		}
+		if v.seq != next[v.producer] {
+			t.Fatalf("producer %d: got seq %d, want %d", v.producer, v.seq, next[v.producer])
+		}
+		next[v.producer]++
+		total++
+	}
+	if total != producers*perProducer {
+		t.Fatalf("received %d items, want %d", total, producers*perProducer)
+	}
+}
+
+func TestMPSCCloseReleasesConsumer(t *testing.T) {
+	q := NewMPSC[int](0)
+	done := make(chan bool)
+	go func() {
+		_, ok := q.Dequeue()
+		done <- ok
+	}()
+	time.Sleep(20 * time.Millisecond)
+	q.Close()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("expected ok=false")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocked consumer not released")
+	}
+}
+
+func TestMPSCTryDequeue(t *testing.T) {
+	q := NewMPSC[int](0)
+	if _, ok := q.TryDequeue(); ok {
+		t.Fatal("TryDequeue on empty returned ok")
+	}
+	q.Enqueue(7)
+	if v, ok := q.TryDequeue(); !ok || v != 7 {
+		t.Fatalf("got %d,%v want 7,true", v, ok)
+	}
+	if !q.Empty() {
+		t.Fatal("queue should be empty")
+	}
+}
+
+func TestMPSCStressInterleaved(t *testing.T) {
+	// Producers enqueue while the consumer drains concurrently; checks
+	// total counts only (ordering across producers is unspecified).
+	q := NewMPSC[int](1)
+	const producers = 16
+	const perProducer = 5000
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				q.Enqueue(1)
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		q.Close()
+	}()
+	sum := 0
+	for {
+		v, ok := q.Dequeue()
+		if !ok {
+			break
+		}
+		sum += v
+	}
+	if sum != producers*perProducer {
+		t.Fatalf("sum=%d want %d", sum, producers*perProducer)
+	}
+}
+
+func BenchmarkSPSCPingPong(b *testing.B) {
+	q := NewSPSC[int](0)
+	back := NewSPSC[int](0)
+	go func() {
+		for {
+			v, ok := q.Dequeue()
+			if !ok {
+				back.Close()
+				return
+			}
+			back.Enqueue(v)
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Enqueue(i)
+		back.Dequeue()
+	}
+	b.StopTimer()
+	q.Close()
+}
+
+func BenchmarkMPSCEnqueue(b *testing.B) {
+	q := NewMPSC[int](0)
+	go func() {
+		for {
+			if _, ok := q.Dequeue(); !ok {
+				return
+			}
+		}
+	}()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			q.Enqueue(1)
+		}
+	})
+	b.StopTimer()
+	q.Close()
+}

@@ -1,0 +1,144 @@
+// Package queue implements the two specialized lock-free queues the
+// SCOOP/Qs runtime is built from (§3.1 of the paper):
+//
+//   - SPSC: a single-producer single-consumer unbounded queue used as
+//     the private queue between one client and one handler. The client
+//     enqueues calls; the handler dequeues and executes them.
+//   - MPSC: a multiple-producer single-consumer unbounded queue used as
+//     the queue-of-queues. Many clients enqueue their private queues;
+//     only the owning handler dequeues.
+//
+// Both queues are unbounded linked queues in the style of Vyukov's
+// non-intrusive queues. Producers never block. The consumer blocks
+// (spin-then-park) when the queue is empty, and Close releases a
+// blocked consumer: Dequeue then reports ok=false once the queue is
+// drained, matching the paper's handler loop in which a false dequeue
+// means "no more work / shut down", not "momentarily empty".
+package queue
+
+import (
+	"sync/atomic"
+
+	"scoopqs/internal/sched"
+)
+
+type spscNode[T any] struct {
+	next atomic.Pointer[spscNode[T]]
+	v    T
+}
+
+// SPSC is an unbounded single-producer single-consumer queue.
+// Exactly one goroutine may call Enqueue/Close and exactly one may call
+// Dequeue/TryDequeue. The zero value is not usable; use NewSPSC.
+type SPSC[T any] struct {
+	head   *spscNode[T] // consumer-owned: most recently consumed node
+	parker *sched.Parker
+	closed atomic.Bool
+	spin   int
+	// cache of consumed nodes handed back to the producer, mirroring
+	// the paper's "cache of queues" idea at the node level. Only the
+	// consumer pushes, only the producer pops, guarded by a spinlock
+	// because accesses are rare relative to Enqueue/Dequeue.
+	cacheMu sched.SpinLock
+	cache   []*spscNode[T]
+
+	_    [32]byte     // keep producer fields off the consumer's cache line
+	tail *spscNode[T] // producer-owned: last enqueued node
+}
+
+// NewSPSC returns an empty queue. spin is the number of empty polls the
+// consumer performs before parking; 0 selects sched.DefaultSpin.
+func NewSPSC[T any](spin int) *SPSC[T] {
+	if spin <= 0 {
+		spin = sched.DefaultSpin
+	}
+	stub := &spscNode[T]{}
+	return &SPSC[T]{head: stub, tail: stub, parker: sched.NewParker(), spin: spin}
+}
+
+func (q *SPSC[T]) newNode(v T) *spscNode[T] {
+	q.cacheMu.Lock()
+	if n := len(q.cache); n > 0 {
+		nd := q.cache[n-1]
+		q.cache = q.cache[:n-1]
+		q.cacheMu.Unlock()
+		nd.next.Store(nil)
+		nd.v = v
+		return nd
+	}
+	q.cacheMu.Unlock()
+	return &spscNode[T]{v: v}
+}
+
+func (q *SPSC[T]) recycle(n *spscNode[T]) {
+	q.cacheMu.Lock()
+	if len(q.cache) < 64 {
+		q.cache = append(q.cache, n)
+	}
+	q.cacheMu.Unlock()
+}
+
+// Enqueue appends v. It never blocks. Enqueue after Close panics.
+func (q *SPSC[T]) Enqueue(v T) {
+	if q.closed.Load() {
+		panic("queue: Enqueue on closed SPSC")
+	}
+	n := q.newNode(v)
+	q.tail.next.Store(n) // publish
+	q.tail = n
+	q.parker.Unpark()
+}
+
+// Close marks the end of the stream. The consumer drains remaining
+// items and then Dequeue reports ok=false. Only the producer may call
+// Close. Close is idempotent.
+func (q *SPSC[T]) Close() {
+	q.closed.Store(true)
+	q.parker.Unpark()
+}
+
+// TryDequeue removes the head item without blocking. ok is false if the
+// queue is momentarily empty or closed-and-drained.
+func (q *SPSC[T]) TryDequeue() (v T, ok bool) {
+	next := q.head.next.Load()
+	if next == nil {
+		return v, false
+	}
+	v = next.v
+	var zero T
+	next.v = zero
+	old := q.head
+	q.head = next
+	q.recycle(old)
+	return v, true
+}
+
+// Dequeue removes the head item, blocking while the queue is empty and
+// open. ok=false means the queue is closed and fully drained.
+func (q *SPSC[T]) Dequeue() (v T, ok bool) {
+	for i := 0; ; i++ {
+		if v, ok = q.TryDequeue(); ok {
+			return v, true
+		}
+		if q.closed.Load() {
+			// Re-check after observing closed: the producer may have
+			// enqueued right before closing.
+			if v, ok = q.TryDequeue(); ok {
+				return v, true
+			}
+			return v, false
+		}
+		if i < q.spin {
+			sched.SpinWait(i)
+			continue
+		}
+		q.parker.Park()
+		i = 0
+	}
+}
+
+// Empty reports whether the queue currently has no items. Only advisory:
+// a producer may be enqueueing concurrently.
+func (q *SPSC[T]) Empty() bool {
+	return q.head.next.Load() == nil
+}

@@ -1,0 +1,103 @@
+package remote
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+)
+
+// Client is a remote SCOOP client: its private queues ride on a
+// network connection instead of an in-process lock-free queue. One
+// Client maps to one connection and, like core.Client, must not be
+// used concurrently.
+type Client struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// Dial connects to a Server.
+func Dial(network, addr string) (*Client, error) {
+	conn, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, fmt.Errorf("remote: %w", err)
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn) *Client {
+	return &Client{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+}
+
+// Close tears the connection down. An open separate block on the
+// server is closed out when the server notices.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip sends m and waits for the reply.
+func (c *Client) roundTrip(m msg) (int64, error) {
+	if err := c.enc.Encode(m); err != nil {
+		return 0, fmt.Errorf("remote: send: %w", err)
+	}
+	var r msg
+	if err := c.dec.Decode(&r); err != nil {
+		return 0, fmt.Errorf("remote: recv: %w", err)
+	}
+	if r.Kind != kindReply {
+		return 0, fmt.Errorf("remote: unexpected reply kind %d", r.Kind)
+	}
+	if r.Err != "" {
+		return 0, fmt.Errorf("remote: server: %s", r.Err)
+	}
+	return r.Val, nil
+}
+
+// Session is a remote separate block in progress.
+type Session struct {
+	c    *Client
+	done bool
+}
+
+// Separate opens a separate block on the named remote handler, runs
+// body, and ends the block. Errors from the body's operations are
+// returned.
+func (c *Client) Separate(handler string, body func(s *Session) error) error {
+	if _, err := c.roundTrip(msg{Kind: kindBegin, Handler: handler}); err != nil {
+		return err
+	}
+	s := &Session{c: c}
+	bodyErr := body(s)
+	if s.done {
+		return bodyErr
+	}
+	if _, err := c.roundTrip(msg{Kind: kindEnd}); err != nil {
+		if bodyErr != nil {
+			return bodyErr
+		}
+		return err
+	}
+	return bodyErr
+}
+
+// Call logs an asynchronous call of the named procedure. Like a local
+// Session.Call it does not wait for execution; unlike one it does pay
+// the network write.
+func (s *Session) Call(fn string, args ...int64) error {
+	if err := s.c.enc.Encode(msg{Kind: kindCall, Fn: fn, Args: args}); err != nil {
+		return fmt.Errorf("remote: send: %w", err)
+	}
+	return nil
+}
+
+// Query runs the named procedure synchronously and returns its result;
+// it observes every previously logged call of this block.
+func (s *Session) Query(fn string, args ...int64) (int64, error) {
+	return s.c.roundTrip(msg{Kind: kindQuery, Fn: fn, Args: args})
+}
+
+// Sync brings the remote handler to a quiescent point on this block's
+// private queue.
+func (s *Session) Sync() error {
+	_, err := s.c.roundTrip(msg{Kind: kindSync})
+	return err
+}

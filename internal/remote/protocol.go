@@ -1,0 +1,45 @@
+// Package remote implements the paper's §7 future-work item: private
+// queues with sockets as the underlying implementation. A Server
+// exposes named procedures bound to the handlers of a local SCOOP/Qs
+// runtime; a remote client dials in and gets the same separate-block
+// vocabulary — asynchronous calls, synchronous queries, sync
+// handshakes — with the private queue realized as a TCP (or any
+// net.Conn) stream plus a gob-encoded message protocol.
+//
+// The mapping is direct: one connection carries one client's traffic;
+// a BEGIN/END message pair brackets each separate block (the
+// reservation and the END marker of the separate rule); CALL messages
+// are fire-and-forget like Session.Call; QUERY and SYNC messages wait
+// for a reply like Session queries. The server end replays each
+// operation onto a real core.Session, so all ordering and
+// no-interleaving guarantees carry over to remote clients — the
+// queue-of-queues does not care that the producer is a socket reader.
+//
+// Values are int64 (the protocol's wire currency); richer payloads are
+// an encoding concern, not a semantics one.
+package remote
+
+// msgKind enumerates protocol messages.
+type msgKind uint8
+
+const (
+	// client -> server
+	kindBegin msgKind = iota // reserve: open a separate block on Handler
+	kindEnd                  // end the block (the END marker)
+	kindCall                 // asynchronous call, no reply
+	kindQuery                // synchronous query, reply carries the value
+	kindSync                 // sync handshake, empty reply
+	// server -> client
+	kindReply // query/sync reply
+)
+
+// msg is the wire message. Fields are used per kind; gob omits zero
+// values so the envelope stays small.
+type msg struct {
+	Kind    msgKind
+	Handler string  // kindBegin: target handler name
+	Fn      string  // kindCall/kindQuery: procedure name
+	Args    []int64 // kindCall/kindQuery
+	Val     int64   // kindReply
+	Err     string  // kindReply: non-empty on failure
+}

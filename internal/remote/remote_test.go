@@ -1,0 +1,270 @@
+package remote
+
+import (
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"scoopqs/internal/core"
+)
+
+// startServer brings up a runtime with one exposed counter handler and
+// a TCP listener on a random port.
+func startServer(t *testing.T) (addr string, counter *int64, shutdown func()) {
+	t.Helper()
+	rt := core.New(core.ConfigAll)
+	h := rt.NewHandler("counter")
+	var n int64
+	srv := NewServer(rt)
+	srv.Expose("counter", h, map[string]Proc{
+		"add": func(a []int64) int64 { n += a[0]; return n },
+		"get": func([]int64) int64 { return n },
+		"boom": func([]int64) int64 {
+			panic("remote boom")
+		},
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	return ln.Addr().String(), &n, func() {
+		srv.Close()
+		rt.Shutdown()
+	}
+}
+
+func TestRemoteCallAndQuery(t *testing.T) {
+	addr, _, shutdown := startServer(t)
+	defer shutdown()
+
+	c, err := Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	err = c.Separate("counter", func(s *Session) error {
+		for i := int64(1); i <= 10; i++ {
+			if err := s.Call("add", i); err != nil {
+				return err
+			}
+		}
+		// The query must observe all ten adds: 1+..+10 = 55.
+		v, err := s.Query("get")
+		if err != nil {
+			return err
+		}
+		if v != 55 {
+			t.Errorf("query saw %d, want 55", v)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoteNoInterleavingAcrossClients(t *testing.T) {
+	addr, _, shutdown := startServer(t)
+	defer shutdown()
+
+	// Many remote clients log add(1) x k then read; each must see a
+	// value >= its own contribution and the final total must be exact.
+	const clients, k = 6, 50
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := Dial("tcp", addr)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			err = c.Separate("counter", func(s *Session) error {
+				before, err := s.Query("get")
+				if err != nil {
+					return err
+				}
+				for j := 0; j < k; j++ {
+					if err := s.Call("add", 1); err != nil {
+						return err
+					}
+				}
+				after, err := s.Query("get")
+				if err != nil {
+					return err
+				}
+				// Within one block nobody else may interleave: the
+				// delta must be exactly k.
+				if after-before != k {
+					t.Errorf("interleaving detected: delta %d, want %d", after-before, k)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	c, err := Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	err = c.Separate("counter", func(s *Session) error {
+		v, err := s.Query("get")
+		if err != nil {
+			return err
+		}
+		if v != clients*k {
+			t.Errorf("final total %d, want %d", v, clients*k)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoteSync(t *testing.T) {
+	addr, nptr, shutdown := startServer(t)
+	defer shutdown()
+	c, err := Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	err = c.Separate("counter", func(s *Session) error {
+		if err := s.Call("add", 7); err != nil {
+			return err
+		}
+		if err := s.Sync(); err != nil {
+			return err
+		}
+		// After sync the handler has applied the call; reading the
+		// variable directly from the test is safe only because the
+		// handler is parked on this block's queue.
+		if *nptr != 7 {
+			t.Errorf("after sync, n = %d, want 7", *nptr)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoteUnknownHandler(t *testing.T) {
+	addr, _, shutdown := startServer(t)
+	defer shutdown()
+	c, err := Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	err = c.Separate("nonesuch", func(s *Session) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "unknown handler") {
+		t.Fatalf("err = %v, want unknown handler", err)
+	}
+}
+
+func TestRemoteUnknownProcedure(t *testing.T) {
+	addr, _, shutdown := startServer(t)
+	defer shutdown()
+	c, err := Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	err = c.Separate("counter", func(s *Session) error {
+		_, err := s.Query("frobnicate")
+		return err
+	})
+	if err == nil || !strings.Contains(err.Error(), "unknown procedure") {
+		t.Fatalf("err = %v, want unknown procedure", err)
+	}
+}
+
+func TestRemoteQueryPanicSurfaces(t *testing.T) {
+	addr, _, shutdown := startServer(t)
+	defer shutdown()
+	c, err := Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	err = c.Separate("counter", func(s *Session) error {
+		_, err := s.Query("boom")
+		return err
+	})
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v, want handler panic surfaced", err)
+	}
+	// The server and handler survive for the next client.
+	c2, err := Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	err = c2.Separate("counter", func(s *Session) error {
+		_, err := s.Query("get")
+		return err
+	})
+	if err != nil {
+		t.Fatalf("server did not survive a handler panic: %v", err)
+	}
+}
+
+func TestRemoteClientDisconnectMidBlockReleasesHandler(t *testing.T) {
+	addr, _, shutdown := startServer(t)
+	defer shutdown()
+
+	c, err := Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Open a block, log a call, and vanish without END.
+	if _, err := c.roundTrip(msg{Kind: kindBegin, Handler: "counter"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.enc.Encode(msg{Kind: kindCall, Fn: "add", Args: []int64{1}}); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+
+	// A new client must still be able to use the handler: the server
+	// closes abandoned blocks.
+	c2, err := Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	done := make(chan error, 1)
+	go func() {
+		done <- c2.Separate("counter", func(s *Session) error {
+			_, err := s.Query("get")
+			return err
+		})
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-timeoutC(t):
+		t.Fatal("handler wedged by an abandoned remote block")
+	}
+}
+
+func timeoutC(t *testing.T) <-chan time.Time {
+	t.Helper()
+	// Generous on a loaded single-core box.
+	return time.After(10 * time.Second)
+}

@@ -1,0 +1,234 @@
+package remote
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"scoopqs/internal/core"
+)
+
+// Proc is a named procedure bound to handler-owned state. It runs under
+// the handler's exclusion like any other logged call.
+type Proc func(args []int64) int64
+
+// Server exposes handlers of a local runtime to remote clients. Each
+// accepted connection serves one remote client: its messages are
+// replayed onto real sessions, so remote clients get the same ordering
+// and no-interleaving guarantees as local ones.
+type Server struct {
+	rt *core.Runtime
+
+	mu       sync.Mutex
+	handlers map[string]*core.Handler
+	procs    map[string]map[string]Proc // handler -> proc name -> proc
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+
+	wg sync.WaitGroup
+}
+
+// NewServer creates a server for rt's handlers.
+func NewServer(rt *core.Runtime) *Server {
+	return &Server{
+		rt:       rt,
+		handlers: map[string]*core.Handler{},
+		procs:    map[string]map[string]Proc{},
+		conns:    map[net.Conn]struct{}{},
+	}
+}
+
+// Expose registers a handler under a public name with its callable
+// procedures. Procedures must only touch state owned by h.
+func (s *Server) Expose(name string, h *core.Handler, procs map[string]Proc) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[name] = h
+	s.procs[name] = procs
+}
+
+// Serve accepts connections on ln until Close. It blocks; run it in a
+// goroutine.
+func (s *Server) Serve(ln net.Listener) {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// Close stops accepting, closes live connections, and waits for the
+// per-connection goroutines.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.wg.Wait()
+}
+
+// serveConn replays one remote client's protocol onto local sessions.
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	client := s.rt.NewClient()
+
+	var sess *core.Session
+	var procs map[string]Proc
+
+	reply := func(v int64, err error) bool {
+		m := msg{Kind: kindReply, Val: v}
+		if err != nil {
+			m.Err = err.Error()
+		}
+		return enc.Encode(m) == nil
+	}
+
+	// We cannot use Client.Separate's callback shape across a message
+	// loop, so the block is driven manually with the same primitives:
+	// reserve on BEGIN, END marker on END.
+	var release func()
+	for {
+		var m msg
+		if err := dec.Decode(&m); err != nil {
+			if release != nil {
+				release() // client vanished mid-block: close it out
+			}
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				// Connection torn down; nothing else to do.
+				_ = err
+			}
+			return
+		}
+		switch m.Kind {
+		case kindBegin:
+			if sess != nil {
+				reply(0, fmt.Errorf("remote: BEGIN inside an open block"))
+				return
+			}
+			s.mu.Lock()
+			h := s.handlers[m.Handler]
+			procs = s.procs[m.Handler]
+			s.mu.Unlock()
+			if h == nil {
+				if !reply(0, fmt.Errorf("remote: unknown handler %q", m.Handler)) {
+					return
+				}
+				continue
+			}
+			sess, release = client.Reserve(h)
+			if !reply(0, nil) {
+				release()
+				return
+			}
+		case kindEnd:
+			if sess == nil {
+				reply(0, fmt.Errorf("remote: END without a block"))
+				return
+			}
+			release()
+			sess, release = nil, nil
+			if !reply(0, nil) {
+				return
+			}
+		case kindCall:
+			if sess == nil {
+				reply(0, fmt.Errorf("remote: CALL outside a block"))
+				return
+			}
+			proc, ok := procs[m.Fn]
+			if !ok {
+				// Surface at the next synchronous point, like a
+				// handler-side failure.
+				reply(0, fmt.Errorf("remote: unknown procedure %q", m.Fn))
+				return
+			}
+			args := m.Args
+			sess.Call(func() { proc(args) })
+		case kindQuery:
+			if sess == nil {
+				reply(0, fmt.Errorf("remote: QUERY outside a block"))
+				return
+			}
+			proc, ok := procs[m.Fn]
+			if !ok {
+				if !reply(0, fmt.Errorf("remote: unknown procedure %q", m.Fn)) {
+					return
+				}
+				continue
+			}
+			args := m.Args
+			v, err := safeQuery(sess, proc, args)
+			if !reply(v, err) {
+				return
+			}
+		case kindSync:
+			if sess == nil {
+				reply(0, fmt.Errorf("remote: SYNC outside a block"))
+				return
+			}
+			err := safeSync(sess)
+			if !reply(0, err) {
+				return
+			}
+		default:
+			reply(0, fmt.Errorf("remote: unexpected message kind %d", m.Kind))
+			return
+		}
+	}
+}
+
+// safeQuery runs the query through the runtime, converting handler
+// panics into protocol errors.
+func safeQuery(s *core.Session, proc Proc, args []int64) (v int64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("remote: %v", r)
+		}
+	}()
+	return core.Query(s, func() int64 { return proc(args) }), nil
+}
+
+// safeSync is Session.Sync with panic conversion.
+func safeSync(s *core.Session) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("remote: %v", r)
+		}
+	}()
+	s.Sync()
+	return nil
+}

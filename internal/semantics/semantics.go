@@ -1,0 +1,329 @@
+// Package semantics is an executable model of the paper's Fig. 3: the
+// SCOOP/Qs operational semantics as a small-step transition system over
+// abstract configurations, with exhaustive exploration of every
+// interleaving. It exists to validate the runtime against the formal
+// model: properties the exploration proves for small programs (for
+// example, that the Fig. 1 program admits exactly two execution orders)
+// are asserted of internal/core by the runtime's own tests.
+//
+// A configuration is a parallel composition of handler triples
+// (h, qh, s): identity, request queue, and remaining program. The
+// request queue is the queue of queues — a FIFO of handler-tagged
+// private queues whose entries are logged actions. The transition rules
+// implemented are exactly the paper's: separate (generalized to
+// multiple reservations, §2.4), call, query, sync, run, end, plus the
+// structural sequencing rules.
+package semantics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Stmt is a program statement of the abstract syntax
+//
+//	s ::= separate X s | call(x, f) | query(x, f) |
+//	      wait h | release h | end | skip
+//
+// wait/release/end are runtime statements produced by the rules.
+type Stmt struct {
+	Kind    StmtKind
+	Targets []string // Separate: reserved handlers (the set X)
+	X       string   // Call/Query/Wait/Release target
+	F       string   // Call/Query routine name
+	Body    []Stmt   // Separate body
+}
+
+// StmtKind enumerates statement forms.
+type StmtKind uint8
+
+// Statement kinds.
+const (
+	SSkip StmtKind = iota
+	SSeparate
+	SCall
+	SQuery
+	SWait
+	SRelease
+	SEnd // executed by a handler: finish the current private queue
+)
+
+// Convenience constructors mirroring the paper's syntax.
+func Separate(targets []string, body ...Stmt) Stmt {
+	return Stmt{Kind: SSeparate, Targets: targets, Body: body}
+}
+func Call(x, f string) Stmt  { return Stmt{Kind: SCall, X: x, F: f} }
+func Query(x, f string) Stmt { return Stmt{Kind: SQuery, X: x, F: f} }
+
+// action is an entry of a private queue: a routine to execute, a
+// release-to-client marker (from a query), or the END marker.
+type action struct {
+	kind aKind
+	f    string
+	h    string // release target (the waiting client)
+}
+
+type aKind uint8
+
+const (
+	aCall aKind = iota
+	aRelease
+	aEnd
+)
+
+// privQ is one private queue: the client it belongs to and its logged
+// actions.
+type privQ struct {
+	client string
+	items  []action
+}
+
+// handler is one triple (h, qh, s).
+type handler struct {
+	queue []privQ
+	prog  []Stmt // sequential composition, head = next statement
+}
+
+// State is a configuration: the parallel composition of handlers. The
+// Log records every executed call as "handler.f" in execution order —
+// the observable the reasoning guarantees constrain.
+type State struct {
+	handlers map[string]*handler
+	Log      []string
+}
+
+// NewState builds a configuration from handler programs (handlers with
+// no program are pure suppliers).
+func NewState(progs map[string][]Stmt) *State {
+	st := &State{handlers: map[string]*handler{}}
+	for h, p := range progs {
+		st.handlers[h] = &handler{prog: append([]Stmt(nil), p...)}
+	}
+	return st
+}
+
+// clone deep-copies the configuration.
+func (st *State) clone() *State {
+	out := &State{
+		handlers: make(map[string]*handler, len(st.handlers)),
+		Log:      append([]string(nil), st.Log...),
+	}
+	for name, h := range st.handlers {
+		nh := &handler{prog: append([]Stmt(nil), h.prog...)}
+		nh.queue = make([]privQ, len(h.queue))
+		for i, q := range h.queue {
+			nh.queue[i] = privQ{client: q.client, items: append([]action(nil), q.items...)}
+		}
+		out.handlers[name] = nh
+	}
+	return out
+}
+
+// key is a canonical fingerprint for visited-state deduplication.
+func (st *State) key() string {
+	names := make([]string, 0, len(st.handlers))
+	for n := range st.handlers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	for _, n := range names {
+		h := st.handlers[n]
+		fmt.Fprintf(&sb, "%s|%v|", n, h.prog)
+		for _, q := range h.queue {
+			fmt.Fprintf(&sb, "[%s:%v]", q.client, q.items)
+		}
+		sb.WriteByte(';')
+	}
+	sb.WriteString(strings.Join(st.Log, ","))
+	return sb.String()
+}
+
+// lastQ returns the LAST private queue of client c in h's request queue
+// (lookup and update work on the last occurrence — §2.3).
+func (h *handler) lastQ(c string) *privQ {
+	for i := len(h.queue) - 1; i >= 0; i-- {
+		if h.queue[i].client == c {
+			return &h.queue[i]
+		}
+	}
+	return nil
+}
+
+// Terminal reports whether no rule applies anywhere: every program has
+// run to completion and every queue is drained.
+func (st *State) Terminal() bool { return len(st.successors()) == 0 }
+
+// Stuck reports whether the configuration is terminal but some handler
+// still has work it can never perform — a deadlock.
+func (st *State) Stuck() bool {
+	if !st.Terminal() {
+		return false
+	}
+	for _, h := range st.handlers {
+		if len(h.prog) > 0 || len(h.queue) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// successors applies every enabled rule once, each yielding one next
+// state.
+func (st *State) successors() []*State {
+	var out []*State
+	names := make([]string, 0, len(st.handlers))
+	for n := range st.handlers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	for _, hn := range names {
+		h := st.handlers[hn]
+		if len(h.prog) == 0 {
+			// skip program: the run/end rules.
+			out = append(out, st.runRule(hn)...)
+			continue
+		}
+		s := h.prog[0]
+		switch s.Kind {
+		case SSkip:
+			ns := st.clone()
+			ns.handlers[hn].prog = ns.handlers[hn].prog[1:]
+			out = append(out, ns)
+		case SSeparate:
+			// Generalized separate: atomically append an empty private
+			// queue to every target; body then ends each (endMany).
+			ns := st.clone()
+			nh := ns.handlers[hn]
+			rest := append([]Stmt(nil), s.Body...)
+			for _, x := range s.Targets {
+				ns.handlers[x].queue = append(ns.handlers[x].queue, privQ{client: hn})
+				rest = append(rest, Stmt{Kind: SEnd, X: x})
+			}
+			nh.prog = append(rest, nh.prog[1:]...)
+			out = append(out, ns)
+		case SCall:
+			ns := st.clone()
+			q := ns.handlers[s.X].lastQ(hn)
+			if q == nil {
+				break // call outside a reservation: no rule applies
+			}
+			q.items = append(q.items, action{kind: aCall, f: s.F})
+			ns.handlers[hn].prog = ns.handlers[hn].prog[1:]
+			out = append(out, ns)
+		case SQuery:
+			ns := st.clone()
+			q := ns.handlers[s.X].lastQ(hn)
+			if q == nil {
+				break
+			}
+			q.items = append(q.items,
+				action{kind: aCall, f: s.F},
+				action{kind: aRelease, h: hn})
+			nh := ns.handlers[hn]
+			nh.prog = append([]Stmt{{Kind: SWait, X: s.X}}, nh.prog[1:]...)
+			out = append(out, ns)
+		case SWait:
+			// Handled by the sync rule from the supplier's side.
+		case SEnd:
+			ns := st.clone()
+			q := ns.handlers[s.X].lastQ(hn)
+			if q == nil {
+				break
+			}
+			q.items = append(q.items, action{kind: aEnd})
+			ns.handlers[hn].prog = ns.handlers[hn].prog[1:]
+			out = append(out, ns)
+		}
+	}
+	return out
+}
+
+// runRule fires the run/end/sync rules for an idle handler.
+func (st *State) runRule(hn string) []*State {
+	h := st.handlers[hn]
+	if len(h.queue) == 0 {
+		return nil
+	}
+	head := h.queue[0]
+	if len(head.items) == 0 {
+		return nil // client still logging; nothing to take
+	}
+	a := head.items[0]
+	switch a.kind {
+	case aEnd:
+		// end rule: drop the finished private queue.
+		ns := st.clone()
+		nh := ns.handlers[hn]
+		nh.queue = nh.queue[1:]
+		return []*State{ns}
+	case aCall:
+		ns := st.clone()
+		nh := ns.handlers[hn]
+		nh.queue[0].items = nh.queue[0].items[1:]
+		ns.Log = append(ns.Log, hn+"."+a.f)
+		return []*State{ns}
+	case aRelease:
+		// sync rule: only fires when the client is in wait x for us.
+		client := st.handlers[a.h]
+		if len(client.prog) == 0 || client.prog[0].Kind != SWait || client.prog[0].X != hn {
+			return nil
+		}
+		ns := st.clone()
+		nh := ns.handlers[hn]
+		nh.queue[0].items = nh.queue[0].items[1:]
+		nc := ns.handlers[a.h]
+		nc.prog = nc.prog[1:]
+		return []*State{ns}
+	}
+	return nil
+}
+
+// Result of an exhaustive exploration.
+type Result struct {
+	// Logs is the set of distinct complete execution logs (joined with
+	// spaces), for terminal non-stuck states.
+	Logs map[string]bool
+	// Deadlocks counts distinct stuck terminal states.
+	Deadlocks int
+	// States is the number of distinct configurations visited.
+	States int
+}
+
+// Explore exhaustively enumerates every interleaving from the initial
+// state (bounded by maxStates as a safety net) and classifies the
+// terminal states.
+func Explore(initial *State, maxStates int) (*Result, error) {
+	if maxStates <= 0 {
+		maxStates = 200_000
+	}
+	res := &Result{Logs: map[string]bool{}}
+	seen := map[string]bool{}
+	stack := []*State{initial}
+	for len(stack) > 0 {
+		st := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		k := st.key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		if len(seen) > maxStates {
+			return nil, fmt.Errorf("semantics: state space exceeds %d states", maxStates)
+		}
+		succ := st.successors()
+		if len(succ) == 0 {
+			if st.Stuck() {
+				res.Deadlocks++
+			} else {
+				res.Logs[strings.Join(st.Log, " ")] = true
+			}
+			continue
+		}
+		stack = append(stack, succ...)
+	}
+	res.States = len(seen)
+	return res, nil
+}

@@ -1,0 +1,222 @@
+package semantics
+
+import (
+	"strings"
+	"testing"
+)
+
+// Fig. 1: two clients with separate blocks on the same handler x.
+// The paper: "there are only two possible interleavings".
+func TestFig1ExactlyTwoInterleavings(t *testing.T) {
+	st := NewState(map[string][]Stmt{
+		"x": nil, // supplier
+		"t1": {Separate([]string{"x"},
+			Call("x", "foo"),
+			Call("x", "bar"),
+		)},
+		"t2": {Separate([]string{"x"},
+			Call("x", "bar"),
+			Call("x", "baz"),
+		)},
+	})
+	res, err := Explore(st, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deadlocks != 0 {
+		t.Fatalf("unexpected deadlocks: %d", res.Deadlocks)
+	}
+	want1 := "x.foo x.bar x.bar x.baz"
+	want2 := "x.bar x.baz x.foo x.bar"
+	if len(res.Logs) != 2 || !res.Logs[want1] || !res.Logs[want2] {
+		t.Fatalf("logs = %v, want exactly {%q, %q}", keys(res.Logs), want1, want2)
+	}
+}
+
+func keys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Queries synchronize: the client cannot proceed past a query until the
+// supplier reaches it, so the log order respects the wait.
+func TestQuerySynchronizes(t *testing.T) {
+	st := NewState(map[string][]Stmt{
+		"x": nil,
+		"c": {Separate([]string{"x"},
+			Call("x", "a"),
+			Query("x", "q"),
+			Call("x", "b"),
+		)},
+	})
+	res, err := Explore(st, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deadlocks != 0 {
+		t.Fatalf("deadlocks: %d", res.Deadlocks)
+	}
+	if len(res.Logs) != 1 || !res.Logs["x.a x.q x.b"] {
+		t.Fatalf("logs = %v", keys(res.Logs))
+	}
+}
+
+// §2.4 / Fig. 5: multi-handler reservation is atomic, so two writers
+// setting (x, y) to red-red and blue-blue can only yield the orders
+// where each pair is contiguous per handler — never red on x and blue
+// on y for an observer with the same reservation discipline.
+func TestFig5AtomicPairReservation(t *testing.T) {
+	st := NewState(map[string][]Stmt{
+		"x": nil, "y": nil,
+		"t1": {Separate([]string{"x", "y"},
+			Call("x", "red"),
+			Call("y", "red"),
+		)},
+		"t2": {Separate([]string{"x", "y"},
+			Call("x", "blue"),
+			Call("y", "blue"),
+		)},
+	})
+	res, err := Explore(st, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deadlocks != 0 {
+		t.Fatalf("deadlocks: %d", res.Deadlocks)
+	}
+	// Project each log onto x and y: the last write per handler must
+	// agree (both red or both blue) because reservations are atomic
+	// and FIFO per handler.
+	for log := range res.Logs {
+		lastX, lastY := "", ""
+		for _, ev := range strings.Fields(log) {
+			switch {
+			case strings.HasPrefix(ev, "x."):
+				lastX = strings.TrimPrefix(ev, "x.")
+			case strings.HasPrefix(ev, "y."):
+				lastY = strings.TrimPrefix(ev, "y.")
+			}
+		}
+		if lastX != lastY {
+			t.Fatalf("final colours diverge in log %q", log)
+		}
+	}
+}
+
+// §2.5, first half: the Fig. 6 program (nested reservations in
+// inconsistent order) cannot deadlock under SCOOP/Qs because
+// reservations never block.
+func TestFig6NoDeadlockWithoutQueries(t *testing.T) {
+	st := NewState(map[string][]Stmt{
+		"x": nil, "y": nil,
+		"c1": {Separate([]string{"x"},
+			Separate([]string{"y"},
+				Call("x", "foo"),
+				Call("y", "bar"),
+			),
+		)},
+		"c2": {Separate([]string{"y"},
+			Separate([]string{"x"},
+				Call("x", "foo"),
+				Call("y", "bar"),
+			),
+		)},
+	})
+	res, err := Explore(st, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deadlocks != 0 {
+		t.Fatalf("Fig. 6 without queries deadlocked %d times; the paper says it cannot", res.Deadlocks)
+	}
+	if len(res.Logs) == 0 {
+		t.Fatal("no terminal logs")
+	}
+}
+
+// §2.5, second half: adding queries to the innermost blocks
+// reintroduces deadlock on some schedules — and not on all.
+func TestFig6QueriesCanDeadlock(t *testing.T) {
+	st := NewState(map[string][]Stmt{
+		"x": nil, "y": nil,
+		"c1": {Separate([]string{"x"},
+			Separate([]string{"y"},
+				Query("x", "qx"),
+				Query("y", "qy"),
+			),
+		)},
+		"c2": {Separate([]string{"y"},
+			Separate([]string{"x"},
+				Query("y", "qy"),
+				Query("x", "qx"),
+			),
+		)},
+	})
+	res, err := Explore(st, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deadlocks == 0 {
+		t.Fatal("no deadlocks found; the paper says queries make Fig. 6 deadlock on some schedules")
+	}
+	if len(res.Logs) == 0 {
+		t.Fatal("every schedule deadlocked; only some should")
+	}
+}
+
+// Per-client order: a single client's calls execute in program order.
+func TestProgramOrderPreserved(t *testing.T) {
+	st := NewState(map[string][]Stmt{
+		"x": nil,
+		"c": {Separate([]string{"x"},
+			Call("x", "1"), Call("x", "2"), Call("x", "3"),
+		)},
+	})
+	res, err := Explore(st, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Logs) != 1 || !res.Logs["x.1 x.2 x.3"] {
+		t.Fatalf("logs = %v", keys(res.Logs))
+	}
+}
+
+// Two suppliers, one client: calls to different handlers may interleave
+// across handlers but stay ordered within each.
+func TestCrossHandlerConcurrency(t *testing.T) {
+	st := NewState(map[string][]Stmt{
+		"x": nil, "y": nil,
+		"c": {Separate([]string{"x", "y"},
+			Call("x", "a"), Call("y", "b"),
+		)},
+	})
+	res, err := Explore(st, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The two executions are concurrent: both orders of x.a / y.b.
+	if len(res.Logs) != 2 {
+		t.Fatalf("logs = %v, want both interleavings", keys(res.Logs))
+	}
+	for log := range res.Logs {
+		if !strings.Contains(log, "x.a") || !strings.Contains(log, "y.b") {
+			t.Fatalf("missing events in %q", log)
+		}
+	}
+}
+
+// The state-space bound turns runaway exploration into an error.
+func TestExploreBound(t *testing.T) {
+	st := NewState(map[string][]Stmt{
+		"x": nil, "y": nil, "z": nil,
+		"a": {Separate([]string{"x"}, Call("x", "1"), Call("x", "2"))},
+		"b": {Separate([]string{"y"}, Call("y", "1"), Call("y", "2"))},
+		"c": {Separate([]string{"z"}, Call("z", "1"), Call("z", "2"))},
+	})
+	if _, err := Explore(st, 5); err == nil {
+		t.Fatal("expected state-space bound error")
+	}
+}

@@ -1,0 +1,236 @@
+package stm
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestReadWriteBasic(t *testing.T) {
+	tv := NewTVar(10)
+	got := Atomically(func(tx *Txn) any {
+		v := tx.ReadInt(tv)
+		tx.Write(tv, v+1)
+		return tx.ReadInt(tv) // must see own write
+	})
+	if got.(int) != 11 {
+		t.Fatalf("got %v, want 11", got)
+	}
+	if v := Atomically(func(tx *Txn) any { return tx.Read(tv) }); v.(int) != 11 {
+		t.Fatalf("committed value = %v, want 11", v)
+	}
+}
+
+func TestCounterSerializable(t *testing.T) {
+	tv := NewTVar(0)
+	const workers, iters = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				Void(func(tx *Txn) { tx.Write(tv, tx.ReadInt(tv)+1) })
+			}
+		}()
+	}
+	wg.Wait()
+	got := Atomically(func(tx *Txn) any { return tx.Read(tv) }).(int)
+	if got != workers*iters {
+		t.Fatalf("counter = %d, want %d (lost updates)", got, workers*iters)
+	}
+}
+
+// Invariant preservation: concurrent transfers between two accounts
+// never create or destroy money, and no transaction observes a torn
+// state.
+func TestBankInvariant(t *testing.T) {
+	a := NewTVar(500)
+	b := NewTVar(500)
+	stop := make(chan struct{})
+	var bad atomic_bool
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			total := Atomically(func(tx *Txn) any {
+				return tx.ReadInt(a) + tx.ReadInt(b)
+			}).(int)
+			if total != 1000 {
+				bad.set()
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 3000; i++ {
+				amt := (w+i)%7 - 3
+				Void(func(tx *Txn) {
+					tx.Write(a, tx.ReadInt(a)-amt)
+					tx.Write(b, tx.ReadInt(b)+amt)
+				})
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	if bad.get() {
+		t.Fatal("observer saw a torn transfer")
+	}
+	total := Atomically(func(tx *Txn) any { return tx.ReadInt(a) + tx.ReadInt(b) }).(int)
+	if total != 1000 {
+		t.Fatalf("total = %d, want 1000", total)
+	}
+}
+
+func TestRetryBlocksUntilChange(t *testing.T) {
+	tv := NewTVar(0)
+	got := make(chan int, 1)
+	go func() {
+		got <- Atomically(func(tx *Txn) any {
+			v := tx.ReadInt(tv)
+			if v == 0 {
+				tx.Retry()
+			}
+			return v
+		}).(int)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	select {
+	case <-got:
+		t.Fatal("retry transaction completed before the variable changed")
+	default:
+	}
+	Void(func(tx *Txn) { tx.Write(tv, 42) })
+	select {
+	case v := <-got:
+		if v != 42 {
+			t.Fatalf("got %d, want 42", v)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("retry never woke up")
+	}
+}
+
+func TestRetryWakesAllRelevantWaiters(t *testing.T) {
+	gate := NewTVar(false)
+	const n = 20
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			Void(func(tx *Txn) {
+				if !tx.Read(gate).(bool) {
+					tx.Retry()
+				}
+			})
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	Void(func(tx *Txn) { tx.Write(gate, true) })
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("not all retry waiters woke")
+	}
+}
+
+func TestUserPanicPropagates(t *testing.T) {
+	tv := NewTVar(1)
+	defer func() {
+		if r := recover(); r != "user" {
+			t.Fatalf("recovered %v, want user panic", r)
+		}
+		// The failed transaction must not have committed.
+		if v := Atomically(func(tx *Txn) any { return tx.Read(tv) }).(int); v != 1 {
+			t.Fatalf("aborted txn committed: %d", v)
+		}
+	}()
+	Void(func(tx *Txn) {
+		tx.Write(tv, 99)
+		panic("user")
+	})
+}
+
+func TestConflictingWritersAllCommit(t *testing.T) {
+	// Two TVars written in opposite orders by different goroutines:
+	// id-ordered commit locking must not deadlock.
+	x := NewTVar(0)
+	y := NewTVar(0)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				if w%2 == 0 {
+					Void(func(tx *Txn) {
+						tx.Write(x, tx.ReadInt(x)+1)
+						tx.Write(y, tx.ReadInt(y)+1)
+					})
+				} else {
+					Void(func(tx *Txn) {
+						tx.Write(y, tx.ReadInt(y)+1)
+						tx.Write(x, tx.ReadInt(x)+1)
+					})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	gx := Atomically(func(tx *Txn) any { return tx.Read(x) }).(int)
+	gy := Atomically(func(tx *Txn) any { return tx.Read(y) }).(int)
+	if gx != 8000 || gy != 8000 {
+		t.Fatalf("x=%d y=%d, want 8000 each", gx, gy)
+	}
+}
+
+// Property: a sequence of single-threaded transactional ops equals the
+// same ops on a plain map.
+func TestQuickSequentialEquivalence(t *testing.T) {
+	f := func(ops []uint8) bool {
+		tvs := []*TVar{NewTVar(0), NewTVar(0), NewTVar(0)}
+		ref := []int{0, 0, 0}
+		for i, op := range ops {
+			k := int(op) % 3
+			delta := int(op)/3%5 - 2
+			Void(func(tx *Txn) { tx.Write(tvs[k], tx.ReadInt(tvs[k])+delta) })
+			ref[k] += delta
+			_ = i
+		}
+		for k := range tvs {
+			got := Atomically(func(tx *Txn) any { return tx.Read(tvs[k]) }).(int)
+			if got != ref[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// tiny atomic bool helper to avoid importing sync/atomic in tests twice
+type atomic_bool struct {
+	mu sync.Mutex
+	v  bool
+}
+
+func (b *atomic_bool) set() { b.mu.Lock(); b.v = true; b.mu.Unlock() }
+func (b *atomic_bool) get() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.v
+}

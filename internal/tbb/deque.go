@@ -1,0 +1,115 @@
+// Package tbb is a work-stealing task pool with parallel algorithm
+// skeletons (ParallelFor, ParallelReduce, ParallelSort) in the spirit
+// of Intel Threading Building Blocks. It is the substrate standing in
+// for C++/TBB in the paper's language comparison: fork-join data
+// parallelism over shared memory with randomized work stealing and no
+// safety guarantees — the performance ceiling the safe models are
+// measured against.
+package tbb
+
+import "sync/atomic"
+
+// task is a unit of work. The executing worker is passed in so that
+// nested spawns go to the correct local deque.
+type task struct {
+	fn func(w *worker)
+}
+
+// wsBuf is a circular task buffer of power-of-two size.
+type wsBuf struct {
+	mask int64
+	a    []atomic.Pointer[task]
+}
+
+func newWsBuf(n int64) *wsBuf {
+	return &wsBuf{mask: n - 1, a: make([]atomic.Pointer[task], n)}
+}
+
+func (b *wsBuf) size() int64          { return b.mask + 1 }
+func (b *wsBuf) get(i int64) *task    { return b.a[i&b.mask].Load() }
+func (b *wsBuf) put(i int64, t *task) { b.a[i&b.mask].Store(t) }
+func (b *wsBuf) grow(bot, top int64) *wsBuf {
+	nb := newWsBuf(b.size() * 2)
+	for i := top; i < bot; i++ {
+		nb.put(i, b.get(i))
+	}
+	return nb
+}
+
+// wsDeque is a Chase–Lev work-stealing deque: the owning worker pushes
+// and pops at the bottom without synchronization in the common case;
+// thieves steal from the top with a CAS. Go's sync/atomic operations
+// are sequentially consistent, so the classic algorithm is used
+// without explicit fences.
+type wsDeque struct {
+	bottom atomic.Int64
+	top    atomic.Int64
+	buf    atomic.Pointer[wsBuf]
+}
+
+func newWsDeque() *wsDeque {
+	d := &wsDeque{}
+	d.buf.Store(newWsBuf(64))
+	return d
+}
+
+// push appends t at the bottom. Owner only.
+func (d *wsDeque) push(t *task) {
+	b := d.bottom.Load()
+	tp := d.top.Load()
+	buf := d.buf.Load()
+	if b-tp >= buf.size()-1 {
+		buf = buf.grow(b, tp)
+		d.buf.Store(buf)
+	}
+	buf.put(b, t)
+	d.bottom.Store(b + 1)
+}
+
+// pop removes the most recently pushed task. Owner only. Returns nil
+// when the deque is empty or the last task was lost to a thief.
+func (d *wsDeque) pop() *task {
+	b := d.bottom.Load() - 1
+	buf := d.buf.Load()
+	d.bottom.Store(b)
+	t := d.top.Load()
+	if t > b {
+		// Empty: restore.
+		d.bottom.Store(t)
+		return nil
+	}
+	tk := buf.get(b)
+	if t == b {
+		// Last element: race the thieves for it.
+		if !d.top.CompareAndSwap(t, t+1) {
+			tk = nil // a thief won
+		}
+		d.bottom.Store(t + 1)
+	}
+	return tk
+}
+
+// steal takes the oldest task. Safe from any goroutine. Returns nil if
+// the deque is empty or the steal raced and lost (caller may retry).
+func (d *wsDeque) steal() *task {
+	t := d.top.Load()
+	b := d.bottom.Load()
+	if t >= b {
+		return nil
+	}
+	buf := d.buf.Load()
+	tk := buf.get(t)
+	if !d.top.CompareAndSwap(t, t+1) {
+		return nil
+	}
+	return tk
+}
+
+// approxLen reports the approximate number of queued tasks.
+func (d *wsDeque) approxLen() int64 {
+	n := d.bottom.Load() - d.top.Load()
+	if n < 0 {
+		return 0
+	}
+	return n
+}

@@ -1,0 +1,281 @@
+package tbb
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"scoopqs/internal/sched"
+)
+
+// Pool is a fixed-size work-stealing task pool. Create one with
+// NewPool, run parallel algorithms on it, and Close it when done.
+type Pool struct {
+	workers []*worker
+
+	injectMu sync.Mutex
+	inject   []*task // submissions from non-worker goroutines
+
+	closed  atomic.Bool
+	pending atomic.Int64 // tasks submitted but not yet finished
+	wg      sync.WaitGroup
+}
+
+type worker struct {
+	pool   *pool
+	id     int
+	deque  *wsDeque
+	parker *sched.Parker
+	asleep atomic.Bool
+	rng    *rand.Rand
+}
+
+// pool is an alias used inside worker to keep field names short.
+type pool = Pool
+
+// NewPool starts a pool with n workers (n < 1 selects 1).
+func NewPool(n int) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	p := &Pool{}
+	for i := 0; i < n; i++ {
+		w := &worker{
+			pool:   p,
+			id:     i,
+			deque:  newWsDeque(),
+			parker: sched.NewParker(),
+			rng:    rand.New(rand.NewSource(int64(i)*2654435761 + 12345)),
+		}
+		p.workers = append(p.workers, w)
+	}
+	for _, w := range p.workers {
+		p.wg.Add(1)
+		go w.loop()
+	}
+	return p
+}
+
+// Size returns the number of workers.
+func (p *Pool) Size() int { return len(p.workers) }
+
+// Close stops the workers after all outstanding tasks finish. The pool
+// must not be used afterwards.
+func (p *Pool) Close() {
+	p.closed.Store(true)
+	p.wakeAll()
+	p.wg.Wait()
+}
+
+// spawn schedules t, preferring the spawning worker's own deque (w may
+// be nil for external submissions, which go to the inject queue).
+func (p *Pool) spawn(w *worker, t *task) {
+	p.pending.Add(1)
+	if w != nil {
+		w.deque.push(t)
+	} else {
+		p.injectMu.Lock()
+		p.inject = append(p.inject, t)
+		p.injectMu.Unlock()
+	}
+	p.wakeOne()
+}
+
+func (p *Pool) popInject() *task {
+	p.injectMu.Lock()
+	defer p.injectMu.Unlock()
+	if n := len(p.inject); n > 0 {
+		t := p.inject[0]
+		p.inject = p.inject[1:]
+		return t
+	}
+	return nil
+}
+
+func (p *Pool) wakeOne() {
+	for _, w := range p.workers {
+		if w.asleep.Load() {
+			w.parker.Unpark()
+			return
+		}
+	}
+}
+
+func (p *Pool) wakeAll() {
+	for _, w := range p.workers {
+		w.parker.Unpark()
+	}
+}
+
+// Go submits fn for asynchronous execution from any goroutine.
+func (p *Pool) Go(fn func()) {
+	p.spawn(nil, &task{fn: func(*worker) { fn() }})
+}
+
+func (w *worker) findTask() *task {
+	if t := w.deque.pop(); t != nil {
+		return t
+	}
+	if t := w.pool.popInject(); t != nil {
+		return t
+	}
+	// Randomized stealing, a few sweeps before giving up.
+	n := len(w.pool.workers)
+	for attempt := 0; attempt < 2*n; attempt++ {
+		victim := w.pool.workers[w.rng.Intn(n)]
+		if victim == w {
+			continue
+		}
+		if t := victim.deque.steal(); t != nil {
+			return t
+		}
+	}
+	return nil
+}
+
+func (w *worker) loop() {
+	defer w.pool.wg.Done()
+	idleSpins := 0
+	for {
+		t := w.findTask()
+		if t != nil {
+			idleSpins = 0
+			t.fn(w)
+			w.pool.pending.Add(-1)
+			continue
+		}
+		if w.pool.closed.Load() && w.pool.pending.Load() == 0 {
+			return
+		}
+		if idleSpins < 32 {
+			sched.SpinWait(idleSpins)
+			idleSpins++
+			continue
+		}
+		// Park with a publication handshake: set asleep, re-check for
+		// work that raced in, then sleep.
+		w.asleep.Store(true)
+		if t := w.findTask(); t != nil {
+			w.asleep.Store(false)
+			idleSpins = 0
+			t.fn(w)
+			w.pool.pending.Add(-1)
+			continue
+		}
+		if w.pool.closed.Load() {
+			w.asleep.Store(false)
+			if w.pool.pending.Load() == 0 {
+				return
+			}
+			continue
+		}
+		w.parker.Park()
+		w.asleep.Store(false)
+		idleSpins = 0
+	}
+}
+
+// ParallelFor executes body over [lo, hi) by recursive range splitting
+// with the given grain size: ranges at or below grain run sequentially;
+// larger ranges split in half, with the right half spawned for
+// stealing. The calling goroutine participates by running the leftmost
+// spine and then helps execute outstanding tasks until the whole range
+// has been processed, so nested ParallelFor calls from inside worker
+// tasks cannot deadlock the pool.
+func (p *Pool) ParallelFor(lo, hi, grain int, body func(lo, hi int)) {
+	if grain < 1 {
+		grain = 1
+	}
+	if hi <= lo {
+		return
+	}
+	var open atomic.Int64
+	var run func(w *worker, lo, hi int)
+	run = func(w *worker, lo, hi int) {
+		for hi-lo > grain {
+			mid := lo + (hi-lo)/2
+			open.Add(1)
+			mid, right := mid, hi
+			p.spawn(w, &task{fn: func(w2 *worker) {
+				defer open.Add(-1)
+				run(w2, mid, right)
+			}})
+			hi = mid
+		}
+		body(lo, hi)
+	}
+	run(nil, lo, hi)
+	p.helpUntil(nil, func() bool { return open.Load() == 0 })
+}
+
+// stealAny sweeps all workers' deques once, for external helpers.
+func (p *Pool) stealAny() *task {
+	for _, w := range p.workers {
+		if t := w.deque.steal(); t != nil {
+			return t
+		}
+	}
+	return nil
+}
+
+// helpUntil executes pending tasks until done reports true. This is
+// the TBB-style blocking join: a goroutine that must wait for a
+// spawned task keeps the pool busy instead of sleeping, which makes
+// joins deadlock-free on a single-worker pool (the spawned task may
+// still be sitting in the waiter's own deque) and lets nested parallel
+// algorithms run from inside tasks. w may be nil for goroutines that
+// are not pool workers; they help from the inject queue and by
+// stealing.
+func (p *Pool) helpUntil(w *worker, done func() bool) {
+	for i := 0; !done(); i++ {
+		var t *task
+		if w != nil {
+			t = w.findTask()
+		} else if t = p.popInject(); t == nil {
+			t = p.stealAny()
+		}
+		if t != nil {
+			t.fn(w)
+			p.pending.Add(-1)
+			i = 0
+			continue
+		}
+		sched.SpinWait(i)
+	}
+}
+
+// helpWhile is helpUntil specialized to an atomic completion flag.
+func (p *Pool) helpWhile(w *worker, done *atomic.Bool) {
+	p.helpUntil(w, done.Load)
+}
+
+// ParallelReduce folds leaf results over [lo, hi) with the same
+// splitting strategy as ParallelFor. combine must be associative; it is
+// applied in deterministic left-to-right range order, so deterministic
+// leaves give deterministic results.
+func ParallelReduce[T any](p *Pool, lo, hi, grain int, leaf func(lo, hi int) T, combine func(a, b T) T) T {
+	if grain < 1 {
+		grain = 1
+	}
+	if hi <= lo {
+		var zero T
+		return zero
+	}
+	var run func(w *worker, lo, hi int) T
+	run = func(w *worker, lo, hi int) T {
+		if hi-lo <= grain {
+			return leaf(lo, hi)
+		}
+		mid := lo + (hi-lo)/2
+		var right T
+		var done atomic.Bool
+		p.spawn(w, &task{fn: func(w2 *worker) {
+			right = run(w2, mid, hi)
+			done.Store(true)
+		}})
+		left := run(w, lo, mid)
+		p.helpWhile(w, &done)
+		return combine(left, right)
+	}
+	return run(nil, lo, hi)
+}

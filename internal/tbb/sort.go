@@ -1,0 +1,63 @@
+package tbb
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// sortGrain is the range size below which ParallelSort falls back to
+// the standard library's sequential sort.
+const sortGrain = 2048
+
+// ParallelSort sorts data by less using parallel merge sort on the
+// pool: halves sort concurrently (one half spawned for stealing, with a
+// helping join) and are merged into a scratch buffer. The sort is
+// stable only if less induces a strict weak ordering and equal elements
+// never swap during merges — merges take from the left half first, so
+// the result is stable, matching tbb::parallel_sort's common use here
+// (winnow needs a deterministic order, which stability provides).
+func ParallelSort[T any](p *Pool, data []T, less func(a, b T) bool) {
+	if len(data) < 2 {
+		return
+	}
+	scratch := make([]T, len(data))
+	var run func(w *worker, d, s []T)
+	run = func(w *worker, d, s []T) {
+		if len(d) <= sortGrain {
+			sort.SliceStable(d, func(i, j int) bool { return less(d[i], d[j]) })
+			return
+		}
+		mid := len(d) / 2
+		var done atomic.Bool
+		p.spawn(w, &task{fn: func(w2 *worker) {
+			run(w2, d[mid:], s[mid:])
+			done.Store(true)
+		}})
+		run(w, d[:mid], s[:mid])
+		p.helpWhile(w, &done)
+		// Merge d[:mid] and d[mid:] into s, then copy back.
+		i, j, k := 0, mid, 0
+		for i < mid && j < len(d) {
+			if less(d[j], d[i]) {
+				s[k] = d[j]
+				j++
+			} else {
+				s[k] = d[i]
+				i++
+			}
+			k++
+		}
+		for i < mid {
+			s[k] = d[i]
+			i++
+			k++
+		}
+		for j < len(d) {
+			s[k] = d[j]
+			j++
+			k++
+		}
+		copy(d, s[:len(d)])
+	}
+	run(nil, data, scratch)
+}

@@ -1,0 +1,310 @@
+package tbb
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestDequeOwnerLIFO(t *testing.T) {
+	d := newWsDeque()
+	t1, t2, t3 := &task{}, &task{}, &task{}
+	d.push(t1)
+	d.push(t2)
+	d.push(t3)
+	if d.pop() != t3 || d.pop() != t2 || d.pop() != t1 {
+		t.Fatal("owner pop must be LIFO")
+	}
+	if d.pop() != nil {
+		t.Fatal("pop on empty deque must return nil")
+	}
+}
+
+func TestDequeStealFIFO(t *testing.T) {
+	d := newWsDeque()
+	t1, t2 := &task{}, &task{}
+	d.push(t1)
+	d.push(t2)
+	if d.steal() != t1 || d.steal() != t2 {
+		t.Fatal("steal must be FIFO")
+	}
+	if d.steal() != nil {
+		t.Fatal("steal on empty deque must return nil")
+	}
+}
+
+func TestDequeGrow(t *testing.T) {
+	d := newWsDeque()
+	const n = 1000 // > initial buffer of 64
+	tasks := make([]*task, n)
+	for i := range tasks {
+		tasks[i] = &task{}
+		d.push(tasks[i])
+	}
+	if got := d.approxLen(); got != n {
+		t.Fatalf("approxLen = %d, want %d", got, n)
+	}
+	for i := n - 1; i >= 0; i-- {
+		if d.pop() != tasks[i] {
+			t.Fatalf("pop order wrong at %d after grow", i)
+		}
+	}
+}
+
+// Property: under concurrent owner pops and thief steals, every pushed
+// task is taken exactly once.
+func TestDequeExactlyOnce(t *testing.T) {
+	d := newWsDeque()
+	const n = 100000
+	var taken atomic.Int64
+	seen := make([]atomic.Int32, n)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for th := 0; th < 3; th++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if tk := d.steal(); tk != nil {
+					idx := tk.fn // abuse: index stored via closure
+					_ = idx
+					tk.fn(nil)
+					taken.Add(1)
+				}
+				select {
+				case <-stop:
+					if d.steal() == nil {
+						return
+					}
+				default:
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		i := i
+		d.push(&task{fn: func(*worker) { seen[i].Add(1) }})
+		if i%3 == 0 {
+			if tk := d.pop(); tk != nil {
+				tk.fn(nil)
+				taken.Add(1)
+			}
+		}
+	}
+	for {
+		tk := d.pop()
+		if tk == nil && d.approxLen() == 0 {
+			break
+		}
+		if tk != nil {
+			tk.fn(nil)
+			taken.Add(1)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	// Drain any remainder the thieves left.
+	for tk := d.steal(); tk != nil; tk = d.steal() {
+		tk.fn(nil)
+		taken.Add(1)
+	}
+	if got := taken.Load(); got != n {
+		t.Fatalf("taken %d tasks, want %d", got, n)
+	}
+	for i := range seen {
+		if c := seen[i].Load(); c != 1 {
+			t.Fatalf("task %d executed %d times", i, c)
+		}
+	}
+}
+
+func TestPoolGoRunsTasks(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var count atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 1000; i++ {
+		wg.Add(1)
+		p.Go(func() {
+			count.Add(1)
+			wg.Done()
+		})
+	}
+	wg.Wait()
+	if count.Load() != 1000 {
+		t.Fatalf("count = %d", count.Load())
+	}
+}
+
+func TestParallelForCoversRangeOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4} {
+		p := NewPool(workers)
+		const n = 10000
+		marks := make([]atomic.Int32, n)
+		p.ParallelFor(0, n, 64, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				marks[i].Add(1)
+			}
+		})
+		for i := range marks {
+			if c := marks[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+		p.Close()
+	}
+}
+
+func TestParallelForEmptyAndTiny(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	ran := false
+	p.ParallelFor(5, 5, 10, func(lo, hi int) { ran = true })
+	if ran {
+		t.Fatal("body ran on empty range")
+	}
+	total := 0
+	p.ParallelFor(3, 4, 100, func(lo, hi int) { total += hi - lo })
+	if total != 1 {
+		t.Fatalf("tiny range covered %d, want 1", total)
+	}
+}
+
+func TestParallelReduceSum(t *testing.T) {
+	for _, workers := range []int{1, 3} {
+		p := NewPool(workers)
+		const n = 100000
+		got := ParallelReduce(p, 0, n, 128,
+			func(lo, hi int) int64 {
+				var s int64
+				for i := lo; i < hi; i++ {
+					s += int64(i)
+				}
+				return s
+			},
+			func(a, b int64) int64 { return a + b })
+		want := int64(n) * (n - 1) / 2
+		if got != want {
+			t.Fatalf("workers=%d: sum = %d, want %d", workers, got, want)
+		}
+		p.Close()
+	}
+}
+
+func TestParallelReduceDeterministicOrder(t *testing.T) {
+	// Non-commutative combine (string concat) must still be
+	// deterministic because combines happen in range order.
+	p := NewPool(4)
+	defer p.Close()
+	want := ""
+	for i := 0; i < 100; i++ {
+		want += string(rune('a' + i%26))
+	}
+	for round := 0; round < 10; round++ {
+		got := ParallelReduce(p, 0, 100, 3,
+			func(lo, hi int) string {
+				s := ""
+				for i := lo; i < hi; i++ {
+					s += string(rune('a' + i%26))
+				}
+				return s
+			},
+			func(a, b string) string { return a + b })
+		if got != want {
+			t.Fatalf("round %d: non-deterministic reduce", round)
+		}
+	}
+}
+
+func TestNestedParallelFor(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	var count atomic.Int64
+	p.ParallelFor(0, 10, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			p.ParallelFor(0, 10, 1, func(l2, h2 int) {
+				count.Add(int64(h2 - l2))
+			})
+		}
+	})
+	if count.Load() != 100 {
+		t.Fatalf("count = %d, want 100", count.Load())
+	}
+}
+
+func TestParallelSortSorts(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	rng := rand.New(rand.NewSource(7))
+	data := make([]int, 50000)
+	for i := range data {
+		data[i] = rng.Intn(1000)
+	}
+	want := append([]int(nil), data...)
+	sort.Ints(want)
+	ParallelSort(p, data, func(a, b int) bool { return a < b })
+	for i := range data {
+		if data[i] != want[i] {
+			t.Fatalf("mismatch at %d: %d vs %d", i, data[i], want[i])
+		}
+	}
+}
+
+func TestParallelSortStable(t *testing.T) {
+	type kv struct{ k, pos int }
+	p := NewPool(4)
+	defer p.Close()
+	rng := rand.New(rand.NewSource(3))
+	data := make([]kv, 30000)
+	for i := range data {
+		data[i] = kv{k: rng.Intn(8), pos: i}
+	}
+	ParallelSort(p, data, func(a, b kv) bool { return a.k < b.k })
+	for i := 1; i < len(data); i++ {
+		if data[i-1].k == data[i].k && data[i-1].pos > data[i].pos {
+			t.Fatalf("instability at %d: equal keys out of original order", i)
+		}
+		if data[i-1].k > data[i].k {
+			t.Fatalf("not sorted at %d", i)
+		}
+	}
+}
+
+func TestParallelSortQuick(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	f := func(data []int16) bool {
+		d := make([]int, len(data))
+		for i, v := range data {
+			d[i] = int(v)
+		}
+		want := append([]int(nil), d...)
+		sort.Ints(want)
+		ParallelSort(p, d, func(a, b int) bool { return a < b })
+		for i := range d {
+			if d[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoolCloseWaitsForPending(t *testing.T) {
+	p := NewPool(2)
+	var done atomic.Int64
+	for i := 0; i < 100; i++ {
+		p.Go(func() { done.Add(1) })
+	}
+	p.Close()
+	if done.Load() != 100 {
+		t.Fatalf("Close returned with %d/100 tasks done", done.Load())
+	}
+}
