@@ -7,6 +7,7 @@
 package scoopqs
 
 import (
+	"runtime"
 	"testing"
 
 	"scoopqs/internal/compiler/interp"
@@ -213,6 +214,33 @@ func BenchmarkFig20(b *testing.B) {
 		b.Run(lang, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if err := concbench.Run("threadring", lang, core.ConfigAll, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExecutorThreadring10k compares dedicated-goroutine and
+// pooled (M:N executor) handler execution on a threadring with 10k
+// handlers — far more handlers than cores, the regime the executor
+// exists for. Each iteration builds the ring, passes the token NT
+// times, and tears the runtime down.
+func BenchmarkExecutorThreadring10k(b *testing.B) {
+	p := concbench.Params{N: 1, M: 1, NT: 20000, NC: 1, Ring: 10000, Creatures: 4}
+	modes := []struct {
+		name    string
+		workers int
+	}{
+		{"dedicated", 0},
+		{"pooled", runtime.GOMAXPROCS(0)},
+	}
+	for _, m := range modes {
+		m := m
+		b.Run(m.name, func(b *testing.B) {
+			cfg := core.ConfigAll.WithWorkers(m.workers)
+			for i := 0; i < b.N; i++ {
+				if err := concbench.Run("threadring", "Qs", cfg, p); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -7,10 +7,14 @@
 //	qsbench [flags]
 //
 //	-experiment all|table1|table2|table3|table4|table5|
-//	            fig16|fig17|fig18|fig19|fig20|summary
+//	            fig16|fig17|fig18|fig19|fig20|executor|summary
 //	-size      small|paper   problem sizes (paper sizes are large!)
 //	-reps      N             repetitions per measurement (median)
 //	-workers   N             worker/handler count at full width
+//	-pool      N             Qs executor pool size (0 = dedicated
+//	                         goroutine per handler, the paper's mode)
+//	-config    Name          restrict the optimization sweeps to one
+//	                         configuration (None|Dynamic|Static|QoQ|All)
 //	-cores     1,2,4         worker sweep for fig19/table4
 //
 // Each experiment prints a text table with the same rows/columns as
@@ -27,15 +31,36 @@ import (
 	"strings"
 
 	"scoopqs/internal/concbench"
+	"scoopqs/internal/core"
 	"scoopqs/internal/cowichan"
 	"scoopqs/internal/harness"
 )
 
+// configByName resolves the paper's configuration labels
+// (case-insensitive; "Dyn." accepted for Dynamic).
+func configByName(name string) (core.Config, bool) {
+	switch strings.ToLower(strings.TrimSuffix(name, ".")) {
+	case "none":
+		return core.ConfigNone, true
+	case "dynamic", "dyn":
+		return core.ConfigDynamic, true
+	case "static":
+		return core.ConfigStatic, true
+	case "qoq":
+		return core.ConfigQoQ, true
+	case "all":
+		return core.ConfigAll, true
+	}
+	return core.Config{}, false
+}
+
 func main() {
-	experiment := flag.String("experiment", "all", "experiment to run (all, table1..5, fig16..20, summary)")
+	experiment := flag.String("experiment", "all", "experiment to run (all, table1..5, fig16..20, executor, summary)")
 	size := flag.String("size", "small", "problem sizes: small or paper")
 	reps := flag.Int("reps", 3, "repetitions per measurement")
 	workers := flag.Int("workers", 0, "workers/handlers (default: NumCPU, min 2)")
+	pool := flag.Int("pool", 0, "Qs executor pool size (0 = dedicated goroutine per handler)")
+	config := flag.String("config", "", "restrict optimization sweeps to one configuration (None, Dynamic, Static, QoQ, All)")
 	cores := flag.String("cores", "", "comma-separated worker sweep for fig19/table4")
 	flag.Parse()
 
@@ -43,6 +68,17 @@ func main() {
 	o.Reps = *reps
 	if *workers > 0 {
 		o.Workers = *workers
+	}
+	if *pool < 0 {
+		fatalf("-pool must be >= 0")
+	}
+	o.Pool = *pool
+	if *config != "" {
+		cfg, ok := configByName(*config)
+		if !ok {
+			fatalf("unknown -config %q (want None, Dynamic, Static, QoQ, All)", *config)
+		}
+		o.Configs = []core.Config{cfg}
 	}
 	switch *size {
 	case "small":
@@ -76,11 +112,12 @@ func main() {
 		"table3": o.Table3,
 		"fig18":  o.Fig18, "fig19": o.Fig19, "table4": o.Table4,
 		"table5": o.Table5, "fig20": o.Fig20,
-		"eve":     o.Eve,
-		"summary": o.Summary,
+		"eve":      o.Eve,
+		"executor": o.Executor,
+		"summary":  o.Summary,
 	}
 	order := []string{"table1", "fig16", "table2", "fig17", "table3",
-		"fig18", "fig19", "table4", "table5", "fig20", "eve", "summary"}
+		"fig18", "fig19", "table4", "table5", "fig20", "eve", "executor", "summary"}
 
 	if *experiment == "all" {
 		for _, name := range order {

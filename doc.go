@@ -17,6 +17,31 @@
 // redundant handshakes are elided dynamically (and, for code compiled
 // through the included IR pass, statically).
 //
+// # Execution modes
+//
+// Config.Workers selects how handlers execute. With Workers == 0 (the
+// default, and the paper's design) every handler owns a goroutine that
+// blocks on its queue-of-queues. With Workers == N > 0 the runtime
+// starts an M:N executor: a pool of N workers drains a shared ready
+// queue of handlers, and a handler occupies a goroutine only while it
+// has requests to run. Enqueueing onto an idle handler's queue
+// schedules it instead of unparking a dedicated consumer, so millions
+// of mostly-idle handlers cost memory for their queues and nothing
+// else. Semantics are identical in both modes; all tests run under
+// both.
+//
+// Two details make pooled execution safe. A handler draining a private
+// queue that runs dry mid-block parks without abandoning the block
+// (the session stays pinned, preserving the paper's run rule and the
+// §3.2 post-sync handshake: the handler first spins briefly on its
+// worker, staying at the client's disposal). And handler code that
+// blocks its worker outright — a synchronous query to another handler,
+// a wait condition — notifies the pool, which spawns a replacement
+// worker, so delegation chains deeper than the pool cannot deadlock
+// it. Stats exposes the executor counters (Schedules, HandlerParks,
+// WorkerSpawns, WorkerParks); `go run ./cmd/qsbench -experiment
+// executor` compares the two modes on a 10k-handler token ring.
+//
 // # Quick start
 //
 //	rt := scoopqs.New(scoopqs.ConfigAll)
@@ -63,6 +88,10 @@ type (
 
 // FormatDeadlocks renders Runtime.DetectDeadlock results for logs.
 func FormatDeadlocks(cs []DeadlockCycle) string { return core.FormatDeadlocks(cs) }
+
+// ErrShutdown is the panic value raised when a client enters a
+// separate block after Runtime.Shutdown.
+var ErrShutdown = core.ErrShutdown
 
 // The five configurations evaluated in the paper's §4.
 var (

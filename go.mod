@@ -1,0 +1,3 @@
+module scoopqs
+
+go 1.22

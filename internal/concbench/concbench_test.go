@@ -43,6 +43,25 @@ func TestQsBenchmarksAllConfigs(t *testing.T) {
 	}
 }
 
+// TestQsBenchmarksPooled runs every Qs benchmark on the M:N executor
+// with a pool far smaller than the handler count (threadring alone
+// creates Ring=16 handlers on 2 workers), in the two configurations
+// whose reservation paths differ (lock-based None and queue-based All).
+func TestQsBenchmarksPooled(t *testing.T) {
+	p := tinyParams()
+	for _, base := range []core.Config{core.ConfigNone, core.ConfigAll} {
+		cfg := base.WithWorkers(2)
+		for _, bench := range Names {
+			bench := bench
+			t.Run(bench+"/"+cfg.Name(), func(t *testing.T) {
+				if err := Run(bench, "Qs", cfg, p); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
 func TestRunRejectsUnknown(t *testing.T) {
 	if err := Run("nonesuch", "go", core.ConfigAll, tinyParams()); err == nil {
 		t.Fatal("expected error for unknown benchmark")

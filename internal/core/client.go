@@ -17,9 +17,31 @@ type Client struct {
 	cache  map[*Handler]*Session
 	waitCh chan struct{}
 
+	// hosted is non-nil when this client's code runs on executor
+	// workers (a handler's AsClient in pooled mode). Blocking
+	// operations then bracket their waits with the executor's
+	// compensation hooks so the pool can spawn a replacement worker.
+	hosted *sched.Executor
+
 	// waitingOn is the handler this client is currently blocked on in
 	// a sync or query, nil when running. Read by DetectDeadlock.
 	waitingOn atomic.Pointer[Handler]
+}
+
+// blockBegin/blockEnd bracket operations that block the calling
+// goroutine until some handler makes progress. They are no-ops for
+// ordinary clients; for worker-hosted clients they keep the pool
+// supplied with runnable workers (see sched.Executor).
+func (c *Client) blockBegin() {
+	if c.hosted != nil {
+		c.hosted.BlockingBegin()
+	}
+}
+
+func (c *Client) blockEnd() {
+	if c.hosted != nil {
+		c.hosted.BlockingEnd()
+	}
 }
 
 // session returns a private queue for h, reusing the cached one when
@@ -43,10 +65,17 @@ func (c *Client) session(h *Handler) *Session {
 		return s
 	}
 fresh:
+	q := queue.NewSPSC[call](c.rt.cfg.Spin)
+	if c.rt.exec != nil {
+		// Route private-queue notifications to the scheduler: logging
+		// a request on a parked handler makes it runnable instead of
+		// unparking a dedicated goroutine.
+		q.SetNotify(h.wake)
+	}
 	s := &Session{
 		h:         h,
 		owner:     c,
-		q:         queue.NewSPSC[call](c.rt.cfg.Spin),
+		q:         q,
 		parker:    sched.NewParker(),
 		ownerWait: c.waitCh,
 		inUse:     true,
@@ -63,13 +92,33 @@ fresh:
 // other clients wait until the current one is finished).
 func (c *Client) reserve1(h *Handler) *Session {
 	if !c.rt.cfg.QoQ {
-		h.resMu.Lock()
+		c.lockHandler(h)
 	}
 	s := c.session(h)
-	h.qoq.Enqueue(s)
+	if !h.qoq.TryEnqueue(s) {
+		if !c.rt.cfg.QoQ {
+			h.resMu.Unlock()
+		}
+		// Surface a clear error instead of the raw queue panic
+		// ("Enqueue on closed MPSC") this used to produce.
+		panic(ErrShutdown)
+	}
 	c.rt.stats.reservations.Add(1)
 	return s
 }
+
+// lockHandler takes the lock-based-mode handler lock, telling the
+// executor first when the wait may be long (worker-hosted client
+// blocked behind another client's block).
+func (c *Client) lockHandler(h *Handler) {
+	if h.resMu.TryLock() {
+		return
+	}
+	c.blockBegin()
+	h.resMu.Lock()
+	c.blockEnd()
+}
+
 
 // release1 ends the separate block: log END and, in lock-based mode,
 // give up the handler lock.
@@ -136,24 +185,44 @@ func (c *Client) reserveMany(hs []*Handler) []*Session {
 			h.resSpin.Lock()
 		}
 		sessions := make([]*Session, len(uniq))
+		down := false
 		for i, h := range uniq {
 			sessions[i] = c.session(h)
-			h.qoq.Enqueue(sessions[i])
+			if !h.qoq.TryEnqueue(sessions[i]) {
+				down = true
+				break
+			}
 		}
 		for i := len(uniq) - 1; i >= 0; i-- {
 			uniq[i].resSpin.Unlock()
+		}
+		if down {
+			// Release the spinlocks before surfacing the error so
+			// other (equally doomed) reservers panic instead of
+			// spinning forever.
+			panic(ErrShutdown)
 		}
 		c.rt.stats.multiResGroups.Add(1)
 		return sessions
 	}
 
 	for _, h := range uniq {
-		h.resMu.Lock()
+		c.lockHandler(h)
 	}
 	sessions := make([]*Session, len(uniq))
+	down := false
 	for i, h := range uniq {
 		sessions[i] = c.session(h)
-		h.qoq.Enqueue(sessions[i])
+		if !h.qoq.TryEnqueue(sessions[i]) {
+			down = true
+			break
+		}
+	}
+	if down {
+		for i := len(uniq) - 1; i >= 0; i-- {
+			uniq[i].resMu.Unlock()
+		}
+		panic(ErrShutdown)
 	}
 	c.rt.stats.multiResGroups.Add(1)
 	return sessions
@@ -201,7 +270,9 @@ func (c *Client) SeparateWhen(hs []*Handler, guard func([]*Session) bool, body f
 			s.h.addWaiter(c.waitCh)
 		}
 		c.releaseMany(sessions)
+		c.blockBegin()
 		<-c.waitCh
+		c.blockEnd()
 		for _, s := range sessions {
 			s.h.removeWaiter(c.waitCh)
 		}

@@ -30,10 +30,17 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"scoopqs/internal/sched"
 )
+
+// ErrShutdown is the panic value raised when a client enters a
+// separate block (reserves a handler) after Runtime.Shutdown.
+var ErrShutdown = errors.New("scoopqs: reservation after Shutdown")
 
 // Config selects a SCOOP runtime variant. The zero value is the
 // unoptimized baseline ("None" in the paper's §4).
@@ -59,6 +66,19 @@ type Config struct {
 	// Spin is the number of empty polls queue consumers perform before
 	// parking. Zero selects a sensible default.
 	Spin int
+
+	// Workers selects the execution mode. Zero dedicates one goroutine
+	// per handler, the paper's original runtime shape. A positive value
+	// multiplexes all handlers of the runtime onto a pool of that many
+	// worker goroutines (the M:N executor): handlers become resumable
+	// state machines pushed onto a shared ready queue whenever their
+	// queues gain work, so millions of mostly-idle handlers cost no
+	// parked goroutines. The execution semantics are identical in both
+	// modes. Pool workers that block inside handler code (a handler
+	// synchronously querying another handler) are compensated with
+	// replacement workers, so delegation chains deeper than the pool
+	// cannot deadlock it.
+	Workers int
 }
 
 // The five named configurations from the paper's evaluation.
@@ -70,21 +90,35 @@ var (
 	ConfigAll     = Config{QoQ: true, DynElide: true, StaticElide: true}
 )
 
-// Name returns the paper's label for the configuration.
+// Name returns the paper's label for the configuration, suffixed with
+// the pool size when the M:N executor is selected.
 func (c Config) Name() string {
+	var base string
 	switch {
 	case c.QoQ && c.DynElide && c.StaticElide:
-		return "All"
+		base = "All"
 	case c.QoQ && !c.DynElide && !c.StaticElide:
-		return "QoQ"
+		base = "QoQ"
 	case !c.QoQ && c.DynElide && !c.StaticElide:
-		return "Dynamic"
+		base = "Dynamic"
 	case !c.QoQ && !c.DynElide && c.StaticElide:
-		return "Static"
+		base = "Static"
 	case !c.QoQ && !c.DynElide && !c.StaticElide:
-		return "None"
+		base = "None"
+	default:
+		base = fmt.Sprintf("Config{QoQ:%v,Dyn:%v,Static:%v}", c.QoQ, c.DynElide, c.StaticElide)
 	}
-	return fmt.Sprintf("Config{QoQ:%v,Dyn:%v,Static:%v}", c.QoQ, c.DynElide, c.StaticElide)
+	if c.Workers > 0 {
+		return fmt.Sprintf("%s+pool%d", base, c.Workers)
+	}
+	return base
+}
+
+// WithWorkers returns a copy of the configuration running on a pool of
+// n workers (n == 0 restores dedicated handler goroutines).
+func (c Config) WithWorkers(n int) Config {
+	c.Workers = n
+	return c
 }
 
 // clientSideQuery reports whether queries execute on the client after a
@@ -111,6 +145,12 @@ type Stats struct {
 	SessionsNew    int64 // private queues freshly allocated
 	SessionsReused int64 // private queues taken from the client cache
 	EndsProcessed  int64 // END markers consumed by handlers
+
+	// Executor counters; all zero in dedicated-goroutine mode.
+	Schedules    int64 // handler activations pushed on the ready queue
+	HandlerParks int64 // handlers parked mid-session awaiting their client
+	WorkerSpawns int64 // compensation workers spawned for blocked ones
+	WorkerParks  int64 // pool workers parked idle
 }
 
 type statsCounters struct {
@@ -125,6 +165,8 @@ type statsCounters struct {
 	sessionsNew    atomic.Int64
 	sessionsReused atomic.Int64
 	endsProcessed  atomic.Int64
+	schedules      atomic.Int64
+	handlerParks   atomic.Int64
 }
 
 func (s *statsCounters) snapshot() Stats {
@@ -140,6 +182,8 @@ func (s *statsCounters) snapshot() Stats {
 		SessionsNew:    s.sessionsNew.Load(),
 		SessionsReused: s.sessionsReused.Load(),
 		EndsProcessed:  s.endsProcessed.Load(),
+		Schedules:      s.schedules.Load(),
+		HandlerParks:   s.handlerParks.Load(),
 	}
 }
 
@@ -151,6 +195,10 @@ type Runtime struct {
 	cfg   Config
 	stats statsCounters
 
+	// exec is the shared M:N worker pool; nil in dedicated-goroutine
+	// mode (Config.Workers == 0).
+	exec *sched.Executor
+
 	mu       sync.Mutex
 	handlers []*Handler
 	nextID   int64
@@ -161,14 +209,24 @@ type Runtime struct {
 
 // New creates a runtime with the given configuration.
 func New(cfg Config) *Runtime {
-	return &Runtime{cfg: cfg}
+	rt := &Runtime{cfg: cfg}
+	if cfg.Workers > 0 {
+		rt.exec = sched.NewExecutor(cfg.Workers)
+	}
+	return rt
 }
 
 // Config returns the runtime's configuration.
 func (rt *Runtime) Config() Config { return rt.cfg }
 
 // Stats returns a snapshot of the instrumentation counters.
-func (rt *Runtime) Stats() Stats { return rt.stats.snapshot() }
+func (rt *Runtime) Stats() Stats {
+	st := rt.stats.snapshot()
+	if rt.exec != nil {
+		st.WorkerSpawns, st.WorkerParks = rt.exec.Counters()
+	}
+	return st
+}
 
 // Handlers returns the handlers created so far, in creation order.
 func (rt *Runtime) Handlers() []*Handler {
@@ -189,8 +247,9 @@ func (rt *Runtime) NewClient() *Client {
 	}
 }
 
-// Shutdown stops all handlers and waits for them to exit. All separate
-// blocks must have completed; entering a block after Shutdown panics.
+// Shutdown stops all handlers and waits for them to exit, then stops
+// the worker pool if one is running. All separate blocks must have
+// completed; entering a block after Shutdown panics with ErrShutdown.
 func (rt *Runtime) Shutdown() {
 	rt.mu.Lock()
 	if rt.down {
@@ -202,7 +261,13 @@ func (rt *Runtime) Shutdown() {
 	copy(hs, rt.handlers)
 	rt.mu.Unlock()
 	for _, h := range hs {
+		// Close notifies the handler (parker or executor wake), so a
+		// pooled handler gets scheduled once more to observe the close
+		// and retire.
 		h.qoq.Close()
 	}
 	rt.wg.Wait()
+	if rt.exec != nil {
+		rt.exec.Stop()
+	}
 }

@@ -2,17 +2,22 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
 )
 
-// forEachConfig runs the test body under all five paper configurations.
+// forEachConfig runs the test body under all five paper configurations,
+// each in both execution modes: dedicated handler goroutines and the
+// M:N worker-pool executor (Workers = GOMAXPROCS).
 func forEachConfig(t *testing.T, body func(t *testing.T, cfg Config)) {
 	t.Helper()
 	for _, cfg := range Configs() {
 		cfg := cfg
 		t.Run(cfg.Name(), func(t *testing.T) { body(t, cfg) })
+		pooled := cfg.WithWorkers(runtime.GOMAXPROCS(0))
+		t.Run(pooled.Name(), func(t *testing.T) { body(t, pooled) })
 	}
 }
 

@@ -1,0 +1,286 @@
+package core
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// pooledAll is ConfigAll on a small pool, forcing real multiplexing in
+// tests that create more handlers than workers.
+func pooledAll(workers int) Config { return ConfigAll.WithWorkers(workers) }
+
+// Shutdown must wait for handlers that are still draining a backlog of
+// logged calls: every call of every completed block executes before
+// Shutdown returns, in both execution modes.
+func TestShutdownWaitsForMidSessionBacklog(t *testing.T) {
+	for _, cfg := range []Config{ConfigAll, pooledAll(2)} {
+		cfg := cfg
+		t.Run(cfg.Name(), func(t *testing.T) {
+			rt := New(cfg)
+			const handlers = 8
+			const calls = 500
+			counts := make([]int, handlers) // counts[i] owned by handler i
+			var wg sync.WaitGroup
+			for i := 0; i < handlers; i++ {
+				i := i
+				h := rt.NewHandler("h")
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					c := rt.NewClient()
+					c.Separate(h, func(s *Session) {
+						for k := 0; k < calls; k++ {
+							s.Call(func() { counts[i]++ })
+						}
+					})
+					// Block ended: END is logged, but the handler may
+					// still be far behind.
+				}()
+			}
+			wg.Wait()
+			rt.Shutdown()
+			for i, n := range counts {
+				if n != calls {
+					t.Fatalf("handler %d executed %d/%d calls before Shutdown returned", i, n, calls)
+				}
+			}
+		})
+	}
+}
+
+// A wait-condition storm with far more guarded clients than pool
+// workers: consumers outnumber workers, all spinning through reserve/
+// guard/abandon cycles, yet every produced item is consumed.
+func TestGuardStormWithFewWorkers(t *testing.T) {
+	rt := New(pooledAll(2))
+	defer rt.Shutdown()
+	h := rt.NewHandler("box")
+	var items []int // handler-owned
+
+	const consumers = 24
+	const total = 240
+	var wg sync.WaitGroup
+	got := make(chan int, total)
+	for i := 0; i < consumers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := rt.NewClient()
+			for n := 0; n < total/consumers; n++ {
+				c.SeparateWhen([]*Handler{h},
+					func(ss []*Session) bool {
+						return Query(ss[0], func() bool { return len(items) > 0 })
+					},
+					func(ss []*Session) {
+						got <- Query(ss[0], func() int {
+							v := items[len(items)-1]
+							items = items[:len(items)-1]
+							return v
+						})
+					})
+			}
+		}()
+	}
+	prod := rt.NewClient()
+	for i := 1; i <= total; i++ {
+		i := i
+		prod.Separate(h, func(s *Session) { s.Call(func() { items = append(items, i) }) })
+	}
+	wg.Wait()
+	close(got)
+	sum := 0
+	for v := range got {
+		sum += v
+	}
+	if want := total * (total + 1) / 2; sum != want {
+		t.Fatalf("consumed sum = %d, want %d", sum, want)
+	}
+	if st := rt.Stats(); st.GuardRetries == 0 {
+		t.Log("note: no guard retries occurred; storm was too tame to stress wait conditions")
+	}
+}
+
+// A synchronous delegation chain much longer than the pool: handler i
+// queries handler i+1 before answering. Every hop blocks one worker,
+// so without compensation a pool of 2 would deadlock at depth 2.
+func TestDelegationChainDeeperThanPool(t *testing.T) {
+	const workers = 2
+	const depth = 16
+	rt := New(pooledAll(workers))
+	defer rt.Shutdown()
+
+	hs := make([]*Handler, depth)
+	for i := range hs {
+		hs[i] = rt.NewHandler("link")
+	}
+	// ask(i) runs on handler i and synchronously queries handler i+1.
+	var ask func(i int) int
+	ask = func(i int) int {
+		if i == depth-1 {
+			return 1
+		}
+		sum := 0
+		hs[i].AsClient().Separate(hs[i+1], func(s *Session) {
+			sum = QueryRemote(s, func() int { return ask(i+1) }) + 1
+		})
+		return sum
+	}
+
+	c := rt.NewClient()
+	done := make(chan int, 1)
+	c.Separate(hs[0], func(s *Session) {
+		s.Call(func() { done <- ask(0) })
+	})
+	select {
+	case got := <-done:
+		if got != depth {
+			t.Fatalf("chain depth = %d, want %d", got, depth)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("delegation chain deadlocked the pool")
+	}
+	if st := rt.Stats(); st.WorkerSpawns < depth-workers {
+		t.Errorf("WorkerSpawns = %d, want >= %d (one per blocked hop beyond the pool)",
+			st.WorkerSpawns, depth-workers)
+	}
+}
+
+// Regression for the Shutdown race: reserving after Shutdown must
+// surface ErrShutdown, not the raw "queue: Enqueue on closed MPSC"
+// panic the queue used to raise.
+func TestReservationAfterShutdownClearPanic(t *testing.T) {
+	for _, cfg := range []Config{ConfigNone, ConfigQoQ, pooledAll(2)} {
+		cfg := cfg
+		t.Run(cfg.Name(), func(t *testing.T) {
+			rt := New(cfg)
+			h := rt.NewHandler("h")
+			rt.Shutdown()
+			check := func(enter func(c *Client)) {
+				defer func() {
+					r := recover()
+					err, ok := r.(error)
+					if !ok || !errors.Is(err, ErrShutdown) {
+						t.Fatalf("panic = %v, want ErrShutdown", r)
+					}
+				}()
+				enter(rt.NewClient())
+				t.Fatal("reservation after Shutdown succeeded")
+			}
+			check(func(c *Client) { c.Separate(h, func(*Session) {}) })
+			check(func(c *Client) { c.SeparateMany([]*Handler{h}, func([]*Session) {}) })
+		})
+	}
+}
+
+// Concurrent Shutdown vs. reservations: clients hammering Separate
+// while Shutdown runs must either complete normally or observe
+// ErrShutdown — never the opaque queue panic, never a wedge.
+func TestShutdownReservationRace(t *testing.T) {
+	for _, cfg := range []Config{ConfigQoQ, pooledAll(2)} {
+		cfg := cfg
+		t.Run(cfg.Name(), func(t *testing.T) {
+			for round := 0; round < 20; round++ {
+				rt := New(cfg)
+				h := rt.NewHandler("h")
+				var wg sync.WaitGroup
+				for i := 0; i < 4; i++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						defer func() {
+							if r := recover(); r != nil {
+								err, ok := r.(error)
+								if !ok || !errors.Is(err, ErrShutdown) {
+									t.Errorf("unexpected panic: %v", r)
+								}
+							}
+						}()
+						c := rt.NewClient()
+						for {
+							c.Separate(h, func(s *Session) { s.Call(func() {}) })
+						}
+					}()
+				}
+				time.Sleep(time.Millisecond)
+				rt.Shutdown()
+				wg.Wait()
+			}
+		})
+	}
+}
+
+// The headline scaling shape: far more handlers than workers, all
+// passing a token around a ring. 10k handlers on a GOMAXPROCS-sized
+// pool must run to completion.
+func TestRingManyHandlersFewWorkers(t *testing.T) {
+	const ring = 10000
+	hops := 30000
+	if testing.Short() {
+		hops = ring
+	}
+	rt := New(pooledAll(runtime.GOMAXPROCS(0)))
+	defer rt.Shutdown()
+	hs := make([]*Handler, ring)
+	for i := range hs {
+		hs[i] = rt.NewHandler("ring")
+	}
+	done := make(chan int, 1)
+	var pass func(i, v int)
+	pass = func(i, v int) {
+		if v == 0 {
+			done <- i
+			return
+		}
+		next := (i + 1) % ring
+		hs[i].AsClient().Separate(hs[next], func(s *Session) {
+			s.Call(func() { pass(next, v-1) })
+		})
+	}
+	c := rt.NewClient()
+	c.Separate(hs[0], func(s *Session) {
+		s.Call(func() { pass(0, hops) })
+	})
+	select {
+	case finisher := <-done:
+		if want := hops % ring; finisher != want {
+			t.Fatalf("finisher = %d, want %d", finisher, want)
+		}
+	case <-time.After(120 * time.Second):
+		t.Fatal("10k-handler ring did not complete on the pool")
+	}
+	st := rt.Stats()
+	if st.Schedules == 0 {
+		t.Error("pooled run recorded no handler schedules")
+	}
+}
+
+// Executor stats must be populated in pooled mode and stay zero in
+// dedicated mode.
+func TestExecutorStatsCounters(t *testing.T) {
+	rt := New(pooledAll(2))
+	h := rt.NewHandler("h")
+	c := rt.NewClient()
+	n := 0
+	c.Separate(h, func(s *Session) {
+		s.Call(func() { n++ })
+		s.SyncNow()
+	})
+	rt.Shutdown()
+	st := rt.Stats()
+	if st.Schedules == 0 {
+		t.Errorf("Schedules = 0 in pooled mode; stats: %+v", st)
+	}
+
+	rt2 := New(ConfigAll)
+	h2 := rt2.NewHandler("h")
+	c2 := rt2.NewClient()
+	c2.Separate(h2, func(s *Session) { s.SyncNow() })
+	rt2.Shutdown()
+	st2 := rt2.Stats()
+	if st2.Schedules != 0 || st2.WorkerSpawns != 0 || st2.WorkerParks != 0 {
+		t.Errorf("dedicated mode leaked executor stats: %+v", st2)
+	}
+}

@@ -12,6 +12,12 @@ import (
 // requests logged on it, one private queue at a time (the run and end
 // rules of the paper's Fig. 3). State owned by a handler must only be
 // touched from calls and queries executed through that handler.
+//
+// A handler executes in one of two modes, selected by Config.Workers:
+// with a dedicated goroutine blocking in loop (the paper's runtime), or
+// as a resumable state machine multiplexed onto the runtime's worker
+// pool (Step/wake), where it occupies a goroutine only while it has
+// work.
 type Handler struct {
 	rt   *Runtime
 	id   int64
@@ -22,6 +28,14 @@ type Handler struct {
 	// In lock-based mode it holds at most one live session because
 	// resMu serializes reservations.
 	qoq *queue.MPSC[*Session]
+
+	// Pooled-mode scheduling state (see the h* constants). cur is the
+	// session pinned mid-drain, owned by whichever worker holds the
+	// hRunning state; the wake/Step protocol guarantees exclusive,
+	// happens-before-ordered access.
+	state atomic.Int32
+	cur   *Session
+	spin  int
 
 	// resSpin is the per-handler spinlock used to make multi-handler
 	// reservations atomic in QoQ mode (§3.3).
@@ -40,13 +54,28 @@ type Handler struct {
 
 	// selfClient supports handlers acting as clients of other handlers
 	// from within their own calls (e.g. a thread-ring hop). Lazily
-	// created; only ever used by the handler goroutine itself.
+	// created; only ever used from code executing on this handler.
 	// selfClientPub publishes it for the deadlock detector.
 	selfClient    *Client
 	selfClientPub atomic.Pointer[Client]
 }
 
-// NewHandler creates a handler and starts its goroutine.
+// Pooled-mode handler states. A handler is hIdle when it has no known
+// work, hReady while queued on the executor's ready queue, hRunning
+// while a worker drains it, hRunningDirty when a wake arrived during a
+// drain (forcing one more pass before idling), and hDone once its
+// queue-of-queues is closed and drained.
+const (
+	hIdle int32 = iota
+	hReady
+	hRunning
+	hRunningDirty
+	hDone
+)
+
+// NewHandler creates a handler. In dedicated mode it starts the
+// handler's goroutine; in pooled mode the handler stays off the ready
+// queue until a client gives it work.
 func (rt *Runtime) NewHandler(name string) *Handler {
 	rt.mu.Lock()
 	if rt.down {
@@ -59,11 +88,23 @@ func (rt *Runtime) NewHandler(name string) *Handler {
 		id:   rt.nextID,
 		name: name,
 		qoq:  queue.NewMPSC[*Session](rt.cfg.Spin),
+		spin: rt.cfg.Spin,
+	}
+	if h.spin <= 0 {
+		h.spin = sched.DefaultSpin
+	}
+	if rt.exec != nil {
+		// Route queue-of-queues notifications to the scheduler instead
+		// of a dedicated consumer. Installed before the handler is
+		// published, so producers always see it.
+		h.qoq.SetNotify(h.wake)
 	}
 	rt.handlers = append(rt.handlers, h)
 	rt.wg.Add(1)
 	rt.mu.Unlock()
-	go h.loop()
+	if rt.exec == nil {
+		go h.loop()
+	}
 	return h
 }
 
@@ -81,15 +122,19 @@ func (h *Handler) ID() int64 { return h.id }
 func (h *Handler) AsClient() *Client {
 	if h.selfClient == nil {
 		h.selfClient = h.rt.NewClient()
+		// In pooled mode this client's code runs on executor workers;
+		// its blocking operations must notify the pool so replacements
+		// keep delegation chains deadlock-free.
+		h.selfClient.hosted = h.rt.exec
 		h.selfClientPub.Store(h.selfClient)
 	}
 	return h.selfClient
 }
 
-// loop is the main handler loop, a direct transcription of the paper's
-// Fig. 7: dequeue private queues from the queue-of-queues; for each,
-// execute calls until the END marker (the end rule); a failed dequeue
-// on the queue-of-queues means shutdown.
+// loop is the dedicated-mode handler main loop, a direct transcription
+// of the paper's Fig. 7: dequeue private queues from the queue-of-
+// queues; for each, execute calls until the END marker (the end rule);
+// a failed dequeue on the queue-of-queues means shutdown.
 func (h *Handler) loop() {
 	defer h.rt.wg.Done()
 	for {
@@ -98,8 +143,6 @@ func (h *Handler) loop() {
 			return // shutdown: no more work
 		}
 		h.runSession(s)
-		h.rt.stats.endsProcessed.Add(1)
-		h.notifyWaiters(s.ownerWait)
 	}
 }
 
@@ -110,25 +153,179 @@ func (h *Handler) runSession(s *Session) {
 		if !qok {
 			return // queue closed underneath us; only in teardown tests
 		}
-		switch c.kind {
-		case callEnd:
-			s.doneByHandler.Store(true)
+		if h.execOne(s, c) {
 			return
-		case callCall:
-			h.execCall(s, c.fn)
-		case callSync:
-			// The sync rule: the client is parked in wait; release it.
-			// The handler then loops straight back to dequeueing this
-			// same private queue — it is now idle at the client's
-			// disposal, which is what makes client-side query
-			// execution safe.
-			s.parker.Unpark()
-		case callQueryRemote:
-			v, err := h.execQuery(s, c.qfn)
-			s.replyVal, s.replyErr = v, err
-			s.parker.Unpark()
 		}
 	}
+}
+
+// wake makes the handler runnable on the executor after one of its
+// queues gained work (or was closed). It is the notification hook of
+// both the queue-of-queues and the private queues, called from any
+// producer; spurious calls are cheap and safe.
+func (h *Handler) wake() {
+	for {
+		switch h.state.Load() {
+		case hIdle:
+			if h.state.CompareAndSwap(hIdle, hReady) {
+				h.rt.stats.schedules.Add(1)
+				h.rt.exec.Ready(h)
+				return
+			}
+		case hReady, hRunningDirty, hDone:
+			return // already scheduled, will re-check, or retired
+		case hRunning:
+			if h.state.CompareAndSwap(hRunning, hRunningDirty) {
+				return // the draining worker will make another pass
+			}
+		}
+	}
+}
+
+// stepBudget bounds the requests one Step executes before the handler
+// re-queues itself, so a handler fed by a fast client cannot starve
+// the other handlers sharing the pool.
+const stepBudget = 1024
+
+// Step is the executor entry point: resume this handler and run it
+// until it exhausts available work, completes, or uses up its fairness
+// budget. Exclusive ownership is guaranteed by the wake protocol —
+// Step only ever runs after a transition to hReady.
+func (h *Handler) Step() {
+	h.state.Store(hRunning)
+	budget := stepBudget
+	for {
+		switch h.drain(&budget) {
+		case drainDone:
+			if !h.state.CompareAndSwap(hRunning, hDone) {
+				// A wake raced the retirement decision
+				// (hRunningDirty); make one more pass to be certain.
+				h.state.Store(hRunning)
+				continue
+			}
+			h.rt.wg.Done()
+			return
+		case drainBudget:
+			h.state.Store(hReady)
+			h.rt.stats.schedules.Add(1)
+			h.rt.exec.Ready(h)
+			return
+		case drainEmpty:
+			// Read cur before releasing ownership: after a successful
+			// CAS to hIdle another worker may immediately resume the
+			// handler and rewrite it.
+			parkedMidSession := h.cur != nil
+			if h.state.CompareAndSwap(hRunning, hIdle) {
+				if parkedMidSession {
+					// The client owns the next move; its enqueue will
+					// reschedule us.
+					h.rt.stats.handlerParks.Add(1)
+				}
+				return
+			}
+			// A wake arrived while draining (hRunningDirty): new work
+			// may have been enqueued after our last empty poll.
+			h.state.Store(hRunning)
+		}
+	}
+}
+
+// drainOutcome says why a drain pass stopped.
+type drainOutcome int
+
+const (
+	drainEmpty  drainOutcome = iota // no work visible right now
+	drainBudget                     // fairness budget exhausted, work may remain
+	drainDone                       // queue-of-queues closed and fully drained
+)
+
+// drain executes available requests: dequeue private queues from the
+// queue-of-queues and run each to its END, exactly like the dedicated
+// loop, but returning instead of blocking whenever a queue is empty.
+// The session being drained stays pinned in h.cur across parks, which
+// keeps the paper's run-rule ordering: a handler never abandons a
+// private queue mid-block, and after serving a sync it remains at the
+// client's disposal (§3.2) — first spinning on the worker for the
+// client's next request, then parking without touching other sessions.
+func (h *Handler) drain(budget *int) drainOutcome {
+	for {
+		if h.cur == nil {
+			s, ok := h.qoq.TryDequeue()
+			if !ok {
+				// Retire only once the queue has quiesced: closed with
+				// no reservation still in flight. A racing producer's
+				// wake reschedules us otherwise, so nothing accepted
+				// by the queue is ever abandoned.
+				if h.qoq.Quiesced() {
+					return drainDone
+				}
+				return drainEmpty
+			}
+			h.cur = s
+		}
+		s := h.cur
+		for {
+			if *budget <= 0 {
+				return drainBudget
+			}
+			c, ok := s.q.TryDequeue()
+			if !ok {
+				if !h.spinForWork(s) {
+					return drainEmpty
+				}
+				continue
+			}
+			*budget--
+			if h.execOne(s, c) {
+				break // session ended; back to the queue-of-queues
+			}
+		}
+	}
+}
+
+// spinForWork polls a momentarily empty private queue briefly before
+// the handler gives up its worker: the client's next request after a
+// sync handshake is usually one scheduling step away, and staying on
+// the worker preserves the paper's direct handler-to-client handoff.
+func (h *Handler) spinForWork(s *Session) bool {
+	for i := 0; i < h.spin; i++ {
+		sched.SpinWait(i)
+		if !s.q.Empty() {
+			return true
+		}
+	}
+	return false
+}
+
+// execOne executes a single request of session s and reports whether
+// it was the END marker. It is the single execution path shared by the
+// dedicated loop and the pooled state machine.
+func (h *Handler) execOne(s *Session, c call) (ended bool) {
+	switch c.kind {
+	case callEnd:
+		// The end rule: mark the private queue reusable, release the
+		// handler for other sessions, and poke wait-condition waiters
+		// (handler state may have changed).
+		s.doneByHandler.Store(true)
+		h.cur = nil
+		h.rt.stats.endsProcessed.Add(1)
+		h.notifyWaiters(s.ownerWait)
+		return true
+	case callCall:
+		h.execCall(s, c.fn)
+	case callSync:
+		// The sync rule: the client is parked in wait; release it.
+		// The handler then loops straight back to dequeueing this
+		// same private queue — it is now idle at the client's
+		// disposal, which is what makes client-side query
+		// execution safe.
+		s.parker.Unpark()
+	case callQueryRemote:
+		v, err := h.execQuery(s, c.qfn)
+		s.replyVal, s.replyErr = v, err
+		s.parker.Unpark()
+	}
+	return false
 }
 
 func (h *Handler) execCall(s *Session, fn func()) {

@@ -109,8 +109,10 @@ func (s *Session) SyncNow() {
 	rt := s.h.rt
 	rt.stats.syncsPerformed.Add(1)
 	s.owner.setWaiting(s.h)
+	s.owner.blockBegin()
 	s.q.Enqueue(call{kind: callSync})
 	s.parker.Park()
+	s.owner.blockEnd()
 	s.owner.clearWaiting()
 	s.synced = true
 	s.checkErr()
@@ -126,8 +128,10 @@ func (s *Session) queryRemote(qfn func() any) any {
 	rt := s.h.rt
 	rt.stats.remoteQueries.Add(1)
 	s.owner.setWaiting(s.h)
+	s.owner.blockBegin()
 	s.q.Enqueue(call{kind: callQueryRemote, qfn: qfn})
 	s.parker.Park()
+	s.owner.blockEnd()
 	s.owner.clearWaiting()
 	v, err := s.replyVal, s.replyErr
 	s.replyVal, s.replyErr = nil, nil

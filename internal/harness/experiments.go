@@ -2,6 +2,7 @@ package harness
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"scoopqs/internal/concbench"
@@ -20,6 +21,37 @@ func configsInOrder() []core.Config {
 	}
 }
 
+// configs returns the optimization columns of this run — Options.
+// Configs if set, else the paper's five — each carrying the selected
+// executor pool size.
+func (o Options) configs() []core.Config {
+	base := o.Configs
+	if base == nil {
+		base = configsInOrder()
+	}
+	out := make([]core.Config, len(base))
+	for i, c := range base {
+		out[i] = c.WithWorkers(o.Pool)
+	}
+	return out
+}
+
+// configNames returns the column headers matching configs().
+func (o Options) configNames() []string {
+	if o.Configs == nil && o.Pool == 0 {
+		return ConfigNames
+	}
+	names := make([]string, 0, len(o.configs()))
+	for _, c := range o.configs() {
+		names = append(names, c.Name())
+	}
+	return names
+}
+
+// qsCfg is the configuration the cross-paradigm experiments run the Qs
+// implementation under: everything on, pool size per Options.
+func (o Options) qsCfg() core.Config { return core.ConfigAll.WithWorkers(o.Pool) }
+
 // commTimesByConfig measures the communication time of every parallel
 // task under every configuration (the data behind Table 1 and Fig. 16).
 func (o Options) commTimesByConfig() map[string][]time.Duration {
@@ -27,7 +59,7 @@ func (o Options) commTimesByConfig() map[string][]time.Duration {
 	out := make(map[string][]time.Duration, len(CowTasks))
 	for _, task := range CowTasks {
 		times := make([]time.Duration, 0, 5)
-		for _, cfg := range configsInOrder() {
+		for _, cfg := range o.configs() {
 			im := NewImpl("Qs", cfg, o.Workers)
 			t := o.MeasureTiming(func() cowichan.Timing { return RunCowTask(task, im, in) })
 			im.Close()
@@ -49,7 +81,7 @@ func (o Options) Table1() {
 		"Communication time on parallel tasks, normalized to the fastest\noptimization configuration per task (paper: Table 1).")
 	data := o.commTimesByConfig()
 	tb := newTable(o.Out)
-	tb.row(append([]string{"Task"}, ConfigNames...)...)
+	tb.row(append([]string{"Task"}, o.configNames()...)...)
 	for _, task := range CowTasks {
 		times := data[task]
 		best := times[0]
@@ -75,7 +107,7 @@ func (o Options) Fig16() {
 		"Communication time (seconds) of each optimization configuration on\nthe parallel tasks (paper: Fig. 16; log-scale bars of this data).")
 	data := o.commTimesByConfig()
 	tb := newTable(o.Out)
-	tb.row(append([]string{"Task"}, ConfigNames...)...)
+	tb.row(append([]string{"Task"}, o.configNames()...)...)
 	for _, task := range CowTasks {
 		cells := []string{task}
 		for _, d := range data[task] {
@@ -92,7 +124,7 @@ func (o Options) concTimesByConfig() map[string][]time.Duration {
 	out := make(map[string][]time.Duration, len(concbench.Names))
 	for _, bench := range concbench.Names {
 		times := make([]time.Duration, 0, 5)
-		for _, cfg := range configsInOrder() {
+		for _, cfg := range o.configs() {
 			cfg := cfg
 			bench := bench
 			d := o.MeasureWall(func() {
@@ -114,7 +146,7 @@ func (o Options) Table2() {
 		"Coordination benchmarks under each optimization configuration,\nseconds (paper: Table 2).")
 	data := o.concTimesByConfig()
 	tb := newTable(o.Out)
-	tb.row(append([]string{"Task"}, ConfigNames...)...)
+	tb.row(append([]string{"Task"}, o.configNames()...)...)
 	for _, bench := range concbench.Names {
 		cells := []string{bench}
 		for _, d := range data[bench] {
@@ -131,7 +163,7 @@ func (o Options) Fig17() {
 		"Same data as Table 2 (the paper renders it as bars); additionally\nnormalized per benchmark to the fastest configuration.")
 	data := o.concTimesByConfig()
 	tb := newTable(o.Out)
-	tb.row(append([]string{"Task"}, ConfigNames...)...)
+	tb.row(append([]string{"Task"}, o.configNames()...)...)
 	for _, bench := range concbench.Names {
 		times := data[bench]
 		best := times[0]
@@ -170,7 +202,7 @@ func (o Options) parallelByLang() map[string]map[string]cowichan.Timing {
 	out := map[string]map[string]cowichan.Timing{}
 	for _, lang := range CowLangs {
 		out[lang] = map[string]cowichan.Timing{}
-		im := NewImpl(lang, core.ConfigAll, o.Workers)
+		im := NewImpl(lang, o.qsCfg(), o.Workers)
 		for _, task := range CowTasks {
 			out[lang][task] = o.MeasureTiming(func() cowichan.Timing { return RunCowTask(task, im, in) })
 		}
@@ -209,7 +241,7 @@ func (o Options) sweepByCores() map[string]map[string][]cowichan.Timing {
 			n := n
 			var im cowichan.Impl
 			withProcs(n, func() {
-				im = NewImpl(lang, core.ConfigAll, n)
+				im = NewImpl(lang, o.qsCfg(), n)
 				for _, task := range CowTasks {
 					t := o.MeasureTiming(func() cowichan.Timing { return RunCowTask(task, im, in) })
 					out[lang][task] = append(out[lang][task], t)
@@ -291,7 +323,7 @@ func (o Options) concByLang() map[string][]time.Duration {
 		for _, lang := range concbench.Langs {
 			bench, lang := bench, lang
 			d := o.MeasureWall(func() {
-				if err := concbench.Run(bench, lang, core.ConfigAll, o.Conc); err != nil {
+				if err := concbench.Run(bench, lang, o.qsCfg(), o.Conc); err != nil {
 					panic(err)
 				}
 			})
@@ -352,9 +384,12 @@ func (o Options) Summary() {
 	comm := o.commTimesByConfig()
 	conc := o.concTimesByConfig()
 	tb := newTable(o.Out)
-	tb.row("Config", "geomean(s)", "vs All")
+	// The baseline is the last configured column (All in a full sweep;
+	// whatever -config selected otherwise), so label it accordingly.
+	names := o.configNames()
+	tb.row("Config", "geomean(s)", "vs "+names[len(names)-1])
 	var allMeans []time.Duration
-	for ci, name := range ConfigNames {
+	for ci, name := range names {
 		var ds []time.Duration
 		for _, task := range CowTasks {
 			ds = append(ds, comm[task][ci])
@@ -365,7 +400,7 @@ func (o Options) Summary() {
 		allMeans = append(allMeans, GeoMean(ds))
 		_ = name
 	}
-	for ci, name := range ConfigNames {
+	for ci, name := range names {
 		tb.row(name, Seconds(allMeans[ci]), Ratio(allMeans[ci], allMeans[len(allMeans)-1]))
 	}
 	tb.flush()
@@ -393,4 +428,90 @@ func (o Options) Summary() {
 	}
 	tb.flush()
 	fmt.Fprintf(o.Out, "\nPaper's §5.4 overall geomeans: cxx 0.71s, go 1.02s, Qs 1.61s, haskell 3.30s, erlang 9.51s.\n")
+}
+
+// ringOnce runs a threadring-style hop chain over `handlers` handlers
+// under cfg and returns the wall time plus the runtime's counters. The
+// ring has far more handlers than cores, the regime where dedicated
+// goroutines pay for parked consumers and the M:N executor does not.
+func ringOnce(cfg core.Config, handlers, hops int) (time.Duration, core.Stats) {
+	rt := core.New(cfg)
+	hs := make([]*core.Handler, handlers)
+	tokens := make([]int, handlers) // tokens[i] owned by hs[i]
+	for i := range hs {
+		hs[i] = rt.NewHandler("ring")
+	}
+	done := make(chan struct{})
+	var pass func(i, v int)
+	pass = func(i, v int) {
+		if v == 0 {
+			close(done)
+			return
+		}
+		next := (i + 1) % handlers
+		hs[i].AsClient().Separate(hs[next], func(s *core.Session) {
+			s.Call(func() { tokens[next] = v - 1 })
+			if got := core.Query(s, func() int { return tokens[next] }); got != v-1 {
+				panic("harness: ring token confirmation mismatch")
+			}
+			s.Call(func() { pass(next, v-1) })
+		})
+	}
+	start := time.Now()
+	c := rt.NewClient()
+	c.Separate(hs[0], func(s *core.Session) {
+		s.Call(func() { pass(0, hops) })
+	})
+	<-done
+	d := time.Since(start)
+	rt.Shutdown()
+	return d, rt.Stats()
+}
+
+// Executor compares dedicated-goroutine and pooled (M:N) handler
+// execution on a token ring with handlers ≫ workers, reporting the
+// executor's scheduling counters alongside wall time. This experiment
+// has no counterpart in the paper; it measures this repo's worker-pool
+// extension (see README "Executor model").
+func (o Options) Executor() {
+	handlers, hops := o.ExecHandlers, o.ExecHops
+	if handlers < 2 {
+		handlers = 2
+	}
+	if hops < 1 {
+		hops = handlers
+	}
+	pool := o.Pool
+	if pool <= 0 {
+		pool = runtime.GOMAXPROCS(0)
+	}
+	section(o.Out, "Executor",
+		fmt.Sprintf("Token ring over %d handlers, %d hops (ConfigAll): dedicated\ngoroutine-per-handler vs. M:N pool of %d workers, with scheduler\ncounters. Not a paper experiment; measures the executor layer.", handlers, hops, pool))
+	modes := []struct {
+		label string
+		cfg   core.Config
+	}{
+		{"dedicated", core.ConfigAll},
+		{fmt.Sprintf("pooled(%d)", pool), core.ConfigAll.WithWorkers(pool)},
+	}
+	tb := newTable(o.Out)
+	tb.row("Mode", "time(s)", "hops/ms", "schedules", "handler-parks", "worker-spawns", "worker-parks")
+	for _, m := range modes {
+		var d time.Duration
+		var st core.Stats
+		ds := make([]time.Duration, 0, o.Reps)
+		for r := 0; r < o.Reps || r == 0; r++ {
+			dd, s := ringOnce(m.cfg, handlers, hops)
+			ds = append(ds, dd)
+			st = s
+		}
+		d = median(ds)
+		tb.row(m.label, Seconds(d),
+			fmt.Sprintf("%.0f", float64(hops)/(float64(d.Nanoseconds())/1e6)),
+			fmt.Sprintf("%d", st.Schedules),
+			fmt.Sprintf("%d", st.HandlerParks),
+			fmt.Sprintf("%d", st.WorkerSpawns),
+			fmt.Sprintf("%d", st.WorkerParks))
+	}
+	tb.flush()
 }

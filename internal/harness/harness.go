@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"scoopqs/internal/concbench"
+	"scoopqs/internal/core"
 	"scoopqs/internal/cowichan"
 )
 
@@ -27,12 +28,24 @@ type Options struct {
 	// Workers is the worker/handler count for parallel kernels at full
 	// width.
 	Workers int
+	// Pool is the Qs executor pool size: 0 runs handlers on dedicated
+	// goroutines (the paper's runtime), N > 0 multiplexes them onto N
+	// pool workers (core.Config.Workers).
+	Pool int
+	// Configs restricts the optimization-sweep experiments (Table 1/2,
+	// Fig. 16/17, Summary) to these columns; nil means the paper's
+	// five.
+	Configs []core.Config
 	// Cores is the thread-count sweep for Fig. 19 / Table 4.
 	Cores []int
 	// Cow are the Cowichan problem sizes.
 	Cow cowichan.Params
 	// Conc are the coordination benchmark sizes.
 	Conc concbench.Params
+	// ExecHandlers/ExecHops size the Executor experiment's ring:
+	// handlers ≫ pool workers is the interesting regime.
+	ExecHandlers int
+	ExecHops     int
 }
 
 // Defaults returns laptop-scale options writing to w.
@@ -46,12 +59,14 @@ func Defaults(w io.Writer) Options {
 		cores = append(cores, workers)
 	}
 	return Options{
-		Out:     w,
-		Reps:    3,
-		Workers: workers,
-		Cores:   cores,
-		Cow:     cowichan.SmallParams(),
-		Conc:    concbench.SmallParams(),
+		Out:          w,
+		Reps:         3,
+		Workers:      workers,
+		Cores:        cores,
+		Cow:          cowichan.SmallParams(),
+		Conc:         concbench.SmallParams(),
+		ExecHandlers: 10000,
+		ExecHops:     100000,
 	}
 }
 

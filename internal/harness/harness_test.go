@@ -44,6 +44,7 @@ func TestAllExperimentsRender(t *testing.T) {
 		{"Table4", o.Table4, []string{"== Table 4 ==", "chain", "T"}},
 		{"Table5", o.Table5, []string{"== Table 5 ==", "prodcons"}},
 		{"Fig20", o.Fig20, []string{"== Figure 20 ==", "chameneos"}},
+		{"Executor", o.Executor, []string{"== Executor ==", "dedicated", "pooled", "schedules"}},
 		{"Summary", o.Summary, []string{"geometric means", "geomean", "overall"}},
 	}
 	for _, c := range cases {
@@ -58,6 +59,23 @@ func TestAllExperimentsRender(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// The Pool and Configs options must thread through to the Qs runs and
+// the rendered column headers.
+func TestPoolAndConfigOptions(t *testing.T) {
+	var buf bytes.Buffer
+	o := tinyOptions(&buf)
+	o.Pool = 2
+	o.Configs = []core.Config{core.ConfigAll}
+	o.Table2()
+	out := buf.String()
+	if !strings.Contains(out, "All+pool2") {
+		t.Fatalf("header missing pooled config name:\n%s", out)
+	}
+	if strings.Contains(out, "None") {
+		t.Fatalf("config restriction ignored:\n%s", out)
 	}
 }
 

@@ -20,10 +20,12 @@ type mpscNode[T any] struct {
 //
 // The zero value is not usable; use NewMPSC.
 type MPSC[T any] struct {
-	headP  atomic.Pointer[mpscNode[T]] // producers swap here (newest node)
-	parker *sched.Parker
-	closed atomic.Bool
-	spin   int
+	headP    atomic.Pointer[mpscNode[T]] // producers swap here (newest node)
+	inflight atomic.Int64                // producers inside TryEnqueue
+	parker   *sched.Parker
+	closed   atomic.Bool
+	spin     int
+	notify   func() // set before use; replaces parker wakeups when non-nil
 
 	_     [32]byte     // separate the consumer's line from the producers'
 	tailC *mpscNode[T] // consumer-owned: most recently consumed node
@@ -41,16 +43,51 @@ func NewMPSC[T any](spin int) *MPSC[T] {
 	return q
 }
 
+// SetNotify installs a became-non-empty notification hook: every
+// Enqueue (and Close) invokes fn instead of unparking a dedicated
+// consumer, so an external scheduler can make the consumer runnable
+// rather than waking a parked goroutine. The consumer must then poll
+// with TryDequeue — blocking Dequeue would never be woken. SetNotify
+// must be called before the queue is shared; fn must be non-blocking
+// and safe to call concurrently and spuriously.
+func (q *MPSC[T]) SetNotify(fn func()) { q.notify = fn }
+
+// wake signals the consumer after a state change.
+func (q *MPSC[T]) wake() {
+	if q.notify != nil {
+		q.notify()
+		return
+	}
+	q.parker.Unpark()
+}
+
 // Enqueue appends v. Safe for concurrent use by many producers; never
 // blocks. Enqueue on a closed queue panics.
 func (q *MPSC[T]) Enqueue(v T) {
-	if q.closed.Load() {
+	if !q.TryEnqueue(v) {
 		panic("queue: Enqueue on closed MPSC")
+	}
+}
+
+// TryEnqueue appends v unless the queue is closed, in which case it
+// reports false and leaves the queue untouched. An enqueue racing
+// Close may still be accepted; Quiesced lets the consumer wait out
+// such in-flight producers before treating the queue as finished.
+func (q *MPSC[T]) TryEnqueue(v T) bool {
+	q.inflight.Add(1)
+	if q.closed.Load() {
+		q.inflight.Add(-1)
+		// A consumer deciding whether to retire may have observed our
+		// in-flight mark; wake it so it re-evaluates.
+		q.wake()
+		return false
 	}
 	n := &mpscNode[T]{v: v}
 	prev := q.headP.Swap(n) // serialization point
 	prev.next.Store(n)      // publish; the chain is briefly broken between these
-	q.parker.Unpark()
+	q.inflight.Add(-1)
+	q.wake()
+	return true
 }
 
 // Close marks the end of the stream: once drained, Dequeue reports
@@ -58,7 +95,22 @@ func (q *MPSC[T]) Enqueue(v T) {
 // must not Enqueue after Close.
 func (q *MPSC[T]) Close() {
 	q.closed.Store(true)
-	q.parker.Unpark()
+	q.wake()
+}
+
+// Closed reports whether Close has been called. A closed queue may
+// still hold undrained items.
+func (q *MPSC[T]) Closed() bool { return q.closed.Load() }
+
+// Quiesced reports whether the queue is closed, has no producer
+// mid-enqueue, and is empty — i.e. no item can ever appear again, so
+// the consumer may retire. The check order matters: once closed is
+// observed true, any producer whose in-flight mark we missed must
+// itself observe closed and reject, and any producer that slipped an
+// item in before our in-flight read has already published it, so the
+// final emptiness check sees it.
+func (q *MPSC[T]) Quiesced() bool {
+	return q.closed.Load() && q.inflight.Load() == 0 && q.Empty()
 }
 
 // TryDequeue removes the head item without blocking. ok=false means the
@@ -92,10 +144,7 @@ func (q *MPSC[T]) Dequeue() (v T, ok bool) {
 		if v, ok = q.TryDequeue(); ok {
 			return v, true
 		}
-		if q.closed.Load() {
-			if v, ok = q.TryDequeue(); ok {
-				return v, true
-			}
+		if q.Quiesced() {
 			return v, false
 		}
 		if i < q.spin {

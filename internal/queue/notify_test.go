@@ -1,0 +1,86 @@
+package queue
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// With a notify hook installed, every enqueue must invoke the hook and
+// the consumer must be able to drain with TryDequeue alone.
+func TestMPSCNotifyHook(t *testing.T) {
+	q := NewMPSC[int](0)
+	var pokes atomic.Int64
+	q.SetNotify(func() { pokes.Add(1) })
+	for i := 0; i < 10; i++ {
+		q.Enqueue(i)
+	}
+	if got := pokes.Load(); got != 10 {
+		t.Fatalf("notify ran %d times, want 10", got)
+	}
+	for i := 0; i < 10; i++ {
+		v, ok := q.TryDequeue()
+		if !ok || v != i {
+			t.Fatalf("TryDequeue #%d = (%d,%v)", i, v, ok)
+		}
+	}
+	q.Close()
+	if pokes.Load() != 11 {
+		t.Fatalf("Close did not notify (pokes=%d)", pokes.Load())
+	}
+}
+
+func TestMPSCTryEnqueueClosed(t *testing.T) {
+	q := NewMPSC[int](0)
+	if !q.TryEnqueue(1) {
+		t.Fatal("TryEnqueue on open queue failed")
+	}
+	if q.Closed() {
+		t.Fatal("Closed() true before Close")
+	}
+	q.Close()
+	if !q.Closed() {
+		t.Fatal("Closed() false after Close")
+	}
+	if q.TryEnqueue(2) {
+		t.Fatal("TryEnqueue on closed queue succeeded")
+	}
+	// The pre-close item must still drain.
+	if v, ok := q.TryDequeue(); !ok || v != 1 {
+		t.Fatalf("drain after close = (%d,%v), want (1,true)", v, ok)
+	}
+	if _, ok := q.TryDequeue(); ok {
+		t.Fatal("rejected item was enqueued anyway")
+	}
+}
+
+func TestMPSCEnqueueClosedStillPanics(t *testing.T) {
+	q := NewMPSC[int](0)
+	q.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Enqueue on closed MPSC did not panic")
+		}
+	}()
+	q.Enqueue(1)
+}
+
+func TestSPSCNotifyHook(t *testing.T) {
+	q := NewSPSC[string](0)
+	var pokes atomic.Int64
+	q.SetNotify(func() { pokes.Add(1) })
+	q.Enqueue("a")
+	q.Enqueue("b")
+	if got := pokes.Load(); got != 2 {
+		t.Fatalf("notify ran %d times, want 2", got)
+	}
+	if v, ok := q.TryDequeue(); !ok || v != "a" {
+		t.Fatalf("TryDequeue = (%q,%v)", v, ok)
+	}
+	q.Close()
+	if pokes.Load() != 3 {
+		t.Fatalf("Close did not notify (pokes=%d)", pokes.Load())
+	}
+	if v, ok := q.TryDequeue(); !ok || v != "b" {
+		t.Fatalf("drain after close = (%q,%v)", v, ok)
+	}
+}

@@ -35,6 +35,7 @@ type SPSC[T any] struct {
 	parker *sched.Parker
 	closed atomic.Bool
 	spin   int
+	notify func() // set before use; replaces parker wakeups when non-nil
 	// cache of consumed nodes handed back to the producer, mirroring
 	// the paper's "cache of queues" idea at the node level. Only the
 	// consumer pushes, only the producer pops, guarded by a spinlock
@@ -78,6 +79,24 @@ func (q *SPSC[T]) recycle(n *spscNode[T]) {
 	q.cacheMu.Unlock()
 }
 
+// SetNotify installs a became-non-empty notification hook: every
+// Enqueue (and Close) invokes fn instead of unparking a dedicated
+// consumer, so an external scheduler can make the consumer runnable
+// rather than waking a parked goroutine. The consumer must then poll
+// with TryDequeue — blocking Dequeue would never be woken. SetNotify
+// must be called before the queue is shared; fn must be non-blocking
+// and safe to call spuriously.
+func (q *SPSC[T]) SetNotify(fn func()) { q.notify = fn }
+
+// wake signals the consumer after a state change.
+func (q *SPSC[T]) wake() {
+	if q.notify != nil {
+		q.notify()
+		return
+	}
+	q.parker.Unpark()
+}
+
 // Enqueue appends v. It never blocks. Enqueue after Close panics.
 func (q *SPSC[T]) Enqueue(v T) {
 	if q.closed.Load() {
@@ -86,7 +105,7 @@ func (q *SPSC[T]) Enqueue(v T) {
 	n := q.newNode(v)
 	q.tail.next.Store(n) // publish
 	q.tail = n
-	q.parker.Unpark()
+	q.wake()
 }
 
 // Close marks the end of the stream. The consumer drains remaining
@@ -94,7 +113,7 @@ func (q *SPSC[T]) Enqueue(v T) {
 // Close. Close is idempotent.
 func (q *SPSC[T]) Close() {
 	q.closed.Store(true)
-	q.parker.Unpark()
+	q.wake()
 }
 
 // TryDequeue removes the head item without blocking. ok is false if the

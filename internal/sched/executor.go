@@ -1,0 +1,167 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Runnable is a unit of resumable work multiplexed onto an Executor's
+// workers. Step runs the unit until it has no immediately available
+// work; it must not block indefinitely — a Runnable that needs to wait
+// returns from Step and is handed back to the Executor (Ready) when
+// new work arrives. Step is never invoked concurrently for the same
+// Runnable; the scheduling protocol of the owner must guarantee that.
+type Runnable interface {
+	Step()
+}
+
+// Executor is a fixed-size worker pool draining a FIFO ready queue of
+// Runnables: the M:N layer that lets millions of mostly-idle handlers
+// share a few goroutines instead of owning one each. It corresponds to
+// the task-switching layer of the paper's §3 runtime stack, with the
+// Go scheduler demoted to scheduling only the pool workers.
+//
+// Blocking compensation: client code executed by a Runnable may block
+// the worker goroutine itself (a handler synchronously querying
+// another handler cannot be unwound into a state machine). Such code
+// must bracket the wait with BlockingBegin/BlockingEnd; the Executor
+// then spawns a replacement worker when the pool would otherwise have
+// no runnable worker left, so dependency chains deeper than the pool
+// size cannot deadlock it. Surplus workers retire once the blocked
+// ones resume.
+type Executor struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	ready   []Runnable // FIFO: ready[head:] are pending
+	head    int
+	target  int // configured pool size
+	workers int // live workers, including blocked ones
+	blocked int // workers inside a BlockingBegin/End section
+	idle    int // workers parked in cond.Wait
+	stopped bool
+	wg      sync.WaitGroup
+
+	spawns      atomic.Int64 // compensation workers spawned
+	workerParks atomic.Int64 // times a worker went idle
+}
+
+// NewExecutor starts a pool of n workers (n must be positive).
+func NewExecutor(n int) *Executor {
+	if n < 1 {
+		panic("sched: NewExecutor needs at least one worker")
+	}
+	e := &Executor{target: n}
+	e.cond = sync.NewCond(&e.mu)
+	e.mu.Lock()
+	for i := 0; i < n; i++ {
+		e.spawnLocked()
+	}
+	e.spawns.Store(0) // the initial pool is not compensation
+	e.mu.Unlock()
+	return e
+}
+
+// spawnLocked starts one worker. Caller holds e.mu.
+func (e *Executor) spawnLocked() {
+	e.workers++
+	e.spawns.Add(1)
+	e.wg.Add(1)
+	go e.worker()
+}
+
+// Ready enqueues r for execution by the next free worker. The caller's
+// scheduling protocol must ensure r is enqueued at most once until its
+// Step runs (see Runnable). Ready after Stop drops r.
+func (e *Executor) Ready(r Runnable) {
+	e.mu.Lock()
+	if e.stopped {
+		e.mu.Unlock()
+		return
+	}
+	e.ready = append(e.ready, r)
+	if e.idle > 0 {
+		e.cond.Signal()
+	}
+	e.mu.Unlock()
+}
+
+// pop removes the head of the ready queue. Caller holds e.mu and has
+// checked it is non-empty.
+func (e *Executor) pop() Runnable {
+	r := e.ready[e.head]
+	e.ready[e.head] = nil
+	e.head++
+	if e.head > 64 && e.head*2 >= len(e.ready) {
+		n := copy(e.ready, e.ready[e.head:])
+		e.ready = e.ready[:n]
+		e.head = 0
+	}
+	return r
+}
+
+func (e *Executor) worker() {
+	defer e.wg.Done()
+	e.mu.Lock()
+	for {
+		if e.head < len(e.ready) {
+			r := e.pop()
+			e.mu.Unlock()
+			r.Step()
+			e.mu.Lock()
+			continue
+		}
+		// No ready work: retire if stopping or clearly surplus, else
+		// park. The 2x hysteresis keeps a spare pool of compensation
+		// workers around between blocking bursts — without it, a
+		// workload that blocks on every operation (a synchronous
+		// delegation ring) would spawn and retire a goroutine per
+		// operation.
+		if e.stopped || e.workers-e.blocked > 2*e.target {
+			e.workers--
+			e.mu.Unlock()
+			return
+		}
+		e.idle++
+		e.workerParks.Add(1)
+		e.cond.Wait()
+		e.idle--
+	}
+}
+
+// BlockingBegin declares that the calling worker is about to block on
+// something only another Runnable's progress can release. If the pool
+// would be left without an available worker below target, a
+// replacement is spawned before the caller parks.
+func (e *Executor) BlockingBegin() {
+	e.mu.Lock()
+	e.blocked++
+	if e.workers-e.blocked < e.target && e.idle == 0 && !e.stopped {
+		e.spawnLocked()
+	}
+	e.mu.Unlock()
+}
+
+// BlockingEnd undoes BlockingBegin; surplus workers retire lazily.
+func (e *Executor) BlockingEnd() {
+	e.mu.Lock()
+	e.blocked--
+	e.mu.Unlock()
+}
+
+// Stop shuts the pool down and waits for every worker to exit. Pending
+// ready work is drained first; Ready calls after Stop are dropped. The
+// caller must ensure no worker is still inside a blocking section that
+// only future Ready work could release.
+func (e *Executor) Stop() {
+	e.mu.Lock()
+	e.stopped = true
+	e.cond.Broadcast()
+	e.mu.Unlock()
+	e.wg.Wait()
+}
+
+// Counters reports the number of compensation workers spawned beyond
+// the initial pool and the number of times a worker parked idle.
+func (e *Executor) Counters() (spawns, parks int64) {
+	return e.spawns.Load(), e.workerParks.Load()
+}

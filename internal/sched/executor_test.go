@@ -1,0 +1,130 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// funcRunnable adapts a closure to Runnable for tests.
+type funcRunnable func()
+
+func (f funcRunnable) Step() { f() }
+
+func TestExecutorRunsReadyWork(t *testing.T) {
+	e := NewExecutor(4)
+	defer e.Stop()
+	var n atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		e.Ready(funcRunnable(func() {
+			n.Add(1)
+			wg.Done()
+		}))
+	}
+	wg.Wait()
+	if got := n.Load(); got != 100 {
+		t.Fatalf("ran %d steps, want 100", got)
+	}
+}
+
+func TestExecutorStopDrainsPendingWork(t *testing.T) {
+	e := NewExecutor(2)
+	var n atomic.Int64
+	for i := 0; i < 50; i++ {
+		e.Ready(funcRunnable(func() { n.Add(1) }))
+	}
+	e.Stop() // must not return before queued work ran
+	if got := n.Load(); got != 50 {
+		t.Fatalf("Stop returned with %d/50 steps run", got)
+	}
+}
+
+func TestExecutorReadyAfterStopIsDropped(t *testing.T) {
+	e := NewExecutor(1)
+	e.Stop()
+	ran := make(chan struct{})
+	e.Ready(funcRunnable(func() { close(ran) }))
+	select {
+	case <-ran:
+		t.Fatal("Ready after Stop executed work")
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+// A single-worker pool whose only worker blocks must spawn a
+// compensation worker, so work the blocked one depends on still runs.
+func TestExecutorBlockingCompensation(t *testing.T) {
+	e := NewExecutor(1)
+	defer e.Stop()
+	release := make(chan struct{})
+	done := make(chan struct{})
+	e.Ready(funcRunnable(func() {
+		e.BlockingBegin()
+		<-release // needs the second runnable to make progress
+		e.BlockingEnd()
+		close(done)
+	}))
+	e.Ready(funcRunnable(func() { close(release) }))
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("pool deadlocked despite blocking compensation")
+	}
+	spawns, _ := e.Counters()
+	if spawns < 1 {
+		t.Fatalf("expected at least one compensation spawn, got %d", spawns)
+	}
+}
+
+// A chain of nested blocking sections much deeper than the pool must
+// complete: each blocked worker hands its slot to a replacement.
+func TestExecutorDeepBlockingChain(t *testing.T) {
+	const depth = 32
+	e := NewExecutor(2)
+	defer e.Stop()
+	done := make(chan struct{})
+	var spawn func(level int)
+	spawn = func(level int) {
+		if level == depth {
+			close(done)
+			return
+		}
+		inner := make(chan struct{})
+		e.Ready(funcRunnable(func() {
+			e.BlockingBegin()
+			spawn(level + 1) // runs on another worker
+			<-inner
+			e.BlockingEnd()
+		}))
+		e.Ready(funcRunnable(func() { close(inner) }))
+	}
+	spawn(0)
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("deep blocking chain starved the pool")
+	}
+}
+
+func TestExecutorParksIdleWorkers(t *testing.T) {
+	e := NewExecutor(2)
+	// Give the workers a moment with nothing to do.
+	time.Sleep(20 * time.Millisecond)
+	_, parks := e.Counters()
+	if parks < 1 {
+		t.Fatalf("idle workers never parked (parks=%d)", parks)
+	}
+	e.Stop()
+}
+
+func TestNewExecutorRejectsZeroWorkers(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewExecutor(0) did not panic")
+		}
+	}()
+	NewExecutor(0)
+}
