@@ -7,7 +7,7 @@
 //	qsbench [flags]
 //
 //	-experiment all|table1|table2|table3|table4|table5|
-//	            fig16|fig17|fig18|fig19|fig20|executor|summary
+//	            fig16|fig17|fig18|fig19|fig20|executor|futures|summary
 //	-size      small|paper   problem sizes (paper sizes are large!)
 //	-reps      N             repetitions per measurement (median)
 //	-workers   N             worker/handler count at full width
@@ -55,7 +55,7 @@ func configByName(name string) (core.Config, bool) {
 }
 
 func main() {
-	experiment := flag.String("experiment", "all", "experiment to run (all, table1..5, fig16..20, executor, summary)")
+	experiment := flag.String("experiment", "all", "experiment to run (all, table1..5, fig16..20, executor, futures, summary)")
 	size := flag.String("size", "small", "problem sizes: small or paper")
 	reps := flag.Int("reps", 3, "repetitions per measurement")
 	workers := flag.Int("workers", 0, "workers/handlers (default: NumCPU, min 2)")
@@ -114,10 +114,11 @@ func main() {
 		"table5": o.Table5, "fig20": o.Fig20,
 		"eve":      o.Eve,
 		"executor": o.Executor,
+		"futures":  o.Futures,
 		"summary":  o.Summary,
 	}
 	order := []string{"table1", "fig16", "table2", "fig17", "table3",
-		"fig18", "fig19", "table4", "table5", "fig20", "eve", "executor", "summary"}
+		"fig18", "fig19", "table4", "table5", "fig20", "eve", "executor", "futures", "summary"}
 
 	if *experiment == "all" {
 		for _, name := range order {

@@ -42,6 +42,21 @@
 // WorkerSpawns, WorkerParks); `go run ./cmd/qsbench -experiment
 // executor` compares the two modes on a 10k-handler token ring.
 //
+// Compensation is a last resort, though: the futures subsystem lets
+// handler code wait without blocking at all. Session.CallFuture (and
+// the typed QueryAsync) log a query whose result resolves a Future
+// instead of round-tripping, and Handler.Await parks the handler state
+// machine in a dedicated awaiting state: the handler is logically
+// still inside the request that armed the await — queue wakes do not
+// reschedule it, and no further request of the session runs — but its
+// worker goes back to the pool. The future's completion makes the
+// handler ready again and the continuation runs first, so the run
+// rule's ordering is preserved while a depth-k delegation chain costs
+// k state-machine parks instead of k compensation goroutines. Stats
+// counts FuturesCreated and AwaitParks; `go run ./cmd/qsbench
+// -experiment futures` measures the effect (and the remote layer's
+// query pipelining, which rides the same mechanism).
+//
 // # Quick start
 //
 //	rt := scoopqs.New(scoopqs.ConfigAll)
@@ -61,7 +76,10 @@
 // conditions, and the paper's benchmark programs.
 package scoopqs
 
-import "scoopqs/internal/core"
+import (
+	"scoopqs/internal/core"
+	"scoopqs/internal/future"
+)
 
 // Re-exported core types. The implementation lives in internal/core;
 // these aliases form the supported public API.
@@ -80,6 +98,10 @@ type (
 	Stats = core.Stats
 	// HandlerError reports a panic that occurred in a handler call.
 	HandlerError = core.HandlerError
+	// Future is the completion cell resolved by asynchronous queries
+	// (Session.CallFuture, QueryAsync, the remote client's pipelined
+	// queries). See internal/future for combinators (All, Any, Then).
+	Future = future.Future
 	// DeadlockCycle is a cycle in the wait-for graph found by
 	// Runtime.DetectDeadlock (queries can deadlock, §2.5; reservations
 	// cannot).
@@ -112,6 +134,18 @@ func Query[T any](s *Session, f func() T) T { return core.Query(s, f) }
 // QueryRemote forces the packaged-call query path (the unoptimized
 // rule): the closure executes on the handler.
 func QueryRemote[T any](s *Session, f func() T) T { return core.QueryRemote(s, f) }
+
+// QueryAsync logs f as an asynchronous query: it returns immediately
+// with a future that resolves with f's result once the handler reaches
+// it, observing every previously logged call of the block. Wait with
+// Client.Await (shutdown-aware), Handler.Await (parks the handler
+// state machine instead of a pool worker), or the Future itself.
+func QueryAsync[T any](s *Session, f func() T) *Future { return core.QueryAsync(s, f) }
+
+// NewFuture returns an unresolved completion cell, for code that
+// produces a value asynchronously itself (e.g. a Handler.Await
+// continuation completing a promise it returned earlier).
+func NewFuture() *Future { return future.New() }
 
 // LocalQuery executes f on the client with no synchronization; legal
 // only when the handler is synced on this session (after Sync/SyncNow

@@ -4,6 +4,7 @@ import (
 	"sort"
 	"sync/atomic"
 
+	"scoopqs/internal/future"
 	"scoopqs/internal/queue"
 	"scoopqs/internal/sched"
 )
@@ -45,26 +46,25 @@ func (c *Client) blockEnd() {
 }
 
 // session returns a private queue for h, reusing the cached one when
-// the handler has finished with it, else allocating fresh (Fig. 8:
-// "freshly created or taken from a cache of queues").
+// this client's previous block on h has ended, else allocating fresh
+// (Fig. 8: "freshly created or taken from a cache of queues").
+//
+// Reuse is re-armed by the END handoff itself, with no handshake: once
+// the client has logged END, re-enqueueing the same session into the
+// queue-of-queues is safe even while the handler is still draining the
+// previous block, because each reservation pairs with exactly one
+// END-terminated segment of the private queue — the handler simply
+// dequeues the session again and runs the next segment. (An earlier
+// version spun waiting for the handler to consume END and fell back to
+// a fresh queue after 128 polls, which made SessionsNew climb whenever
+// a pooled handler was scheduled out too long.)
 func (c *Client) session(h *Handler) *Session {
 	if s, ok := c.cache[h]; ok && !s.inUse && s.errPub.Load() == nil {
-		// The handler marks the session reusable once it consumes the
-		// END marker; give it a short grace period, since it is
-		// usually just one scheduling step away.
-		for i := 0; !s.doneByHandler.Load(); i++ {
-			if i >= 128 {
-				goto fresh
-			}
-			sched.SpinWait(i)
-		}
-		s.doneByHandler.Store(false)
 		s.inUse = true
 		s.synced = false
 		c.rt.stats.sessionsReused.Add(1)
 		return s
 	}
-fresh:
 	q := queue.NewSPSC[call](c.rt.cfg.Spin)
 	if c.rt.exec != nil {
 		// Route private-queue notifications to the scheduler: logging
@@ -118,7 +118,6 @@ func (c *Client) lockHandler(h *Handler) {
 	h.resMu.Lock()
 	c.blockEnd()
 }
-
 
 // release1 ends the separate block: log END and, in lock-based mode,
 // give up the handler lock.
@@ -276,6 +275,37 @@ func (c *Client) SeparateWhen(hs []*Handler, guard func([]*Session) bool, body f
 		for _, s := range sessions {
 			s.h.removeWaiter(c.waitCh)
 		}
+	}
+}
+
+// Await blocks until f resolves and returns its result. It is the
+// client-side synchronization point of the futures subsystem:
+//
+//   - for a worker-hosted client (handler code in pooled mode that
+//     cannot use the continuation-passing Handler.Await) the wait is
+//     bracketed with the executor's compensation hooks, like any other
+//     blocking operation;
+//   - after Runtime.Shutdown an unresolved future can never resolve,
+//     so Await returns ErrShutdown instead of hanging.
+//
+// The error is *HandlerError when the future's query panicked; use
+// f.Await to re-panic instead, matching Query's contract.
+func (c *Client) Await(f *future.Future) (any, error) {
+	if v, err, ok := f.TryGet(); ok {
+		return v, err
+	}
+	c.blockBegin()
+	defer c.blockEnd()
+	select {
+	case <-f.Done():
+		return f.Get()
+	case <-c.rt.downC:
+		// Shutdown fails tracked stragglers itself; re-check so a
+		// future that resolved while we raced the close is honored.
+		if v, err, ok := f.TryGet(); ok {
+			return v, err
+		}
+		return nil, ErrShutdown
 	}
 }
 

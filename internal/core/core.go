@@ -35,11 +35,15 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"scoopqs/internal/future"
 	"scoopqs/internal/sched"
 )
 
 // ErrShutdown is the panic value raised when a client enters a
-// separate block (reserves a handler) after Runtime.Shutdown.
+// separate block (reserves a handler) after Runtime.Shutdown. It is
+// also the error that fails futures left unresolved by Shutdown and
+// the error Client.Await returns when waiting past Shutdown, so an
+// awaiting client surfaces a clean error instead of hanging.
 var ErrShutdown = errors.New("scoopqs: reservation after Shutdown")
 
 // Config selects a SCOOP runtime variant. The zero value is the
@@ -146,6 +150,10 @@ type Stats struct {
 	SessionsReused int64 // private queues taken from the client cache
 	EndsProcessed  int64 // END markers consumed by handlers
 
+	// Futures counters.
+	FuturesCreated int64 // futures minted by CallFuture/QueryAsync
+	AwaitParks     int64 // handler state machines parked in the awaiting state
+
 	// Executor counters; all zero in dedicated-goroutine mode.
 	Schedules    int64 // handler activations pushed on the ready queue
 	HandlerParks int64 // handlers parked mid-session awaiting their client
@@ -165,6 +173,8 @@ type statsCounters struct {
 	sessionsNew    atomic.Int64
 	sessionsReused atomic.Int64
 	endsProcessed  atomic.Int64
+	futuresCreated atomic.Int64
+	awaitParks     atomic.Int64
 	schedules      atomic.Int64
 	handlerParks   atomic.Int64
 }
@@ -182,6 +192,8 @@ func (s *statsCounters) snapshot() Stats {
 		SessionsNew:    s.sessionsNew.Load(),
 		SessionsReused: s.sessionsReused.Load(),
 		EndsProcessed:  s.endsProcessed.Load(),
+		FuturesCreated: s.futuresCreated.Load(),
+		AwaitParks:     s.awaitParks.Load(),
 		Schedules:      s.schedules.Load(),
 		HandlerParks:   s.handlerParks.Load(),
 	}
@@ -204,16 +216,56 @@ type Runtime struct {
 	nextID   int64
 	down     bool
 
+	// downC is closed at the end of Shutdown; Client.Await selects on
+	// it so a wait that can no longer be satisfied errors out instead
+	// of hanging.
+	downC chan struct{}
+
+	// futShards track futures minted by CallFuture that have not yet
+	// resolved, so Shutdown can fail the stragglers with ErrShutdown.
+	// Sharded: every async query touches the registry twice (mint and
+	// resolve), and a single mutex would be a runtime-global contention
+	// point on the very path built for throughput.
+	futShards [futShardCount]futShard
+	futSeq    atomic.Uint64
+
 	wg sync.WaitGroup
+}
+
+const futShardCount = 16 // power of two
+
+type futShard struct {
+	mu sync.Mutex
+	m  map[*future.Future]struct{}
 }
 
 // New creates a runtime with the given configuration.
 func New(cfg Config) *Runtime {
-	rt := &Runtime{cfg: cfg}
+	rt := &Runtime{
+		cfg:   cfg,
+		downC: make(chan struct{}),
+	}
+	for i := range rt.futShards {
+		rt.futShards[i].m = map[*future.Future]struct{}{}
+	}
 	if cfg.Workers > 0 {
 		rt.exec = sched.NewExecutor(cfg.Workers)
 	}
 	return rt
+}
+
+// trackFuture registers f with the runtime until it resolves, so
+// Shutdown can fail futures no retired handler will ever complete.
+func (rt *Runtime) trackFuture(f *future.Future) {
+	sh := &rt.futShards[rt.futSeq.Add(1)%futShardCount]
+	sh.mu.Lock()
+	sh.m[f] = struct{}{}
+	sh.mu.Unlock()
+	f.OnComplete(func(any, error) {
+		sh.mu.Lock()
+		delete(sh.m, f)
+		sh.mu.Unlock()
+	})
 }
 
 // Config returns the runtime's configuration.
@@ -270,4 +322,20 @@ func (rt *Runtime) Shutdown() {
 	if rt.exec != nil {
 		rt.exec.Stop()
 	}
+	// Handlers drain every accepted request before retiring, so any
+	// future still pending now was dropped on the floor (teardown of a
+	// never-ended block); fail it rather than leave waiters hanging.
+	var orphans []*future.Future
+	for i := range rt.futShards {
+		sh := &rt.futShards[i]
+		sh.mu.Lock()
+		for f := range sh.m {
+			orphans = append(orphans, f)
+		}
+		sh.mu.Unlock()
+	}
+	for _, f := range orphans {
+		f.Fail(ErrShutdown)
+	}
+	close(rt.downC)
 }

@@ -124,7 +124,7 @@ func TestDelegationChainDeeperThanPool(t *testing.T) {
 		}
 		sum := 0
 		hs[i].AsClient().Separate(hs[i+1], func(s *Session) {
-			sum = QueryRemote(s, func() int { return ask(i+1) }) + 1
+			sum = QueryRemote(s, func() int { return ask(i + 1) }) + 1
 		})
 		return sum
 	}

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"scoopqs/internal/future"
 	"scoopqs/internal/queue"
 	"scoopqs/internal/sched"
 )
@@ -37,6 +38,14 @@ type Handler struct {
 	cur   *Session
 	spin  int
 
+	// pendingAwait holds the continuation armed by Handler.Await during
+	// the current request. It is only touched by code holding the
+	// handler (the dedicated goroutine, or the worker in hRunning), and
+	// is serviced after the arming request returns: inline if the
+	// future already resolved, else by parking — the state machine in
+	// hAwaiting (pooled) or the goroutine in Future.Get (dedicated).
+	pendingAwait *awaitReq
+
 	// resSpin is the per-handler spinlock used to make multi-handler
 	// reservations atomic in QoQ mode (§3.3).
 	resSpin sched.SpinLock
@@ -63,15 +72,26 @@ type Handler struct {
 // Pooled-mode handler states. A handler is hIdle when it has no known
 // work, hReady while queued on the executor's ready queue, hRunning
 // while a worker drains it, hRunningDirty when a wake arrived during a
-// drain (forcing one more pass before idling), and hDone once its
-// queue-of-queues is closed and drained.
+// drain (forcing one more pass before idling), hAwaiting while parked
+// mid-request on an unresolved future (Handler.Await) — logically
+// still inside the request, so queue wakes do not reschedule it; only
+// the future's completion does — and hDone once its queue-of-queues is
+// closed and drained.
 const (
 	hIdle int32 = iota
 	hReady
 	hRunning
 	hRunningDirty
+	hAwaiting
 	hDone
 )
+
+// awaitReq is a continuation armed by Handler.Await: run cont with the
+// future's result before touching any further request of the session.
+type awaitReq struct {
+	fut  *future.Future
+	cont func(v any, err error)
+}
 
 // NewHandler creates a handler. In dedicated mode it starts the
 // handler's goroutine; in pooled mode the handler stays off the ready
@@ -131,6 +151,67 @@ func (h *Handler) AsClient() *Client {
 	return h.selfClient
 }
 
+// Await registers cont to run on this handler with fut's result,
+// without blocking a pool worker while fut is unresolved. It may only
+// be called from code already executing on h (a call, query, or prior
+// continuation), like AsClient.
+//
+// The continuation is deferred: it runs after the arming request
+// returns, and strictly before any further request of the session —
+// so from the rest of the system's point of view the handler is still
+// inside the arming request until cont completes, preserving the run
+// rule's no-interleaving guarantee. In pooled mode an unresolved
+// future parks the handler state machine in the awaiting state and
+// returns the worker to the pool; the future's completion reschedules
+// the handler (this is what lets deep delegation chains run on a
+// fixed-size pool without compensation spawns). In dedicated mode the
+// handler's own goroutine blocks, which is the paper's native shape.
+//
+// At most one Await may be armed per request; cont itself may call
+// Await again to chain. A panic in cont poisons the session exactly
+// like a panicking call; once the session is poisoned, pending
+// continuations run with the session's *HandlerError as their err so
+// the futures they resolve fail instead of hanging. Awaiting a future
+// nothing will ever resolve wedges the handler mid-request exactly as
+// a synchronous query cycle would (§2.5) — and Shutdown will wait for
+// it; the deadlock detector does not yet see await edges.
+func (h *Handler) Await(fut *future.Future, cont func(v any, err error)) {
+	if h.pendingAwait != nil {
+		panic("scoopqs: Handler.Await armed twice in one request (chain from the continuation instead)")
+	}
+	h.pendingAwait = &awaitReq{fut: fut, cont: cont}
+}
+
+// serviceAwaitBlocking services pending continuations by blocking the
+// calling goroutine (dedicated mode): wait for the future, run the
+// continuation, repeat while continuations re-arm.
+func (h *Handler) serviceAwaitBlocking(s *Session) {
+	for h.pendingAwait != nil {
+		req := h.pendingAwait
+		h.pendingAwait = nil
+		v, err := req.fut.Get()
+		h.runCont(s, req.cont, v, err)
+	}
+}
+
+// runCont executes an await continuation under the same poisoning
+// discipline as execCall — except that a poisoned session fails the
+// continuation instead of skipping it: cont is the tail of a request
+// already in flight, and dropping it would leave the futures it was
+// going to resolve pending forever, wedging every awaiter upstream.
+// cont observes the poison as its error and typically forwards it.
+func (h *Handler) runCont(s *Session, cont func(any, error), v any, err error) {
+	if e := s.errPub.Load(); e != nil {
+		v, err = nil, e
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			s.errPub.Store(&HandlerError{Handler: h.name, Value: r})
+		}
+	}()
+	cont(v, err)
+}
+
 // loop is the dedicated-mode handler main loop, a direct transcription
 // of the paper's Fig. 7: dequeue private queues from the queue-of-
 // queues; for each, execute calls until the END marker (the end rule);
@@ -146,9 +227,12 @@ func (h *Handler) loop() {
 	}
 }
 
-// runSession drains one private queue (the run rule) until END.
+// runSession drains one private queue (the run rule) until END. An
+// await armed by a request is serviced — blocking this dedicated
+// goroutine — before the next request is dequeued.
 func (h *Handler) runSession(s *Session) {
 	for {
+		h.serviceAwaitBlocking(s)
 		c, qok := s.q.Dequeue()
 		if !qok {
 			return // queue closed underneath us; only in teardown tests
@@ -174,6 +258,11 @@ func (h *Handler) wake() {
 			}
 		case hReady, hRunningDirty, hDone:
 			return // already scheduled, will re-check, or retired
+		case hAwaiting:
+			// Parked mid-request on a future; new queue work cannot run
+			// until the request finishes, and the future's completion
+			// callback performs the reschedule.
+			return
 		case hRunning:
 			if h.state.CompareAndSwap(hRunning, hRunningDirty) {
 				return // the draining worker will make another pass
@@ -210,6 +299,17 @@ func (h *Handler) Step() {
 			h.rt.stats.schedules.Add(1)
 			h.rt.exec.Ready(h)
 			return
+		case drainAwaiting:
+			// Park the state machine, not the worker: hand the worker
+			// back and let the future's completion reschedule us. The
+			// store may overwrite hRunningDirty — safe, because the
+			// resume path always drains, so work signalled by that lost
+			// wake is picked up then.
+			req := h.pendingAwait
+			h.rt.stats.awaitParks.Add(1)
+			h.state.Store(hAwaiting)
+			req.fut.OnComplete(func(any, error) { h.awaitWake() })
+			return
 		case drainEmpty:
 			// Read cur before releasing ownership: after a successful
 			// CAS to hIdle another worker may immediately resume the
@@ -234,10 +334,22 @@ func (h *Handler) Step() {
 type drainOutcome int
 
 const (
-	drainEmpty  drainOutcome = iota // no work visible right now
-	drainBudget                     // fairness budget exhausted, work may remain
-	drainDone                       // queue-of-queues closed and fully drained
+	drainEmpty    drainOutcome = iota // no work visible right now
+	drainBudget                       // fairness budget exhausted, work may remain
+	drainAwaiting                     // parked mid-request on an unresolved future
+	drainDone                         // queue-of-queues closed and fully drained
 )
+
+// awaitWake is the future-completion callback of a parked await: make
+// the handler runnable again so drain can run the continuation. The
+// CAS cannot spuriously fail — the state is stored before the callback
+// is registered, and only this callback leaves hAwaiting.
+func (h *Handler) awaitWake() {
+	if h.state.CompareAndSwap(hAwaiting, hReady) {
+		h.rt.stats.schedules.Add(1)
+		h.rt.exec.Ready(h)
+	}
+}
 
 // drain executes available requests: dequeue private queues from the
 // queue-of-queues and run each to its END, exactly like the dedicated
@@ -266,7 +378,26 @@ func (h *Handler) drain(budget *int) drainOutcome {
 		s := h.cur
 		for {
 			if *budget <= 0 {
+				// Budget first even with an await armed: the requeue
+				// path preserves ordering (the next Step services the
+				// await before dequeuing), so a chain of continuations
+				// over already-resolved futures cannot monopolize the
+				// worker.
 				return drainBudget
+			}
+			// An armed await gates the session: its continuation must
+			// run before any further request. Resolved already — run it
+			// inline on this worker; unresolved — park the machine.
+			if h.pendingAwait != nil {
+				v, err, ok := h.pendingAwait.fut.TryGet()
+				if !ok {
+					return drainAwaiting
+				}
+				req := h.pendingAwait
+				h.pendingAwait = nil
+				*budget--
+				h.runCont(s, req.cont, v, err)
+				continue // the continuation may have re-armed
 			}
 			c, ok := s.q.TryDequeue()
 			if !ok {
@@ -303,16 +434,22 @@ func (h *Handler) spinForWork(s *Session) bool {
 func (h *Handler) execOne(s *Session, c call) (ended bool) {
 	switch c.kind {
 	case callEnd:
-		// The end rule: mark the private queue reusable, release the
-		// handler for other sessions, and poke wait-condition waiters
-		// (handler state may have changed).
-		s.doneByHandler.Store(true)
+		// The end rule: release the handler for other sessions and poke
+		// wait-condition waiters (handler state may have changed). The
+		// client may already have re-enqueued this session for its next
+		// block — reuse needs no handshake, because each reservation
+		// pairs with exactly one END-terminated run of the queue.
 		h.cur = nil
 		h.rt.stats.endsProcessed.Add(1)
 		h.notifyWaiters(s.ownerWait)
 		return true
 	case callCall:
 		h.execCall(s, c.fn)
+	case callFuture:
+		// An asynchronous query: execute and resolve the future; nobody
+		// is parked on the session, so the handler just moves on.
+		v, err := h.execQuery(s, c.qfn)
+		resolveFuture(c.fut, v, err)
 	case callSync:
 		// The sync rule: the client is parked in wait; release it.
 		// The handler then loops straight back to dequeueing this
@@ -352,6 +489,22 @@ func (h *Handler) execQuery(s *Session, qfn func() any) (v any, err error) {
 		}
 	}()
 	return qfn(), nil
+}
+
+// resolveFuture resolves fut with a query result, flattening futures:
+// a query that returns a *future.Future chains fut to it instead of
+// boxing it, so a pipeline of asynchronous hops completes end to end
+// once the final value exists.
+func resolveFuture(fut *future.Future, v any, err error) {
+	if err != nil {
+		fut.Fail(err)
+		return
+	}
+	if inner, ok := v.(*future.Future); ok {
+		inner.OnComplete(func(iv any, ierr error) { resolveFuture(fut, iv, ierr) })
+		return
+	}
+	fut.Complete(v)
 }
 
 // addWaiter registers a wait-condition channel to be poked on every

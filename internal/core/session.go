@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"scoopqs/internal/future"
 	"scoopqs/internal/queue"
 	"scoopqs/internal/sched"
 )
@@ -27,6 +28,7 @@ const (
 	callCall callKind = iota
 	callSync
 	callQueryRemote
+	callFuture
 	callEnd
 )
 
@@ -37,6 +39,7 @@ type call struct {
 	kind callKind
 	fn   func()
 	qfn  func() any
+	fut  *future.Future // callFuture: the cell qfn's result resolves
 }
 
 // Session is a private queue: the communication channel between one
@@ -69,10 +72,6 @@ type Session struct {
 	// only by the handler; read by the client, hence atomic
 	// publication.
 	errPub atomic.Pointer[HandlerError]
-
-	// doneByHandler is set once the handler has consumed this
-	// session's END, after which the client may safely reuse it.
-	doneByHandler atomic.Bool
 }
 
 // Handler returns the handler this session is reserved on.
@@ -144,6 +143,30 @@ func (s *Session) queryRemote(qfn func() any) any {
 	return v
 }
 
+// CallFuture logs an asynchronous query (the futures subsystem): qfn
+// executes on the handler after all previously logged requests of this
+// session, and its result resolves the returned future instead of
+// being shipped back through a sync round-trip — the client never
+// blocks. A handler-side panic fails the future with *HandlerError and
+// poisons the session exactly like a synchronous query.
+//
+// If qfn returns a *future.Future the runtime chains instead of
+// boxing: the returned future resolves when the inner one does
+// (promise flattening). This is what lets a delegation chain pipeline
+// end to end — each hop logs the next hop's future query and returns
+// its future — with no handler blocked anywhere.
+func (s *Session) CallFuture(qfn func() any) *future.Future {
+	rt := s.h.rt
+	rt.stats.futuresCreated.Add(1)
+	fut := future.New()
+	rt.trackFuture(fut)
+	// The handler executes qfn and moves on without parking at the
+	// client's disposal, so the session is not synced afterwards.
+	s.synced = false
+	s.q.Enqueue(call{kind: callFuture, qfn: qfn, fut: fut})
+	return fut
+}
+
 // checkErr surfaces a handler-side panic to the client.
 func (s *Session) checkErr() {
 	if e := s.errPub.Load(); e != nil {
@@ -196,6 +219,16 @@ func Query[T any](s *Session, f func() T) T {
 func QueryRemote[T any](s *Session, f func() T) T {
 	v := s.queryRemote(func() any { return f() })
 	return v.(T)
+}
+
+// QueryAsync is the typed veneer over Session.CallFuture: it logs f as
+// an asynchronous query and returns a future that resolves with f's
+// (boxed) result. Resolve it with Client.Await (shutdown-aware), the
+// future's own Get/Await, or — from handler code on a pooled runtime —
+// Handler.Await, which parks the handler state machine instead of a
+// worker.
+func QueryAsync[T any](s *Session, f func() T) *future.Future {
+	return s.CallFuture(func() any { return f() })
 }
 
 // LocalQuery executes f directly on the client with no synchronization.

@@ -1,0 +1,234 @@
+// Package future provides the completion cell underlying the runtime's
+// asynchronous queries (Session.CallFuture in internal/core and the
+// pipelined remote protocol in internal/remote).
+//
+// A Future is a write-once cell: it starts incomplete and is resolved
+// exactly once, either with a value (Complete) or an error (Fail);
+// later resolutions are ignored, which makes racing completers — a
+// handler finishing a query versus a runtime failing stragglers at
+// shutdown, or the contestants of Any — safe by construction. Consumers
+// observe the result through whichever shape fits their control flow:
+// a blocking Get/Await, a non-blocking TryGet, a Done channel for
+// select loops, or an OnComplete callback for continuation-passing
+// (the shape the M:N executor uses to reschedule an awaiting handler).
+//
+// The package is deliberately dependency-free: core and remote both
+// build on it, and it knows about neither.
+package future
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrNone is the failure of combinators invoked with no futures.
+var ErrNone = errors.New("future: no futures")
+
+// PanicError wraps a panic recovered from a Then transform.
+type PanicError struct {
+	Value any // the recovered panic value
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("future: panic in Then: %v", e.Value)
+}
+
+// Future is a write-once completion cell. The zero value is not usable;
+// use New (or Completed/Failed for pre-resolved cells). All methods are
+// safe for concurrent use by any number of goroutines.
+type Future struct {
+	mu   sync.Mutex
+	done chan struct{} // closed on completion
+	val  any
+	err  error
+	cbs  []func(v any, err error) // pending callbacks, nil once run
+}
+
+// New returns an incomplete future.
+func New() *Future {
+	return &Future{done: make(chan struct{})}
+}
+
+// Completed returns a future already resolved with v.
+func Completed(v any) *Future {
+	f := New()
+	f.Complete(v)
+	return f
+}
+
+// Failed returns a future already resolved with err.
+func Failed(err error) *Future {
+	f := New()
+	f.Fail(err)
+	return f
+}
+
+// Complete resolves the future with v. It reports whether this call won
+// the resolution; a future already resolved is left untouched.
+func (f *Future) Complete(v any) bool { return f.resolve(v, nil) }
+
+// Fail resolves the future with err. It reports whether this call won
+// the resolution.
+func (f *Future) Fail(err error) bool { return f.resolve(nil, err) }
+
+// resolve installs the result (first caller wins), closes Done, and
+// runs the callbacks registered so far, in registration order, on the
+// calling goroutine.
+func (f *Future) resolve(v any, err error) bool {
+	f.mu.Lock()
+	if f.isDoneLocked() {
+		f.mu.Unlock()
+		return false
+	}
+	f.val, f.err = v, err
+	cbs := f.cbs
+	f.cbs = nil
+	close(f.done)
+	f.mu.Unlock()
+	for _, cb := range cbs {
+		cb(v, err)
+	}
+	return true
+}
+
+func (f *Future) isDoneLocked() bool {
+	select {
+	case <-f.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Done returns a channel closed when the future resolves. It is the
+// select-friendly view of completion.
+func (f *Future) Done() <-chan struct{} { return f.done }
+
+// TryGet reports the result without blocking. ok is false while the
+// future is incomplete.
+func (f *Future) TryGet() (v any, err error, ok bool) {
+	select {
+	case <-f.done:
+		return f.val, f.err, true
+	default:
+		return nil, nil, false
+	}
+}
+
+// Get blocks until the future resolves and returns its result.
+func (f *Future) Get() (any, error) {
+	<-f.done
+	return f.val, f.err
+}
+
+// Await blocks until the future resolves and returns its value,
+// panicking with the error if the future failed. This mirrors the
+// panic-propagation contract of core.Query: a handler-side panic
+// surfaces at the client's synchronization point.
+func (f *Future) Await() any {
+	v, err := f.Get()
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// OnComplete registers fn to run when the future resolves. If the
+// future is already resolved, fn runs immediately on the calling
+// goroutine; otherwise it runs on the resolving goroutine, after the
+// Done channel is closed, in registration order. fn must not block:
+// resolvers (handlers, the executor's wake path) call it inline.
+func (f *Future) OnComplete(fn func(v any, err error)) {
+	f.mu.Lock()
+	if !f.isDoneLocked() {
+		f.cbs = append(f.cbs, fn)
+		f.mu.Unlock()
+		return
+	}
+	v, err := f.val, f.err
+	f.mu.Unlock()
+	fn(v, err)
+}
+
+// Then returns a future resolved with fn applied to this future's
+// value. Errors bypass fn and propagate; a panic in fn fails the
+// derived future with a *PanicError. fn runs on the resolving
+// goroutine (or inline if already resolved) and must not block.
+func (f *Future) Then(fn func(v any) any) *Future {
+	out := New()
+	f.OnComplete(func(v any, err error) {
+		if err != nil {
+			out.Fail(err)
+			return
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				out.Fail(&PanicError{Value: r})
+			}
+		}()
+		out.Complete(fn(v))
+	})
+	return out
+}
+
+// All returns a future that resolves once every input has resolved:
+// with the slice of values (index-aligned with fs) if all succeeded,
+// or with the error of the lowest-indexed failure otherwise. All of no
+// futures completes immediately with an empty slice.
+func All(fs ...*Future) *Future {
+	out := New()
+	if len(fs) == 0 {
+		out.Complete([]any{})
+		return out
+	}
+	var (
+		mu      sync.Mutex
+		left    = len(fs)
+		vals    = make([]any, len(fs))
+		errIdx  = -1
+		firstEr error
+	)
+	for i, f := range fs {
+		i, f := i, f
+		f.OnComplete(func(v any, err error) {
+			mu.Lock()
+			vals[i] = v
+			if err != nil && (errIdx == -1 || i < errIdx) {
+				errIdx, firstEr = i, err
+			}
+			left--
+			done := left == 0
+			e := firstEr
+			mu.Unlock()
+			if !done {
+				return
+			}
+			if e != nil {
+				out.Fail(e)
+				return
+			}
+			out.Complete(vals)
+		})
+	}
+	return out
+}
+
+// Any returns a future that resolves like the first input to resolve,
+// value or error. Any of no futures fails with ErrNone.
+func Any(fs ...*Future) *Future {
+	if len(fs) == 0 {
+		return Failed(ErrNone)
+	}
+	out := New()
+	for _, f := range fs {
+		f.OnComplete(func(v any, err error) {
+			if err != nil {
+				out.Fail(err)
+				return
+			}
+			out.Complete(v)
+		})
+	}
+	return out
+}

@@ -1,0 +1,300 @@
+package harness
+
+import (
+	"fmt"
+	"net"
+	"runtime"
+	"time"
+
+	"scoopqs/internal/core"
+	"scoopqs/internal/future"
+	"scoopqs/internal/remote"
+)
+
+// chainStats is one delegation-chain measurement.
+type chainStats struct {
+	d  time.Duration
+	st core.Stats
+}
+
+// chainSync traverses a depth-len(hs) delegation chain with blocking
+// synchronous queries: each handler's worker blocks until the whole
+// subtree below it finishes, so every level past the pool size costs a
+// compensation worker.
+func chainSync(cfg core.Config, depth, rounds int) chainStats {
+	rt := core.New(cfg)
+	hs := make([]*core.Handler, depth)
+	for i := range hs {
+		hs[i] = rt.NewHandler(fmt.Sprintf("chain%d", i))
+	}
+	var step func(i int) int64
+	step = func(i int) int64 {
+		if i == depth-1 {
+			return 1
+		}
+		var out int64
+		hs[i].AsClient().Separate(hs[i+1], func(s *core.Session) {
+			out = core.QueryRemote(s, func() int64 { return step(i + 1) }) + 1
+		})
+		return out
+	}
+	c := rt.NewClient()
+	start := time.Now()
+	for r := 0; r < rounds; r++ {
+		var got int64
+		c.Separate(hs[0], func(s *core.Session) {
+			got = core.QueryRemote(s, func() int64 { return step(0) })
+		})
+		if got != int64(depth) {
+			panic(fmt.Sprintf("harness: sync chain returned %d, want %d", got, depth))
+		}
+	}
+	d := time.Since(start)
+	st := rt.Stats()
+	rt.Shutdown()
+	return chainStats{d, st}
+}
+
+// chainAwait traverses the same chain with asynchronous queries and
+// Handler.Await: each handler parks its state machine on the next
+// hop's future, so no worker blocks and no compensation spawns.
+func chainAwait(cfg core.Config, depth, rounds int) chainStats {
+	rt := core.New(cfg)
+	hs := make([]*core.Handler, depth)
+	for i := range hs {
+		hs[i] = rt.NewHandler(fmt.Sprintf("chain%d", i))
+	}
+	var step func(i int) any
+	step = func(i int) any {
+		if i == depth-1 {
+			return int64(1)
+		}
+		p := future.New()
+		var inner *future.Future
+		hs[i].AsClient().Separate(hs[i+1], func(s *core.Session) {
+			inner = s.CallFuture(func() any { return step(i + 1) })
+		})
+		hs[i].Await(inner, func(v any, err error) {
+			if err != nil {
+				p.Fail(err)
+				return
+			}
+			p.Complete(v.(int64) + 1)
+		})
+		return p
+	}
+	c := rt.NewClient()
+	start := time.Now()
+	for r := 0; r < rounds; r++ {
+		var fut *future.Future
+		c.Separate(hs[0], func(s *core.Session) {
+			fut = s.CallFuture(func() any { return step(0) })
+		})
+		v, err := c.Await(fut)
+		if err != nil {
+			panic(err)
+		}
+		if v.(int64) != int64(depth) {
+			panic(fmt.Sprintf("harness: await chain returned %v, want %d", v, depth))
+		}
+	}
+	d := time.Since(start)
+	st := rt.Stats()
+	rt.Shutdown()
+	return chainStats{d, st}
+}
+
+// chainPipelined traverses the chain purely by promise flattening:
+// each hop logs the next hop's future query and derives its own result
+// with Then, so nothing parks anywhere — the completion cascades back
+// through the chain once the deepest handler computes.
+func chainPipelined(cfg core.Config, depth, rounds int) chainStats {
+	rt := core.New(cfg)
+	hs := make([]*core.Handler, depth)
+	for i := range hs {
+		hs[i] = rt.NewHandler(fmt.Sprintf("chain%d", i))
+	}
+	var step func(i int) any
+	step = func(i int) any {
+		if i == depth-1 {
+			return int64(1)
+		}
+		var inner *future.Future
+		hs[i].AsClient().Separate(hs[i+1], func(s *core.Session) {
+			inner = s.CallFuture(func() any { return step(i + 1) })
+		})
+		return inner.Then(func(v any) any { return v.(int64) + 1 })
+	}
+	c := rt.NewClient()
+	start := time.Now()
+	for r := 0; r < rounds; r++ {
+		var fut *future.Future
+		c.Separate(hs[0], func(s *core.Session) {
+			fut = s.CallFuture(func() any { return step(0) })
+		})
+		v, err := c.Await(fut)
+		if err != nil {
+			panic(err)
+		}
+		if v.(int64) != int64(depth) {
+			panic(fmt.Sprintf("harness: pipelined chain returned %v, want %d", v, depth))
+		}
+	}
+	d := time.Since(start)
+	st := rt.Stats()
+	rt.Shutdown()
+	return chainStats{d, st}
+}
+
+// remoteThroughput measures queries/second over a loopback TCP
+// connection, synchronous (one round-trip per query) versus pipelined
+// (QueryAsync, one flush at the end).
+func remoteThroughput(cfg core.Config, queries int, pipelined bool) (time.Duration, error) {
+	rt := core.New(cfg)
+	defer rt.Shutdown()
+	h := rt.NewHandler("counter")
+	var n int64
+	srv := remote.NewServer(rt)
+	srv.Expose("counter", h, map[string]remote.Proc{
+		"add": func(a []int64) int64 { n += a[0]; return n },
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	c, err := remote.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		return 0, err
+	}
+	defer c.Close()
+
+	start := time.Now()
+	var last int64
+	err = c.Separate("counter", func(s *remote.Session) error {
+		if pipelined {
+			var fut *future.Future
+			for i := 0; i < queries; i++ {
+				var err error
+				if fut, err = s.QueryAsync("add", 1); err != nil {
+					return err
+				}
+			}
+			last, err = c.Await(fut)
+			return err
+		}
+		for i := 0; i < queries; i++ {
+			var err error
+			if last, err = s.Query("add", 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	if err := c.Flush(); err != nil {
+		return 0, err
+	}
+	if last != int64(queries) {
+		return 0, fmt.Errorf("harness: remote chain counted %d, want %d", last, queries)
+	}
+	return time.Since(start), nil
+}
+
+// Futures measures the futures subsystem: compensation-spawn avoidance
+// on a deep delegation chain (sync queries vs. Handler.Await parking
+// vs. pure promise pipelining) and remote query pipelining throughput.
+// Not a paper experiment; it measures this repo's futures extension
+// (see README "Futures").
+func (o Options) Futures() {
+	depth, rounds := o.FutDepth, o.FutRounds
+	if depth < 2 {
+		depth = 32
+	}
+	if rounds < 1 {
+		rounds = 1
+	}
+	pool := o.Pool
+	if pool <= 0 {
+		pool = 4
+	}
+	cfg := core.ConfigAll.WithWorkers(pool)
+
+	section(o.Out, "Futures: delegation chain",
+		fmt.Sprintf("Depth-%d delegation chain x%d rounds on a pool of %d workers\n(ConfigAll): blocking sync queries vs. Handler.Await parking vs.\npure promise pipelining. sync burns a compensation worker per level;\nthe futures paths park state machines instead.", depth, rounds, pool))
+
+	modes := []struct {
+		label string
+		run   func(core.Config, int, int) chainStats
+	}{
+		{"sync", chainSync},
+		{"awaited", chainAwait},
+		{"pipelined", chainPipelined},
+	}
+	var syncSpawns, awaitSpawns int64
+	tb := newTable(o.Out)
+	tb.row("Mode", "time(s)", "hops/ms", "worker-spawns", "await-parks", "futures")
+	for _, m := range modes {
+		var best chainStats
+		for r := 0; r < o.Reps || r == 0; r++ {
+			cs := m.run(cfg, depth, rounds)
+			if r == 0 || cs.d < best.d {
+				best = cs
+			}
+		}
+		hops := float64(depth*rounds) / (float64(best.d.Nanoseconds()) / 1e6)
+		tb.row(m.label, Seconds(best.d), fmt.Sprintf("%.0f", hops),
+			fmt.Sprintf("%d", best.st.WorkerSpawns),
+			fmt.Sprintf("%d", best.st.AwaitParks),
+			fmt.Sprintf("%d", best.st.FuturesCreated))
+		switch m.label {
+		case "sync":
+			syncSpawns = best.st.WorkerSpawns
+		case "awaited":
+			awaitSpawns = best.st.WorkerSpawns
+		}
+	}
+	tb.flush()
+	ratio := "inf"
+	if awaitSpawns > 0 {
+		ratio = fmt.Sprintf("%.1f", float64(syncSpawns)/float64(awaitSpawns))
+	}
+	fmt.Fprintf(o.Out, "\nspawns avoided by awaiting: %d (reduction %sx)\n",
+		syncSpawns-awaitSpawns, ratio)
+
+	queries := o.FutQueries
+	if queries < 1 {
+		queries = 5000
+	}
+	section(o.Out, "Futures: remote pipelining",
+		fmt.Sprintf("%d queries over one loopback TCP connection against a pooled(%d)\nruntime: one round-trip each vs. pipelined QueryAsync resolved as\nreplies stream back.", queries, pool))
+	tb = newTable(o.Out)
+	tb.row("Mode", "time(s)", "queries/s")
+	var syncD, pipeD time.Duration
+	for _, pipelined := range []bool{false, true} {
+		var best time.Duration
+		for r := 0; r < o.Reps || r == 0; r++ {
+			d, err := remoteThroughput(cfg, queries, pipelined)
+			if err != nil {
+				panic(err)
+			}
+			if r == 0 || d < best {
+				best = d
+			}
+		}
+		label := "sync"
+		if pipelined {
+			label = "pipelined"
+			pipeD = best
+		} else {
+			syncD = best
+		}
+		tb.row(label, Seconds(best), fmt.Sprintf("%.0f", float64(queries)/best.Seconds()))
+	}
+	tb.flush()
+	fmt.Fprintf(o.Out, "\npipelining speedup: %sx (host CPUs=%d)\n", Ratio(syncD, pipeD), runtime.NumCPU())
+}

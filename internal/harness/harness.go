@@ -46,6 +46,12 @@ type Options struct {
 	// handlers ≫ pool workers is the interesting regime.
 	ExecHandlers int
 	ExecHops     int
+	// FutDepth/FutRounds size the Futures experiment's delegation
+	// chain (depth ≫ pool workers is the interesting regime);
+	// FutQueries is its remote-pipelining query count.
+	FutDepth   int
+	FutRounds  int
+	FutQueries int
 }
 
 // Defaults returns laptop-scale options writing to w.
@@ -67,6 +73,9 @@ func Defaults(w io.Writer) Options {
 		Conc:         concbench.SmallParams(),
 		ExecHandlers: 10000,
 		ExecHops:     100000,
+		FutDepth:     32,
+		FutRounds:    50,
+		FutQueries:   5000,
 	}
 }
 

@@ -2,8 +2,11 @@ package remote
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"net"
+
+	"scoopqs/internal/future"
 )
 
 // Client is a remote SCOOP client: its private queues ride on a
@@ -14,6 +17,13 @@ type Client struct {
 	conn net.Conn
 	enc  *gob.Encoder
 	dec  *gob.Decoder
+
+	// Pipelining state: futures handed out by QueryAsync, keyed by the
+	// id their reply will carry. Replies are consumed whenever the
+	// client reads the connection — inside a synchronous round-trip or
+	// an explicit Await/Flush.
+	nextID  uint64
+	pending map[uint64]*future.Future
 }
 
 // Dial connects to a Server.
@@ -27,21 +37,85 @@ func Dial(network, addr string) (*Client, error) {
 
 // NewClient wraps an established connection.
 func NewClient(conn net.Conn) *Client {
-	return &Client{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+	return &Client{
+		conn:    conn,
+		enc:     gob.NewEncoder(conn),
+		dec:     gob.NewDecoder(conn),
+		pending: map[uint64]*future.Future{},
+	}
 }
 
 // Close tears the connection down. An open separate block on the
-// server is closed out when the server notices.
-func (c *Client) Close() error { return c.conn.Close() }
+// server is closed out when the server notices; unresolved pipelined
+// futures are failed so awaiting code does not hang.
+func (c *Client) Close() error {
+	err := c.conn.Close()
+	c.failPending(errors.New("remote: connection closed"))
+	return err
+}
 
-// roundTrip sends m and waits for the reply.
+// failPending resolves every outstanding pipelined future with err;
+// called when the connection dies under them.
+func (c *Client) failPending(err error) {
+	for id, f := range c.pending {
+		delete(c.pending, id)
+		f.Fail(err)
+	}
+}
+
+// resolveAsync matches an ASYNCREPLY to its future.
+func (c *Client) resolveAsync(r msg) {
+	f, ok := c.pending[r.Id]
+	if !ok {
+		return // duplicate or unknown id; nothing to resolve
+	}
+	delete(c.pending, r.Id)
+	if r.Err != "" {
+		f.Fail(fmt.Errorf("remote: server: %s", r.Err))
+		return
+	}
+	f.Complete(r.Val)
+}
+
+// recvMsg reads one message. If it is a pipelined reply it is resolved
+// into its future and async=true is returned; otherwise the message is
+// handed back for synchronous processing. A decode failure fails every
+// outstanding pipelined future before returning.
+func (c *Client) recvMsg() (r msg, async bool, err error) {
+	if err := c.dec.Decode(&r); err != nil {
+		e := fmt.Errorf("remote: recv: %w", err)
+		c.failPending(e)
+		return msg{}, false, e
+	}
+	if r.Kind == kindAsyncReply {
+		c.resolveAsync(r)
+		return r, true, nil
+	}
+	return r, false, nil
+}
+
+// recv reads messages, resolving any pipelined replies on the way, and
+// returns the first synchronous (non-async) one.
+func (c *Client) recv() (msg, error) {
+	for {
+		r, async, err := c.recvMsg()
+		if err != nil {
+			return msg{}, err
+		}
+		if !async {
+			return r, nil
+		}
+	}
+}
+
+// roundTrip sends m and waits for its synchronous reply.
 func (c *Client) roundTrip(m msg) (int64, error) {
 	if err := c.enc.Encode(m); err != nil {
 		return 0, fmt.Errorf("remote: send: %w", err)
 	}
-	var r msg
-	if err := c.dec.Decode(&r); err != nil {
-		return 0, fmt.Errorf("remote: recv: %w", err)
+	r, err := c.recv()
+	if err != nil {
+		return 0, err
 	}
 	if r.Kind != kindReply {
 		return 0, fmt.Errorf("remote: unexpected reply kind %d", r.Kind)
@@ -52,6 +126,44 @@ func (c *Client) roundTrip(m msg) (int64, error) {
 	return r.Val, nil
 }
 
+// Await drives the connection until f resolves and returns its value.
+// f must come from this client's QueryAsync (or already be resolved);
+// awaiting a foreign future would read the connection forever.
+func (c *Client) Await(f *future.Future) (int64, error) {
+	for {
+		if v, err, ok := f.TryGet(); ok {
+			if err != nil {
+				return 0, err
+			}
+			return v.(int64), nil
+		}
+		r, async, err := c.recvMsg()
+		if err != nil {
+			return 0, err
+		}
+		if !async {
+			// No synchronous request is outstanding here, so a
+			// synchronous reply is protocol corruption.
+			return 0, fmt.Errorf("remote: unexpected reply kind %d while awaiting", r.Kind)
+		}
+	}
+}
+
+// Flush drives the connection until every pipelined future handed out
+// so far has resolved.
+func (c *Client) Flush() error {
+	for len(c.pending) > 0 {
+		r, async, err := c.recvMsg()
+		if err != nil {
+			return err
+		}
+		if !async {
+			return fmt.Errorf("remote: unexpected reply kind %d while flushing", r.Kind)
+		}
+	}
+	return nil
+}
+
 // Session is a remote separate block in progress.
 type Session struct {
 	c    *Client
@@ -60,7 +172,8 @@ type Session struct {
 
 // Separate opens a separate block on the named remote handler, runs
 // body, and ends the block. Errors from the body's operations are
-// returned.
+// returned. Pipelined futures may resolve after the block ends; Await
+// or Flush them on the client.
 func (c *Client) Separate(handler string, body func(s *Session) error) error {
 	if _, err := c.roundTrip(msg{Kind: kindBegin, Handler: handler}); err != nil {
 		return err
@@ -93,6 +206,25 @@ func (s *Session) Call(fn string, args ...int64) error {
 // it observes every previously logged call of this block.
 func (s *Session) Query(fn string, args ...int64) (int64, error) {
 	return s.c.roundTrip(msg{Kind: kindQuery, Fn: fn, Args: args})
+}
+
+// QueryAsync logs the named procedure as a pipelined query: it returns
+// immediately with a future and pays no round-trip. Like Query it
+// observes every previously logged call of this block; unlike Query,
+// many QueryAsyncs can be in flight on the wire at once, which is
+// where a remote separate block's throughput comes from. Resolve the
+// future with Client.Await (or Flush); its error mirrors Query's.
+func (s *Session) QueryAsync(fn string, args ...int64) (*future.Future, error) {
+	c := s.c
+	c.nextID++
+	id := c.nextID
+	f := future.New()
+	c.pending[id] = f
+	if err := c.enc.Encode(msg{Kind: kindQueryAsync, Id: id, Fn: fn, Args: args}); err != nil {
+		delete(c.pending, id)
+		return nil, fmt.Errorf("remote: send: %w", err)
+	}
+	return f, nil
 }
 
 // Sync brings the remote handler to a quiescent point on this block's

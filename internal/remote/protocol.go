@@ -15,6 +15,14 @@
 // no-interleaving guarantees carry over to remote clients — the
 // queue-of-queues does not care that the producer is a socket reader.
 //
+// QUERYASYNC messages pipeline: the client tags each with an id and
+// keeps sending without waiting; the server logs the query through the
+// non-blocking futures path (core.Session.CallFuture) and ships an
+// ASYNCREPLY whenever the handler resolves it, so many queries ride a
+// single connection round-trip. The client resolves each reply into
+// the future it handed out for that id; ids let replies arrive in any
+// order relative to the synchronous reply stream.
+//
 // Values are int64 (the protocol's wire currency); richer payloads are
 // an encoding concern, not a semantics one.
 package remote
@@ -24,13 +32,15 @@ type msgKind uint8
 
 const (
 	// client -> server
-	kindBegin msgKind = iota // reserve: open a separate block on Handler
-	kindEnd                  // end the block (the END marker)
-	kindCall                 // asynchronous call, no reply
-	kindQuery                // synchronous query, reply carries the value
-	kindSync                 // sync handshake, empty reply
+	kindBegin      msgKind = iota // reserve: open a separate block on Handler
+	kindEnd                       // end the block (the END marker)
+	kindCall                      // asynchronous call, no reply
+	kindQuery                     // synchronous query, reply carries the value
+	kindSync                      // sync handshake, empty reply
+	kindQueryAsync                // pipelined query; ASYNCREPLY carries Id+value
 	// server -> client
-	kindReply // query/sync reply
+	kindReply      // query/sync reply (synchronous, in request order)
+	kindAsyncReply // resolution of a pipelined query, matched by Id
 )
 
 // msg is the wire message. Fields are used per kind; gob omits zero
@@ -38,8 +48,9 @@ const (
 type msg struct {
 	Kind    msgKind
 	Handler string  // kindBegin: target handler name
-	Fn      string  // kindCall/kindQuery: procedure name
-	Args    []int64 // kindCall/kindQuery
-	Val     int64   // kindReply
-	Err     string  // kindReply: non-empty on failure
+	Fn      string  // kindCall/kindQuery/kindQueryAsync: procedure name
+	Args    []int64 // kindCall/kindQuery/kindQueryAsync
+	Id      uint64  // kindQueryAsync/kindAsyncReply: pipeline tag
+	Val     int64   // kindReply/kindAsyncReply
+	Err     string  // kindReply/kindAsyncReply: non-empty on failure
 }

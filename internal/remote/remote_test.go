@@ -8,13 +8,31 @@ import (
 	"time"
 
 	"scoopqs/internal/core"
+	"scoopqs/internal/future"
 )
 
-// startServer brings up a runtime with one exposed counter handler and
-// a TCP listener on a random port.
+// serverModes are the runtime shapes the server suite runs under:
+// dedicated handler goroutines and the pooled M:N executor (the
+// ROADMAP's "remote on pooled runtimes" item).
+var serverModes = []struct {
+	name string
+	cfg  core.Config
+}{
+	{"dedicated", core.ConfigAll},
+	{"pooled2", core.ConfigAll.WithWorkers(2)},
+}
+
+// startServer brings up a ConfigAll runtime with one exposed counter
+// handler and a TCP listener on a random port.
 func startServer(t *testing.T) (addr string, counter *int64, shutdown func()) {
 	t.Helper()
-	rt := core.New(core.ConfigAll)
+	return startServerCfg(t, core.ConfigAll)
+}
+
+// startServerCfg is startServer under an arbitrary runtime config.
+func startServerCfg(t *testing.T, cfg core.Config) (addr string, counter *int64, shutdown func()) {
+	t.Helper()
+	rt := core.New(cfg)
 	h := rt.NewHandler("counter")
 	var n int64
 	srv := NewServer(rt)
@@ -37,99 +55,108 @@ func startServer(t *testing.T) (addr string, counter *int64, shutdown func()) {
 }
 
 func TestRemoteCallAndQuery(t *testing.T) {
-	addr, _, shutdown := startServer(t)
-	defer shutdown()
+	for _, m := range serverModes {
+		t.Run(m.name, func(t *testing.T) {
+			addr, _, shutdown := startServerCfg(t, m.cfg)
+			defer shutdown()
 
-	c, err := Dial("tcp", addr)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer c.Close()
-
-	err = c.Separate("counter", func(s *Session) error {
-		for i := int64(1); i <= 10; i++ {
-			if err := s.Call("add", i); err != nil {
-				return err
-			}
-		}
-		// The query must observe all ten adds: 1+..+10 = 55.
-		v, err := s.Query("get")
-		if err != nil {
-			return err
-		}
-		if v != 55 {
-			t.Errorf("query saw %d, want 55", v)
-		}
-		return nil
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-}
-
-func TestRemoteNoInterleavingAcrossClients(t *testing.T) {
-	addr, _, shutdown := startServer(t)
-	defer shutdown()
-
-	// Many remote clients log add(1) x k then read; each must see a
-	// value >= its own contribution and the final total must be exact.
-	const clients, k = 6, 50
-	var wg sync.WaitGroup
-	for i := 0; i < clients; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
 			c, err := Dial("tcp", addr)
 			if err != nil {
-				t.Error(err)
-				return
+				t.Fatal(err)
 			}
 			defer c.Close()
+
 			err = c.Separate("counter", func(s *Session) error {
-				before, err := s.Query("get")
-				if err != nil {
-					return err
-				}
-				for j := 0; j < k; j++ {
-					if err := s.Call("add", 1); err != nil {
+				for i := int64(1); i <= 10; i++ {
+					if err := s.Call("add", i); err != nil {
 						return err
 					}
 				}
-				after, err := s.Query("get")
+				// The query must observe all ten adds: 1+..+10 = 55.
+				v, err := s.Query("get")
 				if err != nil {
 					return err
 				}
-				// Within one block nobody else may interleave: the
-				// delta must be exactly k.
-				if after-before != k {
-					t.Errorf("interleaving detected: delta %d, want %d", after-before, k)
+				if v != 55 {
+					t.Errorf("query saw %d, want 55", v)
 				}
 				return nil
 			})
 			if err != nil {
-				t.Error(err)
+				t.Fatal(err)
 			}
-		}()
+		})
 	}
-	wg.Wait()
+}
 
-	c, err := Dial("tcp", addr)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer c.Close()
-	err = c.Separate("counter", func(s *Session) error {
-		v, err := s.Query("get")
-		if err != nil {
-			return err
-		}
-		if v != clients*k {
-			t.Errorf("final total %d, want %d", v, clients*k)
-		}
-		return nil
-	})
-	if err != nil {
-		t.Fatal(err)
+func TestRemoteNoInterleavingAcrossClients(t *testing.T) {
+	for _, m := range serverModes {
+		t.Run(m.name, func(t *testing.T) {
+			addr, _, shutdown := startServerCfg(t, m.cfg)
+			defer shutdown()
+
+			// Many remote clients log add(1) x k then read; each must
+			// see a value >= its own contribution and the final total
+			// must be exact.
+			const clients, k = 6, 50
+			var wg sync.WaitGroup
+			for i := 0; i < clients; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					c, err := Dial("tcp", addr)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					defer c.Close()
+					err = c.Separate("counter", func(s *Session) error {
+						before, err := s.Query("get")
+						if err != nil {
+							return err
+						}
+						for j := 0; j < k; j++ {
+							if err := s.Call("add", 1); err != nil {
+								return err
+							}
+						}
+						after, err := s.Query("get")
+						if err != nil {
+							return err
+						}
+						// Within one block nobody else may interleave:
+						// the delta must be exactly k.
+						if after-before != k {
+							t.Errorf("interleaving detected: delta %d, want %d", after-before, k)
+						}
+						return nil
+					})
+					if err != nil {
+						t.Error(err)
+					}
+				}()
+			}
+			wg.Wait()
+
+			c, err := Dial("tcp", addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			err = c.Separate("counter", func(s *Session) error {
+				v, err := s.Query("get")
+				if err != nil {
+					return err
+				}
+				if v != clients*k {
+					t.Errorf("final total %d, want %d", v, clients*k)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
 	}
 }
 
@@ -189,6 +216,25 @@ func TestRemoteUnknownProcedure(t *testing.T) {
 	})
 	if err == nil || !strings.Contains(err.Error(), "unknown procedure") {
 		t.Fatalf("err = %v, want unknown procedure", err)
+	}
+}
+
+func TestRemoteQueryPanicSurfacesPooled(t *testing.T) {
+	// Same scenario as TestRemoteQueryPanicSurfaces on a pooled
+	// runtime: the panic must fail one query, not wedge a pool worker.
+	addr, _, shutdown := startServerCfg(t, core.ConfigAll.WithWorkers(2))
+	defer shutdown()
+	c, err := Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	err = c.Separate("counter", func(s *Session) error {
+		_, err := s.Query("boom")
+		return err
+	})
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v, want handler panic surfaced", err)
 	}
 }
 
@@ -267,4 +313,122 @@ func timeoutC(t *testing.T) <-chan time.Time {
 	t.Helper()
 	// Generous on a loaded single-core box.
 	return time.After(10 * time.Second)
+}
+
+func TestRemotePipelinedQueries(t *testing.T) {
+	for _, m := range serverModes {
+		t.Run(m.name, func(t *testing.T) {
+			addr, _, shutdown := startServerCfg(t, m.cfg)
+			defer shutdown()
+			c, err := Dial("tcp", addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+
+			const n = 100
+			futs := make([]*future.Future, 0, n)
+			err = c.Separate("counter", func(s *Session) error {
+				for i := 0; i < n; i++ {
+					f, err := s.QueryAsync("add", 1)
+					if err != nil {
+						return err
+					}
+					futs = append(futs, f)
+				}
+				// A synchronous query pipelines behind them and must
+				// observe all n adds.
+				v, err := s.Query("get")
+				if err != nil {
+					return err
+				}
+				if v != n {
+					t.Errorf("sync query after %d pipelined adds saw %d", n, v)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			// Each pipelined add returned the running count: per-session
+			// ordering means future i must resolve to i+1.
+			for i, f := range futs {
+				v, err := c.Await(f)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if v != int64(i+1) {
+					t.Fatalf("pipelined query %d resolved to %d, want %d (ordering broken)", i, v, i+1)
+				}
+			}
+		})
+	}
+}
+
+func TestRemotePipelinedErrors(t *testing.T) {
+	addr, _, shutdown := startServer(t)
+	defer shutdown()
+	c, err := Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var unknown, boom *future.Future
+	err = c.Separate("counter", func(s *Session) error {
+		var err error
+		if unknown, err = s.QueryAsync("frobnicate"); err != nil {
+			return err
+		}
+		if boom, err = s.QueryAsync("boom"); err != nil {
+			return err
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Await(unknown); err == nil || !strings.Contains(err.Error(), "unknown procedure") {
+		t.Fatalf("unknown-proc future resolved with %v", err)
+	}
+	if _, err := c.Await(boom); err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("panicking future resolved with %v", err)
+	}
+	// The panic poisoned that block only; a fresh block still works.
+	err = c.Separate("counter", func(s *Session) error {
+		_, err := s.Query("get")
+		return err
+	})
+	if err != nil {
+		t.Fatalf("server did not survive pipelined errors: %v", err)
+	}
+}
+
+func TestRemoteCloseFailsPendingFutures(t *testing.T) {
+	addr, _, shutdown := startServer(t)
+	defer shutdown()
+	c, err := Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f *future.Future
+	err = c.Separate("counter", func(s *Session) error {
+		var err error
+		f, err = s.QueryAsync("get")
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	select {
+	case <-f.Done():
+		// Resolved: either the reply raced the close (a value) or the
+		// close failed it; both are fine — it must not stay pending.
+	case <-timeoutC(t):
+		t.Fatal("pending future not resolved by Close")
+	}
 }

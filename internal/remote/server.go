@@ -7,8 +7,10 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"scoopqs/internal/core"
+	"scoopqs/internal/queue"
 )
 
 // Proc is a named procedure bound to handler-owned state. It runs under
@@ -96,12 +98,6 @@ func (s *Server) Close() {
 
 // serveConn replays one remote client's protocol onto local sessions.
 func (s *Server) serveConn(conn net.Conn) {
-	defer func() {
-		conn.Close()
-		s.mu.Lock()
-		delete(s.conns, conn)
-		s.mu.Unlock()
-	}()
 	dec := gob.NewDecoder(conn)
 	enc := gob.NewEncoder(conn)
 	client := s.rt.NewClient()
@@ -109,12 +105,53 @@ func (s *Server) serveConn(conn net.Conn) {
 	var sess *core.Session
 	var procs map[string]Proc
 
+	// All replies — this goroutine's synchronous ones and the
+	// pipelined ones produced by handler-side completion callbacks —
+	// are enqueued onto a non-blocking outbound queue drained by a
+	// dedicated writer goroutine. Producers therefore never block on
+	// the socket: a pool worker resolving a future must not stall
+	// behind a slow-reading client (and future.OnComplete callbacks
+	// must not block at all). The queue is bounded in practice by the
+	// client's own pipelining depth: one reply per in-flight request.
+	out := queue.NewMPSC[msg](0)
+	var wdead atomic.Bool
+	var wwg sync.WaitGroup
+	wwg.Add(1)
+	go func() {
+		defer wwg.Done()
+		for {
+			m, ok := out.Dequeue()
+			if !ok {
+				return // connection torn down and queue drained
+			}
+			if wdead.Load() {
+				continue // drop: the write side already failed
+			}
+			if enc.Encode(m) != nil {
+				wdead.Store(true)
+				conn.Close() // unwedge the read loop too
+			}
+		}
+	}()
+	defer func() {
+		out.Close()
+		wwg.Wait()
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+
+	send := func(m msg) bool {
+		return !wdead.Load() && out.TryEnqueue(m)
+	}
+
 	reply := func(v int64, err error) bool {
 		m := msg{Kind: kindReply, Val: v}
 		if err != nil {
 			m.Err = err.Error()
 		}
-		return enc.Encode(m) == nil
+		return send(m)
 	}
 
 	// We cannot use Client.Separate's callback shape across a message
@@ -191,10 +228,38 @@ func (s *Server) serveConn(conn net.Conn) {
 				continue
 			}
 			args := m.Args
-			v, err := safeQuery(sess, proc, args)
+			v, err := safeQuery(client, sess, proc, args)
 			if !reply(v, err) {
 				return
 			}
+		case kindQueryAsync:
+			if sess == nil {
+				send(msg{Kind: kindAsyncReply, Id: m.Id, Err: "remote: QUERYASYNC outside a block"})
+				return
+			}
+			proc, ok := procs[m.Fn]
+			if !ok {
+				if !send(msg{Kind: kindAsyncReply, Id: m.Id, Err: fmt.Sprintf("remote: unknown procedure %q", m.Fn)}) {
+					return
+				}
+				continue
+			}
+			// The non-blocking path: log the query as a future and keep
+			// reading the connection, so any number of queries pipeline
+			// on one round-trip. The completion callback runs on the
+			// handler (or pool worker) that resolves the query and
+			// ships the reply from there.
+			id, args := m.Id, m.Args
+			fut := sess.CallFuture(func() any { return proc(args) })
+			fut.OnComplete(func(v any, err error) {
+				rm := msg{Kind: kindAsyncReply, Id: id}
+				if err != nil {
+					rm.Err = err.Error()
+				} else {
+					rm.Val = v.(int64)
+				}
+				send(rm) // failure means the connection died; nothing to do
+			})
 		case kindSync:
 			if sess == nil {
 				reply(0, fmt.Errorf("remote: SYNC outside a block"))
@@ -211,15 +276,16 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
-// safeQuery runs the query through the runtime, converting handler
+// safeQuery runs a synchronous query through the futures path: the
+// query is logged non-blocking and the connection goroutine awaits its
+// resolution — which also makes it shutdown-aware — converting handler
 // panics into protocol errors.
-func safeQuery(s *core.Session, proc Proc, args []int64) (v int64, err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			err = fmt.Errorf("remote: %v", r)
-		}
-	}()
-	return core.Query(s, func() int64 { return proc(args) }), nil
+func safeQuery(c *core.Client, s *core.Session, proc Proc, args []int64) (int64, error) {
+	v, err := c.Await(s.CallFuture(func() any { return proc(args) }))
+	if err != nil {
+		return 0, fmt.Errorf("remote: %v", err)
+	}
+	return v.(int64), nil
 }
 
 // safeSync is Session.Sync with panic conversion.
