@@ -248,6 +248,46 @@ func BenchmarkExecutorThreadring10k(b *testing.B) {
 	}
 }
 
+// BenchmarkSessionCall measures the request hot path — Session.Call
+// logging plus handler execution — with allocation accounting. One
+// separate block logs a batch of trivial calls and syncs; steady-state
+// allocs/op is the per-request heap cost of the private-queue path
+// (node recycling, call packaging, scheduler wakes).
+func BenchmarkSessionCall(b *testing.B) {
+	for _, m := range []struct {
+		name    string
+		workers int
+	}{{"dedicated", 0}, {"pooled4", 4}} {
+		m := m
+		b.Run(m.name, func(b *testing.B) {
+			rt := core.New(core.ConfigAll.WithWorkers(m.workers))
+			defer rt.Shutdown()
+			h := rt.NewHandler("sink")
+			c := rt.NewClient()
+			var n int
+			fn := func() { n++ } // hoisted: measure the runtime's cost, not the caller's closure
+			b.ReportAllocs()
+			b.ResetTimer()
+			c.Separate(h, func(s *core.Session) {
+				const batch = 256
+				for i := 0; i < b.N; i += batch {
+					k := batch
+					if rem := b.N - i; rem < k {
+						k = rem
+					}
+					for j := 0; j < k; j++ {
+						s.Call(fn)
+					}
+					s.SyncNow()
+				}
+			})
+			if n != b.N {
+				b.Fatalf("ran %d calls, want %d", n, b.N)
+			}
+		})
+	}
+}
+
 // BenchmarkFig14SyncCoalescing measures the paper's Fig. 14 copy loop
 // executed by the IR interpreter before and after the static
 // sync-coalescing pass — the per-experiment ablation of the compiler

@@ -7,7 +7,11 @@
 //	qsbench [flags]
 //
 //	-experiment all|table1|table2|table3|table4|table5|
-//	            fig16|fig17|fig18|fig19|fig20|executor|futures|summary
+//	            fig16|fig17|fig18|fig19|fig20|executor|steal|futures|
+//	            summary (comma-separate to run several)
+//	-json path  also write machine-readable results (experiment,
+//	            config, medians, counters) for BENCH_*.json trajectory
+//	            files
 //	-size      small|paper   problem sizes (paper sizes are large!)
 //	-reps      N             repetitions per measurement (median)
 //	-workers   N             worker/handler count at full width
@@ -55,13 +59,14 @@ func configByName(name string) (core.Config, bool) {
 }
 
 func main() {
-	experiment := flag.String("experiment", "all", "experiment to run (all, table1..5, fig16..20, executor, futures, summary)")
+	experiment := flag.String("experiment", "all", "experiment to run (all, table1..5, fig16..20, executor, steal, futures, summary)")
 	size := flag.String("size", "small", "problem sizes: small or paper")
 	reps := flag.Int("reps", 3, "repetitions per measurement")
 	workers := flag.Int("workers", 0, "workers/handlers (default: NumCPU, min 2)")
 	pool := flag.Int("pool", 0, "Qs executor pool size (0 = dedicated goroutine per handler)")
 	config := flag.String("config", "", "restrict optimization sweeps to one configuration (None, Dynamic, Static, QoQ, All)")
 	cores := flag.String("cores", "", "comma-separated worker sweep for fig19/table4")
+	jsonPath := flag.String("json", "", "also write machine-readable results (experiment, config, medians, counters) to this path")
 	flag.Parse()
 
 	o := harness.Defaults(os.Stdout)
@@ -102,6 +107,9 @@ func main() {
 	if err := o.Cow.Validate(); err != nil {
 		fatalf("%v", err)
 	}
+	if *jsonPath != "" {
+		o.Rec = &harness.Recorder{}
+	}
 
 	fmt.Printf("qsbench: host CPUs=%d, workers=%d, reps=%d, cow=%+v, conc=%+v\n",
 		runtime.NumCPU(), o.Workers, o.Reps, o.Cow, o.Conc)
@@ -114,23 +122,33 @@ func main() {
 		"table5": o.Table5, "fig20": o.Fig20,
 		"eve":      o.Eve,
 		"executor": o.Executor,
+		"steal":    o.Steal,
 		"futures":  o.Futures,
 		"summary":  o.Summary,
 	}
 	order := []string{"table1", "fig16", "table2", "fig17", "table3",
-		"fig18", "fig19", "table4", "table5", "fig20", "eve", "executor", "futures", "summary"}
+		"fig18", "fig19", "table4", "table5", "fig20", "eve", "executor", "steal", "futures", "summary"}
 
-	if *experiment == "all" {
-		for _, name := range order {
-			experiments[name]()
+	for _, name := range strings.Split(*experiment, ",") {
+		name = strings.TrimSpace(name)
+		if name == "all" {
+			for _, n := range order {
+				experiments[n]()
+			}
+			continue
 		}
-		return
+		f, ok := experiments[name]
+		if !ok {
+			fatalf("unknown -experiment %q (want all, %s)", name, strings.Join(order, ", "))
+		}
+		f()
 	}
-	f, ok := experiments[*experiment]
-	if !ok {
-		fatalf("unknown -experiment %q (want all, %s)", *experiment, strings.Join(order, ", "))
+	if *jsonPath != "" {
+		if err := o.Rec.WriteFile(*jsonPath); err != nil {
+			fatalf("writing -json file: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "qsbench: wrote %d result rows to %s\n", len(o.Rec.Results), *jsonPath)
 	}
-	f()
 }
 
 func fatalf(format string, args ...any) {

@@ -39,8 +39,27 @@
 // a wait condition — notifies the pool, which spawns a replacement
 // worker, so delegation chains deeper than the pool cannot deadlock
 // it. Stats exposes the executor counters (Schedules, HandlerParks,
-// WorkerSpawns, WorkerParks); `go run ./cmd/qsbench -experiment
-// executor` compares the two modes on a 10k-handler token ring.
+// WorkerSpawns, WorkerParks, Steals, InjectorPushes, LocalPushes);
+// `go run ./cmd/qsbench -experiment executor` compares the two modes
+// on a 10k-handler token ring.
+//
+// The pool itself is a work-stealing scheduler. Every worker owns a
+// bounded lock-free deque (Chase–Lev: LIFO for the owner, FIFO for
+// thieves) plus a one-slot next buffer; a handler that wakes another
+// handler from worker code pushes it there, so a message chain stays
+// on one warm worker and a lone handoff needs no wake at all (a
+// blocking caller's local work is republished through the shared
+// injector queue by the compensation hook instead). External wakes,
+// deque overflow, and fairness-budget requeues go through the
+// injector, which is FIFO; a handler that exhausts its per-step
+// continuation budget re-readies there — never onto its own LIFO — so
+// saturated handlers round-robin with everything else, and workers
+// poll the injector periodically even while their own deque is hot.
+// Ordering across queues is deliberately unpromised: per-handler
+// ordering comes from the wake protocol (a handler is scheduled at
+// most once until it runs), per-session FIFO from the private queues.
+// See the README's "Scheduler" section for the ordering and wake-path
+// details, and `qsbench -experiment steal` for the measured sweep.
 //
 // Compensation is a last resort, though: the futures subsystem lets
 // handler code wait without blocking at all. Session.CallFuture (and
@@ -139,8 +158,24 @@ func QueryRemote[T any](s *Session, f func() T) T { return core.QueryRemote(s, f
 // with a future that resolves with f's result once the handler reaches
 // it, observing every previously logged call of the block. Wait with
 // Client.Await (shutdown-aware), Handler.Await (parks the handler
-// state machine instead of a pool worker), or the Future itself.
+// state machine instead of a pool worker), or the Future itself. For a
+// typed view that spares the caller the any-assertions, wrap the result
+// (or use QueryAsyncTyped): future.Of[T] gives Get() (T, error), Then,
+// and Map.
 func QueryAsync[T any](s *Session, f func() T) *Future { return core.QueryAsync(s, f) }
+
+// TypedFuture is the typed veneer over Future: Get() (T, error),
+// TryGet, Then, and future.Map for type-changing transforms. Build one
+// with future.Of[T] or QueryAsyncTyped.
+type TypedFuture[T any] = future.Typed[T]
+
+// QueryAsyncTyped is QueryAsync returning the typed veneer directly:
+//
+//	fut := scoopqs.QueryAsyncTyped(s, func() int { return n })
+//	n, err := fut.Get()
+func QueryAsyncTyped[T any](s *Session, f func() T) TypedFuture[T] {
+	return future.Of[T](core.QueryAsync(s, f))
+}
 
 // NewFuture returns an unresolved completion cell, for code that
 // produces a value asynchronously itself (e.g. a Handler.Await

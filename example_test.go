@@ -87,6 +87,31 @@ func Example_multiReservation() {
 	// Output: 70 130 200
 }
 
+// Typed futures: QueryAsyncTyped logs an asynchronous query and hands
+// back a typed view, so awaiting code gets (T, error) instead of
+// (any, error) plus an assertion. Then/Map derive further futures; the
+// whole pipeline resolves once the handler executes the query.
+func Example_typedFutures() {
+	rt := scoopqs.New(scoopqs.ConfigAll.WithWorkers(2))
+	defer rt.Shutdown()
+
+	counter := rt.NewHandler("counter")
+	n := 0
+
+	c := rt.NewClient()
+	var doubled scoopqs.TypedFuture[int]
+	c.Separate(counter, func(s *scoopqs.Session) {
+		for i := 0; i < 5; i++ {
+			s.Call(func() { n++ })
+		}
+		fut := scoopqs.QueryAsyncTyped(s, func() int { return n })
+		doubled = fut.Then(func(v int) int { return v * 2 })
+	})
+	v, err := doubled.Get()
+	fmt.Println(v, err)
+	// Output: 10 <nil>
+}
+
 // Wait conditions: the block runs once its guard holds, re-evaluated
 // whenever another client's block on the handler completes.
 func Example_waitCondition() {

@@ -24,6 +24,12 @@ type Client struct {
 	// compensation hooks so the pool can spawn a replacement worker.
 	hosted *sched.Executor
 
+	// host is the handler whose code this client runs on (AsClient),
+	// nil for ordinary clients. It supplies the worker context for the
+	// scheduler's local-push fast path: requests this client logs wake
+	// their target on the hosting worker's own deque.
+	host *Handler
+
 	// waitingOn is the handler this client is currently blocked on in
 	// a sync or query, nil when running. Read by DetectDeadlock.
 	waitingOn atomic.Pointer[Handler]
@@ -35,14 +41,28 @@ type Client struct {
 // supplied with runnable workers (see sched.Executor).
 func (c *Client) blockBegin() {
 	if c.hosted != nil {
-		c.hosted.BlockingBegin()
+		// The worker context lets the executor republish this worker's
+		// local queue before the goroutine parks.
+		c.hosted.BlockingBegin(c.curWorker())
 	}
 }
 
 func (c *Client) blockEnd() {
 	if c.hosted != nil {
-		c.hosted.BlockingEnd()
+		c.hosted.BlockingEnd(c.curWorker())
 	}
+}
+
+// curWorker returns the pool worker the client's code is currently
+// running on, nil for clients on their own goroutines (or dedicated
+// mode). Only meaningful on the calling goroutine itself: for a
+// handler-hosted client that is exactly the goroutine executing the
+// host's Step, so the plain read is ordered.
+func (c *Client) curWorker() *sched.Worker {
+	if c.host != nil {
+		return c.host.onWorker
+	}
+	return nil
 }
 
 // session returns a private queue for h, reusing the cached one when
@@ -69,8 +89,10 @@ func (c *Client) session(h *Handler) *Session {
 	if c.rt.exec != nil {
 		// Route private-queue notifications to the scheduler: logging
 		// a request on a parked handler makes it runnable instead of
-		// unparking a dedicated goroutine.
-		q.SetNotify(h.wake)
+		// unparking a dedicated goroutine. The hook evaluates the
+		// producer's worker at enqueue time, so a handler-hosted
+		// client wakes h on its own worker's deque (the fast path).
+		q.SetNotify(func() { h.wakeFrom(c.curWorker()) })
 	}
 	s := &Session{
 		h:         h,
@@ -95,7 +117,7 @@ func (c *Client) reserve1(h *Handler) *Session {
 		c.lockHandler(h)
 	}
 	s := c.session(h)
-	if !h.qoq.TryEnqueue(s) {
+	if !c.enqueueSession(h, s) {
 		if !c.rt.cfg.QoQ {
 			h.resMu.Unlock()
 		}
@@ -105,6 +127,22 @@ func (c *Client) reserve1(h *Handler) *Session {
 	}
 	c.rt.stats.reservations.Add(1)
 	return s
+}
+
+// enqueueSession registers s with h's queue-of-queues and wakes h. In
+// pooled mode the enqueue is quiet and the wake carries the producer's
+// worker context, so a handler reserving another handler schedules it
+// on its own worker's deque; dedicated mode keeps the queue's built-in
+// parker wakeup. Reports false when the runtime is shutting down.
+func (c *Client) enqueueSession(h *Handler, s *Session) bool {
+	if c.rt.exec == nil {
+		return h.qoq.TryEnqueue(s)
+	}
+	if !h.qoq.TryEnqueueNoNotify(s) {
+		return false
+	}
+	h.wakeFrom(c.curWorker())
+	return true
 }
 
 // lockHandler takes the lock-based-mode handler lock, telling the
@@ -187,7 +225,7 @@ func (c *Client) reserveMany(hs []*Handler) []*Session {
 		down := false
 		for i, h := range uniq {
 			sessions[i] = c.session(h)
-			if !h.qoq.TryEnqueue(sessions[i]) {
+			if !c.enqueueSession(h, sessions[i]) {
 				down = true
 				break
 			}
@@ -212,7 +250,7 @@ func (c *Client) reserveMany(hs []*Handler) []*Session {
 	down := false
 	for i, h := range uniq {
 		sessions[i] = c.session(h)
-		if !h.qoq.TryEnqueue(sessions[i]) {
+		if !c.enqueueSession(h, sessions[i]) {
 			down = true
 			break
 		}

@@ -155,10 +155,15 @@ type Stats struct {
 	AwaitParks     int64 // handler state machines parked in the awaiting state
 
 	// Executor counters; all zero in dedicated-goroutine mode.
-	Schedules    int64 // handler activations pushed on the ready queue
+	Schedules    int64 // handler activations handed to the executor
 	HandlerParks int64 // handlers parked mid-session awaiting their client
 	WorkerSpawns int64 // compensation workers spawned for blocked ones
 	WorkerParks  int64 // pool workers parked idle
+
+	// Work-stealing substrate counters (see sched.Executor).
+	Steals         int64 // tasks migrated between workers by stealing
+	InjectorPushes int64 // wakes routed through the shared injector
+	LocalPushes    int64 // wakes fast-pathed onto a worker's own deque
 }
 
 type statsCounters struct {
@@ -222,10 +227,12 @@ type Runtime struct {
 	downC chan struct{}
 
 	// futShards track futures minted by CallFuture that have not yet
-	// resolved, so Shutdown can fail the stragglers with ErrShutdown.
-	// Sharded: every async query touches the registry twice (mint and
-	// resolve), and a single mutex would be a runtime-global contention
-	// point on the very path built for throughput.
+	// resolved — mapped to the handler whose session will resolve them
+	// (the future's origin) — so Shutdown can fail the stragglers with
+	// ErrShutdown and DetectDeadlock can follow await edges. Sharded:
+	// every async query touches the registry twice (mint and resolve),
+	// and a single mutex would be a runtime-global contention point on
+	// the very path built for throughput.
 	futShards [futShardCount]futShard
 	futSeq    atomic.Uint64
 
@@ -236,7 +243,7 @@ const futShardCount = 16 // power of two
 
 type futShard struct {
 	mu sync.Mutex
-	m  map[*future.Future]struct{}
+	m  map[*future.Future]*Handler // pending future -> resolving handler
 }
 
 // New creates a runtime with the given configuration.
@@ -246,7 +253,7 @@ func New(cfg Config) *Runtime {
 		downC: make(chan struct{}),
 	}
 	for i := range rt.futShards {
-		rt.futShards[i].m = map[*future.Future]struct{}{}
+		rt.futShards[i].m = map[*future.Future]*Handler{}
 	}
 	if cfg.Workers > 0 {
 		rt.exec = sched.NewExecutor(cfg.Workers)
@@ -255,17 +262,36 @@ func New(cfg Config) *Runtime {
 }
 
 // trackFuture registers f with the runtime until it resolves, so
-// Shutdown can fail futures no retired handler will ever complete.
-func (rt *Runtime) trackFuture(f *future.Future) {
+// Shutdown can fail futures no retired handler will ever complete and
+// the deadlock detector can attribute the wait. origin is the handler
+// whose session logs the resolving query.
+func (rt *Runtime) trackFuture(f *future.Future, origin *Handler) {
 	sh := &rt.futShards[rt.futSeq.Add(1)%futShardCount]
 	sh.mu.Lock()
-	sh.m[f] = struct{}{}
+	sh.m[f] = origin
 	sh.mu.Unlock()
 	f.OnComplete(func(any, error) {
 		sh.mu.Lock()
 		delete(sh.m, f)
 		sh.mu.Unlock()
 	})
+}
+
+// futureOrigins snapshots the pending-future → resolving-handler map.
+// Cold path (deadlock detection): one pass over the shards, so the
+// detector locks each shard mutex exactly once per scan instead of
+// once per awaiting handler.
+func (rt *Runtime) futureOrigins() map[*future.Future]*Handler {
+	out := map[*future.Future]*Handler{}
+	for i := range rt.futShards {
+		sh := &rt.futShards[i]
+		sh.mu.Lock()
+		for f, h := range sh.m {
+			out[f] = h
+		}
+		sh.mu.Unlock()
+	}
+	return out
 }
 
 // Config returns the runtime's configuration.
@@ -276,6 +302,7 @@ func (rt *Runtime) Stats() Stats {
 	st := rt.stats.snapshot()
 	if rt.exec != nil {
 		st.WorkerSpawns, st.WorkerParks = rt.exec.Counters()
+		st.Steals, st.InjectorPushes, st.LocalPushes = rt.exec.StealCounters()
 	}
 	return st
 }

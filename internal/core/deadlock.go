@@ -38,15 +38,31 @@ func (d DeadlockCycle) String() string {
 // finds (nil when none). Only cycles among handlers are reported;
 // external clients blocked on a deadlocked handler are victims, not
 // participants.
+//
+// Two kinds of wait edge are followed: synchronous queries (the
+// handler's own client blocked on its target) and awaits — a handler
+// parked mid-request on a future, charged to the handler whose session
+// will resolve it (the future's CallFuture origin). A handler awaiting
+// a hand-made future (future.New, Then derivatives) has no origin and
+// contributes no edge: await attribution is best-effort, exactly as
+// advisory as the rest of the graph.
 func (rt *Runtime) DetectDeadlock() []DeadlockCycle {
 	rt.mu.Lock()
 	handlers := make([]*Handler, len(rt.handlers))
 	copy(handlers, rt.handlers)
 	rt.mu.Unlock()
 
-	// next[h] = the handler h's own client is currently blocked on.
+	origins := rt.futureOrigins()
+
+	// next[h] = the handler h is currently waiting on.
 	next := make(map[*Handler]*Handler, len(handlers))
 	for _, h := range handlers {
+		if f := h.awaitingOn.Load(); f != nil {
+			if origin := origins[f]; origin != nil {
+				next[h] = origin
+				continue
+			}
+		}
 		sc := h.selfClientSnapshot()
 		if sc == nil {
 			continue

@@ -3,6 +3,8 @@ package core
 import (
 	"testing"
 	"time"
+
+	"scoopqs/internal/future"
 )
 
 // Construct the §2.5 query cycle and check the detector reports it.
@@ -109,6 +111,64 @@ func TestFormatDeadlocksEmpty(t *testing.T) {
 	if got := FormatDeadlocks(one); got != "deadlock: x -> y -> x" {
 		t.Fatalf("got %q", got)
 	}
+}
+
+// Await cycle on a pooled runtime: a parks its state machine on a
+// future only b can resolve, while b parks on a future only a can
+// resolve — no goroutine blocks anywhere, so the query-edge detector
+// used to be blind to it. The detector must follow the await edges
+// (handler -> origin of the awaited future) and report the cycle.
+func TestDetectDeadlockFindsAwaitCycle(t *testing.T) {
+	rt := New(ConfigAll.WithWorkers(2)) // wedged by design; no Shutdown
+	a := rt.NewHandler("a")
+	b := rt.NewHandler("b")
+
+	// cross arms, on the executing handler, an await on a future logged
+	// on the other handler's session, and returns the promise its
+	// continuation would resolve — which it never can.
+	var cross func(self, other *Handler) any
+	cross = func(self, other *Handler) any {
+		p := future.New()
+		var inner *future.Future
+		self.AsClient().Separate(other, func(s *Session) {
+			inner = s.CallFuture(func() any {
+				if other == b {
+					return cross(b, a)
+				}
+				return nil // never reached: a is wedged by then
+			})
+		})
+		self.Await(inner, func(v any, err error) {
+			if err != nil {
+				p.Fail(err)
+				return
+			}
+			p.Complete(v)
+		})
+		return p
+	}
+	c := rt.NewClient()
+	c.Separate(a, func(s *Session) {
+		s.CallFuture(func() any { return cross(a, b) })
+	})
+
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		// Both handlers must be parked awaiting before a stable verdict.
+		if rt.Stats().AwaitParks >= 2 {
+			first := rt.DetectDeadlock()
+			second := rt.DetectDeadlock()
+			if len(first) > 0 && len(second) > 0 {
+				if !containsAll(second[0].Handlers, "a", "b") {
+					t.Fatalf("cycle %v does not contain both handlers", second[0].Handlers)
+				}
+				return
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("await cycle never detected (await-parks=%d): %s",
+		rt.Stats().AwaitParks, FormatDeadlocks(rt.DetectDeadlock()))
 }
 
 // A self-cycle: a handler that queries itself through a second session

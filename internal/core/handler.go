@@ -33,10 +33,23 @@ type Handler struct {
 	// Pooled-mode scheduling state (see the h* constants). cur is the
 	// session pinned mid-drain, owned by whichever worker holds the
 	// hRunning state; the wake/Step protocol guarantees exclusive,
-	// happens-before-ordered access.
-	state atomic.Int32
-	cur   *Session
-	spin  int
+	// happens-before-ordered access. task is the handler's scheduling
+	// token, allocated once so wakes never heap-allocate. onWorker is
+	// the pool worker currently executing Step; it is only read by
+	// code running on this handler (the same goroutine), which is what
+	// lets a handler's own enqueues take the executor's local-deque
+	// fast path.
+	state    atomic.Int32
+	cur      *Session
+	task     *sched.Task
+	onWorker *sched.Worker
+	spin     int
+
+	// awaitingOn publishes the future a parked await is waiting on, so
+	// the deadlock detector can follow await edges. Set before the
+	// handler parks (state machine or dedicated goroutine), cleared on
+	// resume; advisory, like every wait edge.
+	awaitingOn atomic.Pointer[future.Future]
 
 	// pendingAwait holds the continuation armed by Handler.Await during
 	// the current request. It is only touched by code holding the
@@ -114,9 +127,12 @@ func (rt *Runtime) NewHandler(name string) *Handler {
 		h.spin = sched.DefaultSpin
 	}
 	if rt.exec != nil {
+		h.task = sched.NewTask(h)
 		// Route queue-of-queues notifications to the scheduler instead
 		// of a dedicated consumer. Installed before the handler is
-		// published, so producers always see it.
+		// published, so producers always see it. Reservations on the
+		// hot path use TryEnqueueNoNotify and wake with producer
+		// context instead; this hook covers Close and rejections.
 		h.qoq.SetNotify(h.wake)
 	}
 	rt.handlers = append(rt.handlers, h)
@@ -144,8 +160,10 @@ func (h *Handler) AsClient() *Client {
 		h.selfClient = h.rt.NewClient()
 		// In pooled mode this client's code runs on executor workers;
 		// its blocking operations must notify the pool so replacements
-		// keep delegation chains deadlock-free.
+		// keep delegation chains deadlock-free, and its enqueues wake
+		// target handlers on the hosting worker's local deque.
 		h.selfClient.hosted = h.rt.exec
+		h.selfClient.host = h
 		h.selfClientPub.Store(h.selfClient)
 	}
 	return h.selfClient
@@ -184,12 +202,15 @@ func (h *Handler) Await(fut *future.Future, cont func(v any, err error)) {
 
 // serviceAwaitBlocking services pending continuations by blocking the
 // calling goroutine (dedicated mode): wait for the future, run the
-// continuation, repeat while continuations re-arm.
+// continuation, repeat while continuations re-arm. The awaited future
+// is published for the deadlock detector while the goroutine blocks.
 func (h *Handler) serviceAwaitBlocking(s *Session) {
 	for h.pendingAwait != nil {
 		req := h.pendingAwait
 		h.pendingAwait = nil
+		h.awaitingOn.Store(req.fut)
 		v, err := req.fut.Get()
+		h.awaitingOn.Store(nil)
 		h.runCont(s, req.cont, v, err)
 	}
 }
@@ -244,16 +265,25 @@ func (h *Handler) runSession(s *Session) {
 }
 
 // wake makes the handler runnable on the executor after one of its
-// queues gained work (or was closed). It is the notification hook of
-// both the queue-of-queues and the private queues, called from any
-// producer; spurious calls are cheap and safe.
-func (h *Handler) wake() {
+// queues gained work (or was closed), routing through the shared
+// injector. It is the context-free notification hook (queue Close,
+// rejection wakes, future completions); producers that know which
+// worker they run on use wakeFrom instead.
+func (h *Handler) wake() { h.wakeFrom(nil) }
+
+// wakeFrom makes the handler runnable after one of its queues gained
+// work, scheduling it on w's local deque when the producer runs on a
+// pool worker — the fast re-ready path: a handler waking the next
+// handler of a message chain keeps it on its own (warm) worker, and
+// the executor skips the condvar when anyone is already scanning. A
+// nil w falls back to the injector. Spurious calls are cheap and safe.
+func (h *Handler) wakeFrom(w *sched.Worker) {
 	for {
 		switch h.state.Load() {
 		case hIdle:
 			if h.state.CompareAndSwap(hIdle, hReady) {
 				h.rt.stats.schedules.Add(1)
-				h.rt.exec.Ready(h)
+				h.rt.exec.ReadyLocal(w, h.task)
 				return
 			}
 		case hReady, hRunningDirty, hDone:
@@ -279,8 +309,11 @@ const stepBudget = 1024
 // Step is the executor entry point: resume this handler and run it
 // until it exhausts available work, completes, or uses up its fairness
 // budget. Exclusive ownership is guaranteed by the wake protocol —
-// Step only ever runs after a transition to hReady.
-func (h *Handler) Step() {
+// Step only ever runs after a transition to hReady. The worker is
+// remembered for the duration so enqueues made by this handler's code
+// ride its local deque.
+func (h *Handler) Step(w *sched.Worker) {
+	h.onWorker = w
 	h.state.Store(hRunning)
 	budget := stepBudget
 	for {
@@ -297,7 +330,10 @@ func (h *Handler) Step() {
 		case drainBudget:
 			h.state.Store(hReady)
 			h.rt.stats.schedules.Add(1)
-			h.rt.exec.Ready(h)
+			// Through the injector, not the local deque: the budget
+			// exists to round-robin a saturated handler with everyone
+			// else's pending work, and a LIFO self-push would defeat it.
+			h.rt.exec.Ready(h.task)
 			return
 		case drainAwaiting:
 			// Park the state machine, not the worker: hand the worker
@@ -307,6 +343,7 @@ func (h *Handler) Step() {
 			// wake is picked up then.
 			req := h.pendingAwait
 			h.rt.stats.awaitParks.Add(1)
+			h.awaitingOn.Store(req.fut)
 			h.state.Store(hAwaiting)
 			req.fut.OnComplete(func(any, error) { h.awaitWake() })
 			return
@@ -343,11 +380,14 @@ const (
 // awaitWake is the future-completion callback of a parked await: make
 // the handler runnable again so drain can run the continuation. The
 // CAS cannot spuriously fail — the state is stored before the callback
-// is registered, and only this callback leaves hAwaiting.
+// is registered, and only this callback leaves hAwaiting. The resume
+// goes through the injector: the completer's worker context is not
+// threaded through future callbacks.
 func (h *Handler) awaitWake() {
 	if h.state.CompareAndSwap(hAwaiting, hReady) {
+		h.awaitingOn.Store(nil)
 		h.rt.stats.schedules.Add(1)
-		h.rt.exec.Ready(h)
+		h.rt.exec.Ready(h.task)
 	}
 }
 

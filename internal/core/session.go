@@ -108,8 +108,12 @@ func (s *Session) SyncNow() {
 	rt := s.h.rt
 	rt.stats.syncsPerformed.Add(1)
 	s.owner.setWaiting(s.h)
-	s.owner.blockBegin()
+	// Enqueue before blockBegin: a worker-hosted client's enqueue may
+	// park the woken handler on this worker's own deque with no wake
+	// (the lone-handoff fast path), and it is blockBegin that then
+	// rouses a worker to steal it before we park.
 	s.q.Enqueue(call{kind: callSync})
+	s.owner.blockBegin()
 	s.parker.Park()
 	s.owner.blockEnd()
 	s.owner.clearWaiting()
@@ -127,8 +131,9 @@ func (s *Session) queryRemote(qfn func() any) any {
 	rt := s.h.rt
 	rt.stats.remoteQueries.Add(1)
 	s.owner.setWaiting(s.h)
-	s.owner.blockBegin()
+	// Enqueue before blockBegin — see SyncNow.
 	s.q.Enqueue(call{kind: callQueryRemote, qfn: qfn})
+	s.owner.blockBegin()
 	s.parker.Park()
 	s.owner.blockEnd()
 	s.owner.clearWaiting()
@@ -159,7 +164,7 @@ func (s *Session) CallFuture(qfn func() any) *future.Future {
 	rt := s.h.rt
 	rt.stats.futuresCreated.Add(1)
 	fut := future.New()
-	rt.trackFuture(fut)
+	rt.trackFuture(fut, s.h)
 	// The handler executes qfn and moves on without parking at the
 	// client's disposal, so the session is not synced afterwards.
 	s.synced = false

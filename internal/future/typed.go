@@ -1,0 +1,113 @@
+package future
+
+import "fmt"
+
+// TypeError is the failure recorded when a Typed future resolves with
+// a value of the wrong dynamic type.
+type TypeError struct {
+	Value any // the offending value
+	Want  string
+}
+
+func (e *TypeError) Error() string {
+	return fmt.Sprintf("future: typed future resolved with %T, want %s", e.Value, e.Want)
+}
+
+// Typed is a typed view over a *Future: the generic veneer that turns
+// the cell's `any` results into T without sprinkling assertions
+// through client code. It is a value wrapper — copy it freely; all
+// copies observe the same underlying future.
+//
+// The untyped cell stays the interchange format (core and remote
+// resolve them), so Typed converts at the edges: a value of the wrong
+// dynamic type surfaces as *TypeError instead of a panic, at the same
+// places the untyped API would surface a handler error.
+type Typed[T any] struct {
+	f *Future
+}
+
+// Of wraps f in a typed view. Combine with core's QueryAsync:
+//
+//	fut := future.Of[int64](core.QueryAsync(s, count))
+//	n, err := fut.Get()
+func Of[T any](f *Future) Typed[T] { return Typed[T]{f: f} }
+
+// CompletedOf returns an already-resolved typed future.
+func CompletedOf[T any](v T) Typed[T] { return Typed[T]{f: Completed(v)} }
+
+// Future returns the underlying untyped cell, for APIs that take one
+// (Client.Await, Handler.Await, All/Any).
+func (t Typed[T]) Future() *Future { return t.f }
+
+// Done returns the completion channel of the underlying future.
+func (t Typed[T]) Done() <-chan struct{} { return t.f.Done() }
+
+// Get blocks until the future resolves and returns its value as T.
+// The error is the future's own failure, or *TypeError when the value
+// is not a T. An untyped nil result converts to T's zero value with no
+// error ("the query produced nothing" reads better as zero than as a
+// mismatch); callers that must distinguish absence should use a
+// pointer or wrapper type for T.
+func (t Typed[T]) Get() (T, error) {
+	v, err := t.f.Get()
+	return convert[T](v, err)
+}
+
+// TryGet reports the typed result without blocking; ok is false while
+// the future is incomplete.
+func (t Typed[T]) TryGet() (T, error, bool) {
+	v, err, ok := t.f.TryGet()
+	if !ok {
+		var zero T
+		return zero, nil, false
+	}
+	tv, terr := convert[T](v, err)
+	return tv, terr, true
+}
+
+// Then returns a typed future resolved with fn applied to this one's
+// value. Errors (including a type mismatch) bypass fn and propagate; a
+// panic in fn fails the derived future with *PanicError, exactly like
+// the untyped Then.
+func (t Typed[T]) Then(fn func(T) T) Typed[T] {
+	return Map(t, fn)
+}
+
+// Map derives a future of a different type: the typed counterpart of
+// the untyped Then for transforms that change the value's type.
+func Map[T, U any](t Typed[T], fn func(T) U) Typed[U] {
+	out := New()
+	t.f.OnComplete(func(v any, err error) {
+		tv, terr := convert[T](v, err)
+		if terr != nil {
+			out.Fail(terr)
+			return
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				out.Fail(&PanicError{Value: r})
+			}
+		}()
+		out.Complete(fn(tv))
+	})
+	return Typed[U]{f: out}
+}
+
+// convert narrows an untyped result to T. An untyped nil converts to
+// T's zero value — a type assertion on a nil interface fails for every
+// T, and "the query produced nothing" is better read as zero than as a
+// mismatch.
+func convert[T any](v any, err error) (T, error) {
+	var zero T
+	if err != nil {
+		return zero, err
+	}
+	if v == nil {
+		return zero, nil
+	}
+	tv, ok := v.(T)
+	if !ok {
+		return zero, &TypeError{Value: v, Want: fmt.Sprintf("%T", zero)}
+	}
+	return tv, nil
+}

@@ -1,0 +1,87 @@
+package future
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestTypedGet(t *testing.T) {
+	f := New()
+	tf := Of[int](f)
+	if _, _, ok := tf.TryGet(); ok {
+		t.Fatal("TryGet reported complete on a pending future")
+	}
+	f.Complete(41)
+	got, err := tf.Get()
+	if err != nil || got != 41 {
+		t.Fatalf("Get = %d, %v; want 41, nil", got, err)
+	}
+	if v, err, ok := tf.TryGet(); !ok || err != nil || v != 41 {
+		t.Fatalf("TryGet = %d, %v, %v", v, err, ok)
+	}
+}
+
+func TestTypedGetError(t *testing.T) {
+	sentinel := errors.New("boom")
+	tf := Of[string](Failed(sentinel))
+	if _, err := tf.Get(); !errors.Is(err, sentinel) {
+		t.Fatalf("error %v did not propagate", err)
+	}
+}
+
+func TestTypedGetTypeMismatch(t *testing.T) {
+	tf := Of[string](Completed(42))
+	_, err := tf.Get()
+	var te *TypeError
+	if !errors.As(err, &te) {
+		t.Fatalf("want *TypeError, got %v", err)
+	}
+}
+
+func TestTypedNilConvertsToZero(t *testing.T) {
+	n, err := Of[int](Completed(nil)).Get()
+	if err != nil || n != 0 {
+		t.Fatalf("nil -> (%d, %v), want (0, nil)", n, err)
+	}
+	p, err := Of[*int](Completed(nil)).Get()
+	if err != nil || p != nil {
+		t.Fatalf("nil -> (%v, %v), want (nil, nil)", p, err)
+	}
+}
+
+func TestTypedThenAndMap(t *testing.T) {
+	f := New()
+	doubled := Of[int](f).Then(func(v int) int { return v * 2 })
+	asString := Map(doubled, func(v int) string {
+		if v == 84 {
+			return "eighty-four"
+		}
+		return "?"
+	})
+	f.Complete(42)
+	s, err := asString.Get()
+	if err != nil || s != "eighty-four" {
+		t.Fatalf("Map chain = %q, %v", s, err)
+	}
+}
+
+func TestTypedThenPanicFails(t *testing.T) {
+	tf := Of[int](Completed(1)).Then(func(int) int { panic("kaboom") })
+	_, err := tf.Get()
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Value != "kaboom" {
+		t.Fatalf("want PanicError(kaboom), got %v", err)
+	}
+}
+
+func TestCompletedOf(t *testing.T) {
+	v, err := CompletedOf("ready").Get()
+	if err != nil || v != "ready" {
+		t.Fatalf("CompletedOf = %q, %v", v, err)
+	}
+	// The untyped view interoperates with combinators.
+	all, err := All(CompletedOf(1).Future(), CompletedOf(2).Future()).Get()
+	if err != nil || len(all.([]any)) != 2 {
+		t.Fatalf("All over typed futures = %v, %v", all, err)
+	}
+}

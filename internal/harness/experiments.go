@@ -497,21 +497,37 @@ func (o Options) Executor() {
 	tb := newTable(o.Out)
 	tb.row("Mode", "time(s)", "hops/ms", "schedules", "handler-parks", "worker-spawns", "worker-parks")
 	for _, m := range modes {
-		var d time.Duration
-		var st core.Stats
-		ds := make([]time.Duration, 0, o.Reps)
+		var runs []timedStats
 		for r := 0; r < o.Reps || r == 0; r++ {
 			dd, s := ringOnce(m.cfg, handlers, hops)
-			ds = append(ds, dd)
-			st = s
+			runs = append(runs, timedStats{dd, s})
 		}
-		d = median(ds)
+		mid := medianRun(runs)
+		d, st := mid.d, mid.st
 		tb.row(m.label, Seconds(d),
 			fmt.Sprintf("%.0f", float64(hops)/(float64(d.Nanoseconds())/1e6)),
 			fmt.Sprintf("%d", st.Schedules),
 			fmt.Sprintf("%d", st.HandlerParks),
 			fmt.Sprintf("%d", st.WorkerSpawns),
 			fmt.Sprintf("%d", st.WorkerParks))
+		o.Rec.Add(Result{
+			Experiment: "executor",
+			Labels:     map[string]string{"mode": m.label, "config": m.cfg.Name()},
+			Medians: map[string]float64{
+				"seconds": d.Seconds(),
+				"hops_per_ms": float64(hops) /
+					(float64(d.Nanoseconds()) / 1e6),
+			},
+			Counters: map[string]int64{
+				"schedules":       st.Schedules,
+				"handler_parks":   st.HandlerParks,
+				"worker_spawns":   st.WorkerSpawns,
+				"worker_parks":    st.WorkerParks,
+				"steals":          st.Steals,
+				"local_pushes":    st.LocalPushes,
+				"injector_pushes": st.InjectorPushes,
+			},
+		})
 	}
 	tb.flush()
 }

@@ -251,6 +251,16 @@ func (o Options) Futures() {
 			fmt.Sprintf("%d", best.st.WorkerSpawns),
 			fmt.Sprintf("%d", best.st.AwaitParks),
 			fmt.Sprintf("%d", best.st.FuturesCreated))
+		o.Rec.Add(Result{
+			Experiment: "futures-chain",
+			Labels:     map[string]string{"mode": m.label, "config": cfg.Name()},
+			Medians:    map[string]float64{"seconds": best.d.Seconds(), "hops_per_ms": hops},
+			Counters: map[string]int64{
+				"worker_spawns":   best.st.WorkerSpawns,
+				"await_parks":     best.st.AwaitParks,
+				"futures_created": best.st.FuturesCreated,
+			},
+		})
 		switch m.label {
 		case "sync":
 			syncSpawns = best.st.WorkerSpawns
@@ -294,6 +304,14 @@ func (o Options) Futures() {
 			syncD = best
 		}
 		tb.row(label, Seconds(best), fmt.Sprintf("%.0f", float64(queries)/best.Seconds()))
+		o.Rec.Add(Result{
+			Experiment: "futures-remote",
+			Labels:     map[string]string{"mode": label, "config": cfg.Name()},
+			Medians: map[string]float64{
+				"seconds":            best.Seconds(),
+				"queries_per_second": float64(queries) / best.Seconds(),
+			},
+		})
 	}
 	tb.flush()
 	fmt.Fprintf(o.Out, "\npipelining speedup: %sx (host CPUs=%d)\n", Ratio(syncD, pipeD), runtime.NumCPU())

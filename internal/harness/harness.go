@@ -52,6 +52,9 @@ type Options struct {
 	FutDepth   int
 	FutRounds  int
 	FutQueries int
+	// Rec, when non-nil, collects machine-readable Results alongside
+	// the text tables (qsbench -json).
+	Rec *Recorder
 }
 
 // Defaults returns laptop-scale options writing to w.

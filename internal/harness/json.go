@@ -1,0 +1,58 @@
+package harness
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"time"
+)
+
+// Result is one machine-readable measurement row: an experiment,
+// identifying labels (mode, config, workers, ...), median timings or
+// rates, and runtime counters. The text tables stay the human view;
+// Results are what BENCH_*.json trajectory files record.
+type Result struct {
+	Experiment string             `json:"experiment"`
+	Labels     map[string]string  `json:"labels,omitempty"`
+	Medians    map[string]float64 `json:"medians,omitempty"`
+	Counters   map[string]int64   `json:"counters,omitempty"`
+}
+
+// Recorder collects Results across experiments. A nil Recorder is
+// valid and records nothing, so experiments call Add unconditionally.
+type Recorder struct {
+	Results []Result
+}
+
+// Add appends one result row. Safe on a nil receiver.
+func (r *Recorder) Add(res Result) {
+	if r == nil {
+		return
+	}
+	r.Results = append(r.Results, res)
+}
+
+// benchFile is the on-disk shape of a qsbench -json artifact.
+type benchFile struct {
+	Generated string   `json:"generated"`
+	GoVersion string   `json:"go_version"`
+	NumCPU    int      `json:"num_cpu"`
+	GOMAXPROC int      `json:"gomaxprocs"`
+	Results   []Result `json:"results"`
+}
+
+// WriteFile renders the collected results as indented JSON at path.
+func (r *Recorder) WriteFile(path string) error {
+	f := benchFile{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		GOMAXPROC: runtime.GOMAXPROCS(0),
+		Results:   r.Results,
+	}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,156 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"time"
+
+	"scoopqs/internal/core"
+	"scoopqs/internal/future"
+)
+
+// StealWorkers is the pool-size sweep of the steal experiment.
+var StealWorkers = []int{1, 2, 4, 8}
+
+// timedStats is one repetition: a duration with the counters of the
+// same run, so a reported median is never paired with another rep's
+// counters.
+type timedStats struct {
+	d  time.Duration
+	st core.Stats
+}
+
+// medianRun returns the repetition with the median duration.
+func medianRun(runs []timedStats) timedStats {
+	sorted := append([]timedStats(nil), runs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].d < sorted[j].d })
+	return sorted[len(sorted)/2]
+}
+
+// fanOnce runs a fan-out workload: one coordinator logs `calls`
+// asynchronous increments on each of `width` handlers, then collects
+// one asynchronous query per handler and awaits them all. All the
+// parallelism comes from the runtime spreading the handlers across
+// workers, so at Workers > 1 this exercises injector fan-out and
+// stealing rather than the threadring's strict handoff chain.
+func fanOnce(cfg core.Config, width, calls, rounds int) (time.Duration, core.Stats) {
+	rt := core.New(cfg)
+	hs := make([]*core.Handler, width)
+	sums := make([]int64, width)
+	for i := range hs {
+		hs[i] = rt.NewHandler(fmt.Sprintf("fan%d", i))
+	}
+	c := rt.NewClient()
+	start := time.Now()
+	for r := 0; r < rounds; r++ {
+		futs := make([]*future.Future, width)
+		for i, h := range hs {
+			i := i
+			c.Separate(h, func(s *core.Session) {
+				for j := 0; j < calls; j++ {
+					s.Call(func() { sums[i]++ })
+				}
+				futs[i] = core.QueryAsync(s, func() int64 { return sums[i] })
+			})
+		}
+		if _, err := c.Await(future.All(futs...)); err != nil {
+			panic(err)
+		}
+	}
+	d := time.Since(start)
+	st := rt.Stats()
+	rt.Shutdown()
+	for i := range sums {
+		if sums[i] != int64(calls*rounds) {
+			panic("harness: fan-out lost calls")
+		}
+	}
+	return d, st
+}
+
+// Steal measures the work-stealing executor substrate: a pool-size
+// sweep over three workload shapes — threadring (strict handoff chain:
+// the local-push fast path), chain (awaited delegation: park/resume
+// traffic), and fan-out (wide independent work: injector distribution
+// and stealing) — reporting the scheduler's steal/injector/local-push
+// counters next to the medians. Not a paper experiment; it measures
+// this repo's scheduler (see README "Scheduler").
+func (o Options) Steal() {
+	handlers := o.ExecHandlers / 10
+	if handlers < 2 {
+		handlers = 2
+	}
+	hops := o.ExecHops / 5
+	if hops < 1 {
+		hops = handlers
+	}
+	depth, rounds := o.FutDepth, o.FutRounds
+	if depth < 2 {
+		depth = 32
+	}
+	if rounds < 1 {
+		rounds = 1
+	}
+	fanWidth, fanCalls, fanRounds := 64, 32, 25
+
+	section(o.Out, "Steal",
+		fmt.Sprintf("Work-stealing sweep over Workers %v (ConfigAll): threadring\n(%d handlers x %d hops), awaited chain (depth %d x %d), fan-out\n(%d handlers x %d calls x %d rounds), with substrate counters.",
+			StealWorkers, handlers, hops, depth, rounds, fanWidth, fanCalls, fanRounds))
+
+	type workload struct {
+		name string
+		run  func(cfg core.Config) (time.Duration, core.Stats)
+	}
+	workloads := []workload{
+		{"threadring", func(cfg core.Config) (time.Duration, core.Stats) {
+			return ringOnce(cfg, handlers, hops)
+		}},
+		{"chain", func(cfg core.Config) (time.Duration, core.Stats) {
+			cs := chainAwait(cfg, depth, rounds)
+			return cs.d, cs.st
+		}},
+		{"fanout", func(cfg core.Config) (time.Duration, core.Stats) {
+			return fanOnce(cfg, fanWidth, fanCalls, fanRounds)
+		}},
+	}
+
+	tb := newTable(o.Out)
+	tb.row("Workload", "Workers", "time(s)", "steals", "local-push", "injector", "schedules", "spawns")
+	for _, wl := range workloads {
+		for _, workers := range StealWorkers {
+			cfg := core.ConfigAll.WithWorkers(workers)
+			var runs []timedStats
+			for r := 0; r < o.Reps || r == 0; r++ {
+				d, s := wl.run(cfg)
+				runs = append(runs, timedStats{d, s})
+			}
+			mid := medianRun(runs)
+			d, st := mid.d, mid.st
+			tb.row(wl.name, strconv.Itoa(workers), Seconds(d),
+				fmt.Sprintf("%d", st.Steals),
+				fmt.Sprintf("%d", st.LocalPushes),
+				fmt.Sprintf("%d", st.InjectorPushes),
+				fmt.Sprintf("%d", st.Schedules),
+				fmt.Sprintf("%d", st.WorkerSpawns))
+			o.Rec.Add(Result{
+				Experiment: "steal",
+				Labels: map[string]string{
+					"workload": wl.name,
+					"config":   cfg.Name(),
+					"workers":  strconv.Itoa(workers),
+				},
+				Medians: map[string]float64{"seconds": d.Seconds()},
+				Counters: map[string]int64{
+					"steals":          st.Steals,
+					"local_pushes":    st.LocalPushes,
+					"injector_pushes": st.InjectorPushes,
+					"schedules":       st.Schedules,
+					"worker_spawns":   st.WorkerSpawns,
+					"worker_parks":    st.WorkerParks,
+				},
+			})
+		}
+	}
+	tb.flush()
+}

@@ -74,6 +74,20 @@ func (q *MPSC[T]) Enqueue(v T) {
 // Close may still be accepted; Quiesced lets the consumer wait out
 // such in-flight producers before treating the queue as finished.
 func (q *MPSC[T]) TryEnqueue(v T) bool {
+	return q.tryEnqueue(v, true)
+}
+
+// TryEnqueueNoNotify is TryEnqueue without the success-side
+// became-non-empty notification, for producers that deliver a more
+// specific wake themselves (the scheduler's local-push path passes the
+// producing worker along). The rejection-side wake still fires — a
+// consumer deciding whether to retire must re-evaluate regardless of
+// who would have delivered the success wake.
+func (q *MPSC[T]) TryEnqueueNoNotify(v T) bool {
+	return q.tryEnqueue(v, false)
+}
+
+func (q *MPSC[T]) tryEnqueue(v T, notify bool) bool {
 	q.inflight.Add(1)
 	if q.closed.Load() {
 		q.inflight.Add(-1)
@@ -86,7 +100,9 @@ func (q *MPSC[T]) TryEnqueue(v T) bool {
 	prev := q.headP.Swap(n) // serialization point
 	prev.next.Store(n)      // publish; the chain is briefly broken between these
 	q.inflight.Add(-1)
-	q.wake()
+	if notify {
+		q.wake()
+	}
 	return true
 }
 

@@ -30,21 +30,29 @@ type spscNode[T any] struct {
 // SPSC is an unbounded single-producer single-consumer queue.
 // Exactly one goroutine may call Enqueue/Close and exactly one may call
 // Dequeue/TryDequeue. The zero value is not usable; use NewSPSC.
+//
+// Nodes are recycled Vyukov-style with no side structure at all:
+// consumed nodes stay linked in the chain, the consumer publishes its
+// position (pos), and the producer harvests everything strictly behind
+// it before allocating fresh nodes. The request hot path is therefore
+// allocation-free in steady state — one atomic load decides reuse — at
+// the cost of retaining nodes up to the queue's backlog high-water
+// mark (the node-level version of the paper's "cache of queues";
+// queues here are per-session and die with their client's cache).
 type SPSC[T any] struct {
 	head   *spscNode[T] // consumer-owned: most recently consumed node
 	parker *sched.Parker
 	closed atomic.Bool
 	spin   int
 	notify func() // set before use; replaces parker wakeups when non-nil
-	// cache of consumed nodes handed back to the producer, mirroring
-	// the paper's "cache of queues" idea at the node level. Only the
-	// consumer pushes, only the producer pops, guarded by a spinlock
-	// because accesses are rare relative to Enqueue/Dequeue.
-	cacheMu sched.SpinLock
-	cache   []*spscNode[T]
 
-	_    [32]byte     // keep producer fields off the consumer's cache line
-	tail *spscNode[T] // producer-owned: last enqueued node
+	// pos is the consumer's published chain position: every node
+	// strictly before it has been consumed and may be reused.
+	pos atomic.Pointer[spscNode[T]]
+
+	_     [32]byte     // keep producer fields off the consumer's cache line
+	tail  *spscNode[T] // producer-owned: last enqueued node
+	first *spscNode[T] // producer-owned: oldest node not yet reclaimed
 }
 
 // NewSPSC returns an empty queue. spin is the number of empty polls the
@@ -54,29 +62,24 @@ func NewSPSC[T any](spin int) *SPSC[T] {
 		spin = sched.DefaultSpin
 	}
 	stub := &spscNode[T]{}
-	return &SPSC[T]{head: stub, tail: stub, parker: sched.NewParker(), spin: spin}
+	q := &SPSC[T]{head: stub, tail: stub, first: stub, parker: sched.NewParker(), spin: spin}
+	q.pos.Store(stub)
+	return q
 }
 
+// newNode returns a node holding v, reusing the oldest consumed node
+// when the consumer's published position has moved past it. Producer
+// only.
 func (q *SPSC[T]) newNode(v T) *spscNode[T] {
-	q.cacheMu.Lock()
-	if n := len(q.cache); n > 0 {
-		nd := q.cache[n-1]
-		q.cache = q.cache[:n-1]
-		q.cacheMu.Unlock()
+	if nd := q.first; nd != q.pos.Load() {
+		// nd is strictly behind the consumer: reclaim it. Its next link
+		// is non-nil (the chain continues at least to pos).
+		q.first = nd.next.Load()
 		nd.next.Store(nil)
 		nd.v = v
 		return nd
 	}
-	q.cacheMu.Unlock()
 	return &spscNode[T]{v: v}
-}
-
-func (q *SPSC[T]) recycle(n *spscNode[T]) {
-	q.cacheMu.Lock()
-	if len(q.cache) < 64 {
-		q.cache = append(q.cache, n)
-	}
-	q.cacheMu.Unlock()
 }
 
 // SetNotify installs a became-non-empty notification hook: every
@@ -126,9 +129,10 @@ func (q *SPSC[T]) TryDequeue() (v T, ok bool) {
 	v = next.v
 	var zero T
 	next.v = zero
-	old := q.head
 	q.head = next
-	q.recycle(old)
+	// Publish the new position; the old head is now strictly behind it
+	// and the producer may reclaim it.
+	q.pos.Store(next)
 	return v, true
 }
 

@@ -1,0 +1,33 @@
+package sched
+
+import "fmt"
+
+// DebugState renders a one-line snapshot of the executor's scheduling
+// state for diagnostics and tests. Advisory: taken under the mutex,
+// but deque contents are sampled atomically.
+func (e *Executor) DebugState() string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	pending := len(e.injector) - e.injHead
+	deq := 0
+	next := 0
+	for _, w := range e.list {
+		deq += int(e.dequeSize(w))
+		if w.next.Load() != nil {
+			next++
+		}
+	}
+	return fmt.Sprintf(
+		"executor{workers:%d blocked:%d idle:%d searchers:%d injector:%d injCount:%d deques:%d nexts:%d stopped:%v}",
+		e.workers, e.blocked, e.idle.Load(), e.searchers.Load(),
+		pending, e.injCount.Load(), deq, next, e.stopped)
+}
+
+func (e *Executor) dequeSize(w *Worker) int64 {
+	b := w.dq.bottom.Load()
+	t := w.dq.top.Load()
+	if b < t {
+		return 0
+	}
+	return b - t
+}

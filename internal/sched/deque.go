@@ -1,0 +1,97 @@
+package sched
+
+import "sync/atomic"
+
+// dequeCap bounds each worker's local deque. Power of two; overflow
+// spills into the executor's injector queue, so the bound trades local
+// slack against injector traffic, not correctness. 256 entries is 2KiB
+// per worker — small enough to stay cache-resident, large enough that
+// a handler waking a burst of peers never spills in practice.
+const dequeCap = 256
+
+// deque is a bounded Chase–Lev work-stealing deque specialized to
+// *Task: the owning worker pushes and pops at the bottom (LIFO, which
+// keeps the producer-consumer pair of a message handoff on one warm
+// cache), thieves steal from the top (FIFO, so the oldest — most
+// starved — work migrates first).
+//
+// All cross-thread accesses go through atomics, so the implementation
+// is race-detector-clean; Go's sequentially consistent atomics
+// over-approximate the acquire/release fences of the C11 original.
+// The ABA hazard of a bounded ring is excluded by construction: push
+// refuses to overwrite a slot until top has moved past it, and any
+// steal whose top observation went stale fails its CAS.
+type deque struct {
+	top    atomic.Int64 // next steal index; thieves advance by CAS
+	_      [56]byte     // keep the contended indices on separate lines
+	bottom atomic.Int64 // next push index; owner-written
+	_      [56]byte
+	slots  [dequeCap]atomic.Pointer[Task]
+}
+
+// push appends t at the bottom. Owner only. Reports false when the
+// deque is full; the caller spills to the injector.
+func (d *deque) push(t *Task) bool {
+	b := d.bottom.Load()
+	if b-d.top.Load() >= dequeCap {
+		return false
+	}
+	d.slots[b&(dequeCap-1)].Store(t)
+	d.bottom.Store(b + 1) // publish
+	return true
+}
+
+// pop removes the newest task. Owner only. Returns nil when empty or
+// when the last task was lost to a concurrent thief.
+func (d *deque) pop() *Task {
+	// Cheap emptiness pre-check before the reservation dance: bottom is
+	// owner-written so the read is exact, and top only ever grows, so a
+	// stale top can only make an *empty* deque look non-empty (the full
+	// dance below resolves that) — never a non-empty one look empty.
+	if d.bottom.Load() <= d.top.Load() {
+		return nil
+	}
+	b := d.bottom.Load() - 1
+	d.bottom.Store(b) // reserve index b against thieves
+	t := d.top.Load()
+	if t > b {
+		d.bottom.Store(b + 1) // empty; undo the reservation
+		return nil
+	}
+	task := d.slots[b&(dequeCap-1)].Load()
+	if t == b {
+		// Down to the last task: settle the race with thieves on top.
+		if !d.top.CompareAndSwap(t, t+1) {
+			task = nil // a thief got there first
+		}
+		d.bottom.Store(b + 1)
+	}
+	return task
+}
+
+// steal removes the oldest task on behalf of another worker. Any
+// goroutine may call it. Returns nil when the deque is (momentarily)
+// empty; a CAS lost to the owner or another thief retries internally.
+func (d *deque) steal() *Task {
+	for {
+		t := d.top.Load()
+		b := d.bottom.Load()
+		if t >= b {
+			return nil
+		}
+		task := d.slots[t&(dequeCap-1)].Load()
+		if d.top.CompareAndSwap(t, t+1) {
+			return task
+		}
+		// top moved underneath us; re-evaluate (the deque may now be
+		// empty, or another task may be exposed).
+	}
+}
+
+// nonEmpty reports whether the deque currently appears to hold work.
+// Advisory: a concurrent pop's transient bottom reservation may make a
+// momentarily empty deque read as such, never the reverse for settled
+// states.
+func (d *deque) nonEmpty() bool {
+	return d.top.Load() < d.bottom.Load()
+}

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -10,7 +11,15 @@ import (
 // funcRunnable adapts a closure to Runnable for tests.
 type funcRunnable func()
 
-func (f funcRunnable) Step() { f() }
+func (f funcRunnable) Step(*Worker) { f() }
+
+// task wraps a closure in a fresh Task.
+func task(f func()) *Task { return NewTask(funcRunnable(f)) }
+
+// ctxRunnable adapts a worker-aware closure to Runnable.
+type ctxRunnable func(w *Worker)
+
+func (f ctxRunnable) Step(w *Worker) { f(w) }
 
 func TestExecutorRunsReadyWork(t *testing.T) {
 	e := NewExecutor(4)
@@ -19,7 +28,7 @@ func TestExecutorRunsReadyWork(t *testing.T) {
 	var wg sync.WaitGroup
 	for i := 0; i < 100; i++ {
 		wg.Add(1)
-		e.Ready(funcRunnable(func() {
+		e.Ready(task(func() {
 			n.Add(1)
 			wg.Done()
 		}))
@@ -34,7 +43,7 @@ func TestExecutorStopDrainsPendingWork(t *testing.T) {
 	e := NewExecutor(2)
 	var n atomic.Int64
 	for i := 0; i < 50; i++ {
-		e.Ready(funcRunnable(func() { n.Add(1) }))
+		e.Ready(task(func() { n.Add(1) }))
 	}
 	e.Stop() // must not return before queued work ran
 	if got := n.Load(); got != 50 {
@@ -46,7 +55,7 @@ func TestExecutorReadyAfterStopIsDropped(t *testing.T) {
 	e := NewExecutor(1)
 	e.Stop()
 	ran := make(chan struct{})
-	e.Ready(funcRunnable(func() { close(ran) }))
+	e.Ready(task(func() { close(ran) }))
 	select {
 	case <-ran:
 		t.Fatal("Ready after Stop executed work")
@@ -61,13 +70,13 @@ func TestExecutorBlockingCompensation(t *testing.T) {
 	defer e.Stop()
 	release := make(chan struct{})
 	done := make(chan struct{})
-	e.Ready(funcRunnable(func() {
-		e.BlockingBegin()
+	e.Ready(task(func() {
+		e.BlockingBegin(nil)
 		<-release // needs the second runnable to make progress
-		e.BlockingEnd()
+		e.BlockingEnd(nil)
 		close(done)
 	}))
-	e.Ready(funcRunnable(func() { close(release) }))
+	e.Ready(task(func() { close(release) }))
 	select {
 	case <-done:
 	case <-time.After(10 * time.Second):
@@ -79,13 +88,49 @@ func TestExecutorBlockingCompensation(t *testing.T) {
 	}
 }
 
+// Work pushed onto the blocking worker's local deque must be stolen by
+// the compensation worker — the delegation pattern: a handler wakes its
+// dependency locally, then blocks on it.
+func TestExecutorBlockedDequeIsStolen(t *testing.T) {
+	e := NewExecutor(1)
+	defer e.Stop()
+	done := make(chan struct{})
+	release := make(chan struct{})
+	e.Ready(NewTask(ctxRunnable(func(w *Worker) {
+		// Declaring the worker disables the lone-handoff wake elision
+		// for pushes made inside the section: the push below must be
+		// announced, because only a steal can run it while we block.
+		e.BlockingBegin(w)
+		// Let the compensation worker sweep, find nothing, and park
+		// before the push: an elided wake here would strand the task
+		// (regression for the lone-handoff/blocking-section deadlock).
+		time.Sleep(50 * time.Millisecond)
+		e.ReadyLocal(w, task(func() { close(release) }))
+		<-release
+		e.BlockingEnd(w)
+		close(done)
+	})))
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("locally pushed dependency was never stolen from the blocked worker")
+	}
+	if steals, _, _ := e.StealCounters(); steals < 1 {
+		t.Fatalf("expected the dependency to be stolen, steals=%d", steals)
+	}
+}
+
 // A chain of nested blocking sections much deeper than the pool must
-// complete: each blocked worker hands its slot to a replacement.
+// complete: each blocked worker hands its slot to a replacement. The
+// test waits for every blocking section to finish before Stop — Stop's
+// contract drops late Ready calls, and a producer may still be between
+// its two pushes when the deepest level is reached.
 func TestExecutorDeepBlockingChain(t *testing.T) {
 	const depth = 32
 	e := NewExecutor(2)
 	defer e.Stop()
 	done := make(chan struct{})
+	var wg sync.WaitGroup
 	var spawn func(level int)
 	spawn = func(level int) {
 		if level == depth {
@@ -93,13 +138,15 @@ func TestExecutorDeepBlockingChain(t *testing.T) {
 			return
 		}
 		inner := make(chan struct{})
-		e.Ready(funcRunnable(func() {
-			e.BlockingBegin()
+		wg.Add(1)
+		e.Ready(task(func() {
+			e.BlockingBegin(nil)
 			spawn(level + 1) // runs on another worker
 			<-inner
-			e.BlockingEnd()
+			e.BlockingEnd(nil)
+			wg.Done()
 		}))
-		e.Ready(funcRunnable(func() { close(inner) }))
+		e.Ready(task(func() { close(inner) }))
 	}
 	spawn(0)
 	select {
@@ -107,6 +154,7 @@ func TestExecutorDeepBlockingChain(t *testing.T) {
 	case <-time.After(30 * time.Second):
 		t.Fatal("deep blocking chain starved the pool")
 	}
+	wg.Wait() // all sections done; every Ready has been issued
 }
 
 func TestExecutorParksIdleWorkers(t *testing.T) {
@@ -127,4 +175,150 @@ func TestNewExecutorRejectsZeroWorkers(t *testing.T) {
 		}
 	}()
 	NewExecutor(0)
+}
+
+// Steal-under-contention stress: one seed task fans a tree of children
+// out through its local deque, so the other workers can only get work
+// by stealing. Asserts both the counters and completion under -race.
+func TestExecutorStealStress(t *testing.T) {
+	const workers = 4
+	// Dev hosts are often single-core; stealing needs running thieves.
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(workers))
+	e := NewExecutor(workers)
+	defer e.Stop()
+	var n atomic.Int64
+	var wg sync.WaitGroup
+	const fanout, depth = 3, 10 // 3^0 + ... + 3^10 tasks
+	var grow func(w *Worker, level int)
+	grow = func(w *Worker, level int) {
+		n.Add(1)
+		if level == depth {
+			wg.Done()
+			return
+		}
+		for i := 0; i < fanout; i++ {
+			wg.Add(1)
+			child := NewTask(ctxRunnable(func(w *Worker) { grow(w, level+1) }))
+			e.ReadyLocal(w, child)
+		}
+		wg.Done()
+	}
+	wg.Add(1)
+	e.Ready(NewTask(ctxRunnable(func(w *Worker) { grow(w, 0) })))
+	wg.Wait()
+	want := int64(0)
+	for l, p := 0, int64(1); l <= depth; l, p = l+1, p*fanout {
+		want += p
+	}
+	if got := n.Load(); got != want {
+		t.Fatalf("ran %d tasks, want %d", got, want)
+	}
+	steals, injPushes, localPushes := e.StealCounters()
+	if localPushes == 0 {
+		t.Fatalf("tree never used the local-push fast path (local=%d inj=%d)", localPushes, injPushes)
+	}
+	if steals == 0 {
+		t.Fatalf("no steals under a %d-worker fanout tree (local=%d inj=%d)", workers, localPushes, injPushes)
+	}
+}
+
+// Local pushes past the deque bound must spill to the injector and
+// still all execute.
+func TestExecutorDequeOverflowSpillsToInjector(t *testing.T) {
+	// Single proc: with real parallelism thieves drain the deque while
+	// the seed is still pushing, and the spill count loses its meaning.
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	e := NewExecutor(2)
+	defer e.Stop()
+	const total = dequeCap * 3
+	var n atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(total + 1)
+	e.Ready(NewTask(ctxRunnable(func(w *Worker) {
+		// Push far more than one deque holds before yielding the worker.
+		for i := 0; i < total; i++ {
+			e.ReadyLocal(w, task(func() {
+				n.Add(1)
+				wg.Done()
+			}))
+		}
+		wg.Done()
+	})))
+	wg.Wait()
+	if got := n.Load(); got != total {
+		t.Fatalf("ran %d tasks, want %d", got, total)
+	}
+	_, injPushes, localPushes := e.StealCounters()
+	// The pushes past the deque (and next-slot) bound must have
+	// spilled; allow slack for whatever a preempting thief drained
+	// mid-burst.
+	if injPushes < (total-dequeCap)/2 {
+		t.Fatalf("expected >= %d injector spills, got %d (local=%d)", (total-dequeCap)/2, injPushes, localPushes)
+	}
+	if localPushes == 0 {
+		t.Fatal("no local pushes before the spill")
+	}
+}
+
+// Park/wake storm: external producers hammer Ready from many
+// goroutines while workers cycle between stealing, draining, and
+// parking. Exercises the searcher/idle wake protocol for lost wakeups.
+func TestExecutorParkWakeStorm(t *testing.T) {
+	e := NewExecutor(4)
+	defer e.Stop()
+	const producers = 8
+	const perProducer = 500
+	var n atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(producers * perProducer)
+	var pwg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		pwg.Add(1)
+		go func() {
+			defer pwg.Done()
+			for i := 0; i < perProducer; i++ {
+				e.Ready(task(func() {
+					n.Add(1)
+					wg.Done()
+				}))
+				if i%17 == 0 {
+					runtime.Gosched() // let workers drain and park
+				}
+			}
+		}()
+	}
+	pwg.Wait()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("storm lost wakeups: %d/%d tasks ran", n.Load(), producers*perProducer)
+	}
+}
+
+// Stop while other workers are mid-steal: tasks keep fanning out
+// through local deques as Stop lands; everything accepted before the
+// stop must still run, and Stop must not hang.
+func TestExecutorStopWhileStealing(t *testing.T) {
+	for round := 0; round < 10; round++ {
+		e := NewExecutor(4)
+		var started, finished atomic.Int64
+		var grow func(w *Worker, level int)
+		grow = func(w *Worker, level int) {
+			started.Add(1)
+			if level < 6 {
+				for i := 0; i < 2; i++ {
+					e.ReadyLocal(w, NewTask(ctxRunnable(func(w *Worker) { grow(w, level+1) })))
+				}
+			}
+			finished.Add(1)
+		}
+		e.Ready(NewTask(ctxRunnable(func(w *Worker) { grow(w, 0) })))
+		runtime.Gosched()
+		e.Stop() // must drain whatever was accepted, then return
+		if s, f := started.Load(), finished.Load(); s != f {
+			t.Fatalf("round %d: %d tasks started but %d finished after Stop", round, s, f)
+		}
+	}
 }
