@@ -288,6 +288,40 @@ func BenchmarkSessionCall(b *testing.B) {
 	}
 }
 
+// BenchmarkReserve measures the reservation hot path — entering and
+// ending an empty separate block — with allocation accounting. Each
+// iteration enqueues the client's private queue into the handler's
+// queue-of-queues and logs END; steady-state allocs/op is the heap
+// cost of a reservation, which the MPSC node recycling brings to zero
+// (one node used to be allocated per enqueue). A periodic sync keeps
+// the handler from falling arbitrarily far behind the reserving
+// client, which would grow the backlog — and allocate — without bound.
+func BenchmarkReserve(b *testing.B) {
+	for _, m := range []struct {
+		name    string
+		workers int
+	}{{"dedicated", 0}, {"pooled4", 4}} {
+		m := m
+		b.Run(m.name, func(b *testing.B) {
+			rt := core.New(core.ConfigAll.WithWorkers(m.workers))
+			defer rt.Shutdown()
+			h := rt.NewHandler("sink")
+			c := rt.NewClient()
+			empty := func(s *core.Session) {}
+			synced := func(s *core.Session) { s.SyncNow() }
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i%256 == 255 {
+					c.Separate(h, synced)
+					continue
+				}
+				c.Separate(h, empty)
+			}
+		})
+	}
+}
+
 // BenchmarkFig14SyncCoalescing measures the paper's Fig. 14 copy loop
 // executed by the IR interpreter before and after the static
 // sync-coalescing pass — the per-experiment ablation of the compiler

@@ -8,7 +8,7 @@
 //
 //	-experiment all|table1|table2|table3|table4|table5|
 //	            fig16|fig17|fig18|fig19|fig20|executor|steal|futures|
-//	            summary (comma-separate to run several)
+//	            remote|summary (comma-separate to run several)
 //	-json path  also write machine-readable results (experiment,
 //	            config, medians, counters) for BENCH_*.json trajectory
 //	            files
@@ -59,7 +59,7 @@ func configByName(name string) (core.Config, bool) {
 }
 
 func main() {
-	experiment := flag.String("experiment", "all", "experiment to run (all, table1..5, fig16..20, executor, steal, futures, summary)")
+	experiment := flag.String("experiment", "all", "experiment to run (all, table1..5, fig16..20, executor, steal, futures, remote, summary)")
 	size := flag.String("size", "small", "problem sizes: small or paper")
 	reps := flag.Int("reps", 3, "repetitions per measurement")
 	workers := flag.Int("workers", 0, "workers/handlers (default: NumCPU, min 2)")
@@ -124,10 +124,11 @@ func main() {
 		"executor": o.Executor,
 		"steal":    o.Steal,
 		"futures":  o.Futures,
+		"remote":   o.Remote,
 		"summary":  o.Summary,
 	}
 	order := []string{"table1", "fig16", "table2", "fig17", "table3",
-		"fig18", "fig19", "table4", "table5", "fig20", "eve", "executor", "steal", "futures", "summary"}
+		"fig18", "fig19", "table4", "table5", "fig20", "eve", "executor", "steal", "futures", "remote", "summary"}
 
 	for _, name := range strings.Split(*experiment, ",") {
 		name = strings.TrimSpace(name)

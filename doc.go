@@ -76,6 +76,18 @@
 // -experiment futures` measures the effect (and the remote layer's
 // query pipelining, which rides the same mechanism).
 //
+// The remote layer (internal/remote) extends the private-queue model
+// over sockets with a multiplexed binary transport: one connection
+// carries many logical clients (a Mux hands out RemoteSessions, each a
+// wire channel), frames are a fixed-header/varint codec with zero
+// allocations per message, and each connection is served by exactly
+// one reader and one batching writer goroutine at both ends — the
+// server demultiplexes every channel onto real core.Sessions through
+// the non-blocking futures path. `qsbench -experiment remote` sweeps
+// logical clients over one connection against connection-per-client
+// shapes; see the README's "Remote" section for the wire layout and
+// flush policy.
+//
 // # Quick start
 //
 //	rt := scoopqs.New(scoopqs.ConfigAll)

@@ -113,6 +113,18 @@ func (c *Client) session(h *Handler) *Session {
 // handler's lock and holds it until the block ends (Fig. 2 semantics:
 // other clients wait until the current one is finished).
 func (c *Client) reserve1(h *Handler) *Session {
+	s, err := c.tryReserve1(h)
+	if err != nil {
+		// Surface a clear error instead of the raw queue panic
+		// ("Enqueue on closed MPSC") this used to produce.
+		panic(err)
+	}
+	return s
+}
+
+// tryReserve1 is reserve1 with an error instead of a panic when the
+// runtime is shutting down.
+func (c *Client) tryReserve1(h *Handler) (*Session, error) {
 	if !c.rt.cfg.QoQ {
 		c.lockHandler(h)
 	}
@@ -121,12 +133,13 @@ func (c *Client) reserve1(h *Handler) *Session {
 		if !c.rt.cfg.QoQ {
 			h.resMu.Unlock()
 		}
-		// Surface a clear error instead of the raw queue panic
-		// ("Enqueue on closed MPSC") this used to produce.
-		panic(ErrShutdown)
+		// Un-mark the cached session: the reservation never happened,
+		// so the cache entry must not look mid-block.
+		s.inUse = false
+		return nil, ErrShutdown
 	}
 	c.rt.stats.reservations.Add(1)
-	return s
+	return s, nil
 }
 
 // enqueueSession registers s with h's queue-of-queues and wakes h. In
@@ -174,7 +187,23 @@ func (c *Client) release1(s *Session) {
 // as one function call. Forgetting to call release wedges the handler
 // exactly as a never-ending separate block would; prefer Separate.
 func (c *Client) Reserve(h *Handler) (*Session, func()) {
-	s := c.reserve1(h)
+	s, release, err := c.TryReserve(h)
+	if err != nil {
+		panic(err)
+	}
+	return s, release
+}
+
+// TryReserve is Reserve with an error instead of a panic when the
+// runtime is shutting down (ErrShutdown). It exists for the remote
+// demultiplexer, whose connection reader serves many logical clients
+// at once: a reservation racing Shutdown must fail that one channel,
+// not unwind the goroutine every channel shares.
+func (c *Client) TryReserve(h *Handler) (*Session, func(), error) {
+	s, err := c.tryReserve1(h)
+	if err != nil {
+		return nil, nil, err
+	}
 	released := false
 	return s, func() {
 		if released {
@@ -182,7 +211,7 @@ func (c *Client) Reserve(h *Handler) (*Session, func()) {
 		}
 		released = true
 		c.release1(s)
-	}
+	}, nil
 }
 
 // Separate runs body within a single-handler separate block:

@@ -227,12 +227,13 @@ type Runtime struct {
 	downC chan struct{}
 
 	// futShards track futures minted by CallFuture that have not yet
-	// resolved — mapped to the handler whose session will resolve them
-	// (the future's origin) — so Shutdown can fail the stragglers with
-	// ErrShutdown and DetectDeadlock can follow await edges. Sharded:
-	// every async query touches the registry twice (mint and resolve),
-	// and a single mutex would be a runtime-global contention point on
-	// the very path built for throughput.
+	// resolved, so Shutdown can fail the stragglers with ErrShutdown.
+	// (Deadlock detection reads the resolving handler straight off the
+	// future's own origin tag, which Then/Map propagate to derivatives,
+	// so the registry is a plain set.) Sharded: every async query
+	// touches the registry twice (mint and resolve), and a single mutex
+	// would be a runtime-global contention point on the very path built
+	// for throughput.
 	futShards [futShardCount]futShard
 	futSeq    atomic.Uint64
 
@@ -243,7 +244,7 @@ const futShardCount = 16 // power of two
 
 type futShard struct {
 	mu sync.Mutex
-	m  map[*future.Future]*Handler // pending future -> resolving handler
+	m  map[*future.Future]struct{} // pending futures
 }
 
 // New creates a runtime with the given configuration.
@@ -253,7 +254,7 @@ func New(cfg Config) *Runtime {
 		downC: make(chan struct{}),
 	}
 	for i := range rt.futShards {
-		rt.futShards[i].m = map[*future.Future]*Handler{}
+		rt.futShards[i].m = map[*future.Future]struct{}{}
 	}
 	if cfg.Workers > 0 {
 		rt.exec = sched.NewExecutor(cfg.Workers)
@@ -262,36 +263,17 @@ func New(cfg Config) *Runtime {
 }
 
 // trackFuture registers f with the runtime until it resolves, so
-// Shutdown can fail futures no retired handler will ever complete and
-// the deadlock detector can attribute the wait. origin is the handler
-// whose session logs the resolving query.
-func (rt *Runtime) trackFuture(f *future.Future, origin *Handler) {
+// Shutdown can fail futures no retired handler will ever complete.
+func (rt *Runtime) trackFuture(f *future.Future) {
 	sh := &rt.futShards[rt.futSeq.Add(1)%futShardCount]
 	sh.mu.Lock()
-	sh.m[f] = origin
+	sh.m[f] = struct{}{}
 	sh.mu.Unlock()
 	f.OnComplete(func(any, error) {
 		sh.mu.Lock()
 		delete(sh.m, f)
 		sh.mu.Unlock()
 	})
-}
-
-// futureOrigins snapshots the pending-future → resolving-handler map.
-// Cold path (deadlock detection): one pass over the shards, so the
-// detector locks each shard mutex exactly once per scan instead of
-// once per awaiting handler.
-func (rt *Runtime) futureOrigins() map[*future.Future]*Handler {
-	out := map[*future.Future]*Handler{}
-	for i := range rt.futShards {
-		sh := &rt.futShards[i]
-		sh.mu.Lock()
-		for f, h := range sh.m {
-			out[f] = h
-		}
-		sh.mu.Unlock()
-	}
-	return out
 }
 
 // Config returns the runtime's configuration.

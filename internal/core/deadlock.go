@@ -42,23 +42,24 @@ func (d DeadlockCycle) String() string {
 // Two kinds of wait edge are followed: synchronous queries (the
 // handler's own client blocked on its target) and awaits — a handler
 // parked mid-request on a future, charged to the handler whose session
-// will resolve it (the future's CallFuture origin). A handler awaiting
-// a hand-made future (future.New, Then derivatives) has no origin and
-// contributes no edge: await attribution is best-effort, exactly as
-// advisory as the rest of the graph.
+// will resolve it. The attribution is the future's origin tag, which
+// CallFuture sets and Then/Map propagate, so a handler awaiting a
+// derived future (a Then chain over an asynchronous query) contributes
+// the same edge as one awaiting the query directly. A hand-made future
+// (future.New, All/Any combinations) has no origin and contributes no
+// edge: await attribution is best-effort, exactly as advisory as the
+// rest of the graph.
 func (rt *Runtime) DetectDeadlock() []DeadlockCycle {
 	rt.mu.Lock()
 	handlers := make([]*Handler, len(rt.handlers))
 	copy(handlers, rt.handlers)
 	rt.mu.Unlock()
 
-	origins := rt.futureOrigins()
-
 	// next[h] = the handler h is currently waiting on.
 	next := make(map[*Handler]*Handler, len(handlers))
 	for _, h := range handlers {
 		if f := h.awaitingOn.Load(); f != nil {
-			if origin := origins[f]; origin != nil {
+			if origin, ok := f.Origin().(*Handler); ok && origin.rt == rt {
 				next[h] = origin
 				continue
 			}

@@ -171,6 +171,70 @@ func TestDetectDeadlockFindsAwaitCycle(t *testing.T) {
 		rt.Stats().AwaitParks, FormatDeadlocks(rt.DetectDeadlock()))
 }
 
+// Await cycle routed through Then chains: three handlers, each parked
+// on a future *derived* (via Then) from an asynchronous query on the
+// next handler. The registry only knows the underlying CallFuture
+// cells, so the detector must use the origin tag that Then propagates
+// to derivatives — before origin propagation this cycle was invisible.
+func TestDetectDeadlockFindsThenChainCycle(t *testing.T) {
+	rt := New(ConfigAll.WithWorkers(2)) // wedged by design; no Shutdown
+	names := []string{"a", "b", "c"}
+	hs := make([]*Handler, len(names))
+	for i, n := range names {
+		hs[i] = rt.NewHandler(n)
+	}
+
+	// cross logs a future query on the next handler in the ring, derives
+	// a new future from it with Then, and awaits the derivative. Handler
+	// c's query targets a, which is already parked awaiting — so all
+	// three wedge, each on a Then-derived future.
+	var cross func(i int) any
+	cross = func(i int) any {
+		self, nxt := hs[i], hs[(i+1)%len(hs)]
+		p := future.New()
+		var inner *future.Future
+		self.AsClient().Separate(nxt, func(s *Session) {
+			inner = s.CallFuture(func() any {
+				if (i+1)%len(hs) != 0 {
+					return cross(i + 1)
+				}
+				return nil // never reached: a is wedged by then
+			})
+		})
+		derived := inner.Then(func(v any) any { return v })
+		self.Await(derived, func(v any, err error) {
+			if err != nil {
+				p.Fail(err)
+				return
+			}
+			p.Complete(v)
+		})
+		return p
+	}
+	c := rt.NewClient()
+	c.Separate(hs[0], func(s *Session) {
+		s.CallFuture(func() any { return cross(0) })
+	})
+
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		// All three handlers must be parked awaiting for a stable verdict.
+		if rt.Stats().AwaitParks >= 3 {
+			first := rt.DetectDeadlock()
+			second := rt.DetectDeadlock()
+			if len(first) > 0 && len(second) > 0 {
+				if !containsAll(second[0].Handlers, "a", "b", "c") {
+					t.Fatalf("cycle %v does not contain all three handlers", second[0].Handlers)
+				}
+				return
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("Then-chain await cycle never detected (await-parks=%d): %s",
+		rt.Stats().AwaitParks, FormatDeadlocks(rt.DetectDeadlock()))
+}
+
 // A self-cycle: a handler that queries itself through a second session
 // is also stuck (it can never drain its own private queue).
 func TestDetectDeadlockSelfQuery(t *testing.T) {

@@ -164,12 +164,29 @@ func (s *Session) CallFuture(qfn func() any) *future.Future {
 	rt := s.h.rt
 	rt.stats.futuresCreated.Add(1)
 	fut := future.New()
-	rt.trackFuture(fut, s.h)
+	// The origin tag attributes awaits on this future — and on any
+	// Then/Map derivative, which inherit it — to the handler whose
+	// session resolves it (deadlock detection's await edges).
+	fut.SetOrigin(s.h)
+	rt.trackFuture(fut)
 	// The handler executes qfn and moves on without parking at the
 	// client's disposal, so the session is not synced afterwards.
 	s.synced = false
 	s.q.Enqueue(call{kind: callFuture, qfn: qfn, fut: fut})
 	return fut
+}
+
+// SyncFuture logs a non-blocking sync barrier: the returned future
+// resolves (with a nil value) once every previously logged request of
+// this separate block has executed on the handler. It is the
+// demultiplexer's sync — a message-driven client that must not block
+// (the remote server's connection reader) gets the quiescence guarantee
+// of Sync as a completion callback instead of a parked goroutine. The
+// handler does not park at the client's disposal afterwards, so the
+// session is not marked synced; a handler-side panic before the barrier
+// fails the future with the session's *HandlerError.
+func (s *Session) SyncFuture() *future.Future {
+	return s.CallFuture(func() any { return nil })
 }
 
 // checkErr surfaces a handler-side panic to the client.

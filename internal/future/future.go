@@ -43,6 +43,13 @@ type Future struct {
 	val  any
 	err  error
 	cbs  []func(v any, err error) // pending callbacks, nil once run
+
+	// origin is an opaque provenance tag (core stores the handler whose
+	// session will resolve the future). Then/Map copy it to derived
+	// futures, so awaiting a derivative is still attributable to the
+	// underlying query — which is what lets deadlock detection follow
+	// await edges through transformation chains.
+	origin any
 }
 
 // New returns an incomplete future.
@@ -101,6 +108,24 @@ func (f *Future) isDoneLocked() bool {
 	}
 }
 
+// SetOrigin records an opaque provenance tag on the future. The
+// runtime tags each future minted by CallFuture with the handler that
+// will resolve it; Then and Map propagate the tag to derived futures.
+// Combinators over several futures (All, Any) have no single origin
+// and leave their results untagged.
+func (f *Future) SetOrigin(o any) {
+	f.mu.Lock()
+	f.origin = o
+	f.mu.Unlock()
+}
+
+// Origin returns the provenance tag, nil if none was set.
+func (f *Future) Origin() any {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.origin
+}
+
 // Done returns a channel closed when the future resolves. It is the
 // select-friendly view of completion.
 func (f *Future) Done() <-chan struct{} { return f.done }
@@ -157,6 +182,7 @@ func (f *Future) OnComplete(fn func(v any, err error)) {
 // goroutine (or inline if already resolved) and must not block.
 func (f *Future) Then(fn func(v any) any) *Future {
 	out := New()
+	out.SetOrigin(f.Origin())
 	f.OnComplete(func(v any, err error) {
 		if err != nil {
 			out.Fail(err)

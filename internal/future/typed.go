@@ -77,6 +77,7 @@ func (t Typed[T]) Then(fn func(T) T) Typed[T] {
 // the untyped Then for transforms that change the value's type.
 func Map[T, U any](t Typed[T], fn func(T) U) Typed[U] {
 	out := New()
+	out.SetOrigin(t.f.Origin())
 	t.f.OnComplete(func(v any, err error) {
 		tv, terr := convert[T](v, err)
 		if terr != nil {

@@ -52,6 +52,9 @@ type Options struct {
 	FutDepth   int
 	FutRounds  int
 	FutQueries int
+	// RemoteQueries is the total pipelined-query budget of the Remote
+	// experiment, split evenly across the logical-client sweep.
+	RemoteQueries int
 	// Rec, when non-nil, collects machine-readable Results alongside
 	// the text tables (qsbench -json).
 	Rec *Recorder
@@ -68,17 +71,18 @@ func Defaults(w io.Writer) Options {
 		cores = append(cores, workers)
 	}
 	return Options{
-		Out:          w,
-		Reps:         3,
-		Workers:      workers,
-		Cores:        cores,
-		Cow:          cowichan.SmallParams(),
-		Conc:         concbench.SmallParams(),
-		ExecHandlers: 10000,
-		ExecHops:     100000,
-		FutDepth:     32,
-		FutRounds:    50,
-		FutQueries:   5000,
+		Out:           w,
+		Reps:          3,
+		Workers:       workers,
+		Cores:         cores,
+		Cow:           cowichan.SmallParams(),
+		Conc:          concbench.SmallParams(),
+		ExecHandlers:  10000,
+		ExecHops:      100000,
+		FutDepth:      32,
+		FutRounds:     50,
+		FutQueries:    5000,
+		RemoteQueries: 16384,
 	}
 }
 

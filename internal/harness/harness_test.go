@@ -62,6 +62,26 @@ func TestAllExperimentsRender(t *testing.T) {
 	}
 }
 
+// TestRemoteExperimentRenders runs the remote sweep at a toy size: all
+// three transports must render rows and the mux-vs-gob summary line
+// must appear.
+func TestRemoteExperimentRenders(t *testing.T) {
+	var buf bytes.Buffer
+	o := tinyOptions(&buf)
+	o.Pool = 2
+	o.RemoteQueries = 64
+	old := RemoteClients
+	RemoteClients = []int{1, 4}
+	defer func() { RemoteClients = old }()
+	o.Remote()
+	out := buf.String()
+	for _, want := range []string{"== Remote", "mux", "conn", "gob", "speedup"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 // The Pool and Configs options must thread through to the Qs runs and
 // the rendered column headers.
 func TestPoolAndConfigOptions(t *testing.T) {

@@ -1,0 +1,262 @@
+package harness
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"strconv"
+	"time"
+
+	"scoopqs/internal/core"
+	"scoopqs/internal/future"
+	"scoopqs/internal/remote"
+)
+
+// RemoteClients is the logical-client sweep of the remote experiment.
+var RemoteClients = []int{1, 8, 64, 256}
+
+// remoteTransport is one way of connecting n logical clients to the
+// server; run executes the whole workload (qper pipelined queries per
+// client) and reports the client-side writer stats when it has any.
+type remoteTransport struct {
+	name string
+	gob  bool // server side: gob-era server instead of the framed one
+	run  func(addr string, n, qper int) (frames, flushes uint64, err error)
+}
+
+// remoteTransports compares the multiplexed transport against
+// connection-per-client shapes:
+//
+//   - mux:  all clients share ONE framed connection (Mux.NewSession)
+//   - conn: one framed connection per client (Dial)
+//   - gob:  one gob-era connection per client (DialGob) — the
+//     pre-multiplexing baseline
+var remoteTransports = []remoteTransport{
+	{"mux", false, func(addr string, n, qper int) (uint64, uint64, error) {
+		mux, err := remote.DialMux("tcp", addr)
+		if err != nil {
+			return 0, 0, err
+		}
+		defer mux.Close()
+		err = eachRemoteClient(n, func(i int) error {
+			rs := mux.NewSession()
+			defer rs.Close()
+			return pipelineBlock(rs, i, qper)
+		})
+		frames, flushes := mux.Stats()
+		return frames, flushes, err
+	}},
+	{"conn", false, func(addr string, n, qper int) (uint64, uint64, error) {
+		return 0, 0, eachRemoteClient(n, func(i int) error {
+			c, err := remote.Dial("tcp", addr)
+			if err != nil {
+				return err
+			}
+			defer c.Close()
+			return pipelineBlock(c, i, qper)
+		})
+	}},
+	{"gob", true, func(addr string, n, qper int) (uint64, uint64, error) {
+		return 0, 0, eachRemoteClient(n, func(i int) error {
+			c, err := remote.DialGob("tcp", addr)
+			if err != nil {
+				return err
+			}
+			defer c.Close()
+			var last *future.Future
+			err = c.Separate(remoteHandlerName(i), func(s *remote.GobSession) error {
+				for q := 0; q < qper; q++ {
+					var err error
+					if last, err = s.QueryAsync("add", 1); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			if err := c.Flush(); err != nil {
+				return err
+			}
+			v, err := c.Await(last)
+			return checkLast(v, err, qper)
+		})
+	}},
+}
+
+// pipelineBlock runs one logical client's workload on the framed
+// transport: one block, qper pipelined queries, one flush.
+func pipelineBlock(rs *remote.RemoteSession, i, qper int) error {
+	var last *future.Future
+	err := rs.Separate(remoteHandlerName(i), func(s *remote.Session) error {
+		for q := 0; q < qper; q++ {
+			var err error
+			if last, err = s.QueryAsync("add", 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if err := rs.Flush(); err != nil {
+		return err
+	}
+	v, err := rs.Await(last)
+	return checkLast(v, err, qper)
+}
+
+// checkLast is the per-client correctness check: the last pipelined
+// add on a private counter must have observed every prior one.
+func checkLast(v int64, err error, qper int) error {
+	if err != nil {
+		return err
+	}
+	if v != int64(qper) {
+		return fmt.Errorf("harness: remote counter ended at %d, want %d", v, qper)
+	}
+	return nil
+}
+
+// eachRemoteClient runs fn(0..n-1) on n goroutines and collects the
+// first error.
+func eachRemoteClient(n int, fn func(i int) error) error {
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		i := i
+		go func() { errs <- fn(i) }()
+	}
+	var first error
+	for i := 0; i < n; i++ {
+		if err := <-errs; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func remoteHandlerName(i int) string { return "counter" + strconv.Itoa(i) }
+
+// remoteServer brings up a runtime with n private counter handlers
+// behind the chosen transport's server.
+func remoteServer(cfg core.Config, n int, gob bool) (addr string, shutdown func(), err error) {
+	rt := core.New(cfg)
+	expose := func(exp func(string, *core.Handler, map[string]remote.Proc)) {
+		for i := 0; i < n; i++ {
+			h := rt.NewHandler(remoteHandlerName(i))
+			c := new(int64)
+			exp(remoteHandlerName(i), h, map[string]remote.Proc{
+				"add": func(a []int64) int64 { *c += a[0]; return *c },
+			})
+		}
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		rt.Shutdown()
+		return "", nil, err
+	}
+	if gob {
+		srv := remote.NewGobServer(rt)
+		expose(srv.Expose)
+		go srv.Serve(ln)
+		return ln.Addr().String(), func() { srv.Close(); rt.Shutdown() }, nil
+	}
+	srv := remote.NewServer(rt)
+	expose(srv.Expose)
+	go srv.Serve(ln)
+	return ln.Addr().String(), func() { srv.Close(); rt.Shutdown() }, nil
+}
+
+// Remote measures the multiplexed transport against
+// connection-per-client shapes: a sweep over logical clients, each
+// pipelining its share of a fixed query total inside one separate
+// block on its own handler. Not a paper experiment; it measures this
+// repo's remote subsystem (see README "Remote").
+func (o Options) Remote() {
+	pool := o.Pool
+	if pool <= 0 {
+		pool = 4
+	}
+	cfg := core.ConfigAll.WithWorkers(pool)
+	total := o.RemoteQueries
+	if total < 1 {
+		total = 16384
+	}
+
+	section(o.Out, "Remote: multiplexed transport",
+		fmt.Sprintf("%d pipelined queries split across logical clients %v on a\npooled(%d) runtime (ConfigAll), one private counter handler per\nclient: one multiplexed framed connection (mux) vs. a framed\nconnection per client (conn) vs. the gob-era baseline, one gob\nconnection per client (gob).", total, RemoteClients, pool))
+
+	tb := newTable(o.Out)
+	tb.row("Transport", "Clients", "time(s)", "queries/s", "frames/flush")
+	gobTimes := map[int]time.Duration{}
+	muxTimes := map[int]time.Duration{}
+	for _, tr := range remoteTransports {
+		for _, n := range RemoteClients {
+			qper := total / n
+			if qper < 1 {
+				qper = 1
+			}
+			var ds []time.Duration
+			var batches []float64
+			for r := 0; r < o.Reps || r == 0; r++ {
+				addr, shutdown, err := remoteServer(cfg, n, tr.gob)
+				if err != nil {
+					panic(err)
+				}
+				start := time.Now()
+				frames, flushes, err := tr.run(addr, n, qper)
+				d := time.Since(start)
+				shutdown()
+				if err != nil {
+					panic(err)
+				}
+				ds = append(ds, d)
+				if flushes > 0 {
+					batches = append(batches, float64(frames)/float64(flushes))
+				}
+			}
+			med := median(ds)
+			// Median batch size, like the timings: one outlier rep must
+			// not become the recorded frames/flush.
+			var batch float64
+			if len(batches) > 0 {
+				sort.Float64s(batches)
+				batch = batches[len(batches)/2]
+			}
+			qps := float64(qper*n) / med.Seconds()
+			batchCell := "-"
+			if batch > 0 {
+				batchCell = fmt.Sprintf("%.1f", batch)
+			}
+			tb.row(tr.name, strconv.Itoa(n), Seconds(med), fmt.Sprintf("%.0f", qps), batchCell)
+			switch tr.name {
+			case "gob":
+				gobTimes[n] = med
+			case "mux":
+				muxTimes[n] = med
+			}
+			o.Rec.Add(Result{
+				Experiment: "remote",
+				Labels: map[string]string{
+					"transport": tr.name,
+					"clients":   strconv.Itoa(n),
+					"config":    cfg.Name(),
+				},
+				Medians: map[string]float64{
+					"seconds":            med.Seconds(),
+					"queries_per_second": qps,
+					"frames_per_flush":   batch,
+				},
+			})
+		}
+	}
+	tb.flush()
+	for _, n := range RemoteClients {
+		if b, ok := gobTimes[n]; ok && muxTimes[n] > 0 {
+			fmt.Fprintf(o.Out, "mux speedup over gob connection-per-client at %d clients: %sx\n",
+				n, Ratio(b, muxTimes[n]))
+		}
+	}
+}

@@ -18,6 +18,16 @@ type mpscNode[T any] struct {
 // producer's items in that producer's order (per-producer FIFO), which
 // is exactly the guarantee the queue-of-queues needs.
 //
+// Nodes are recycled with the same Vyukov scheme the SPSC queue uses:
+// consumed nodes stay linked in the chain, the consumer publishes its
+// position (pos), and producers harvest nodes strictly behind it
+// before allocating fresh ones. Because many producers race for the
+// chain head, the harvest window is guarded by a spinlock taken with
+// TryLock only — a producer that loses the race allocates instead of
+// waiting, so the enqueue path stays non-blocking. In steady state
+// (the reservation hot path: one enqueue, one dequeue) every enqueue
+// reuses a node and allocates nothing.
+//
 // The zero value is not usable; use NewMPSC.
 type MPSC[T any] struct {
 	headP    atomic.Pointer[mpscNode[T]] // producers swap here (newest node)
@@ -26,6 +36,17 @@ type MPSC[T any] struct {
 	closed   atomic.Bool
 	spin     int
 	notify   func() // set before use; replaces parker wakeups when non-nil
+
+	// Producer-side free list: first is the oldest node not yet
+	// reclaimed, fenced by the consumer's published position. reclaim
+	// arbitrates the racing producers (TryLock only — never held while
+	// waiting for anything).
+	reclaim sched.SpinLock
+	first   *mpscNode[T]
+
+	// pos is the consumer's published chain position: every node
+	// strictly before it has been consumed and may be reused.
+	pos atomic.Pointer[mpscNode[T]]
 
 	_     [32]byte     // separate the consumer's line from the producers'
 	tailC *mpscNode[T] // consumer-owned: most recently consumed node
@@ -38,9 +59,32 @@ func NewMPSC[T any](spin int) *MPSC[T] {
 		spin = sched.DefaultSpin
 	}
 	stub := &mpscNode[T]{}
-	q := &MPSC[T]{tailC: stub, parker: sched.NewParker(), spin: spin}
+	q := &MPSC[T]{tailC: stub, first: stub, parker: sched.NewParker(), spin: spin}
 	q.headP.Store(stub)
+	q.pos.Store(stub)
 	return q
+}
+
+// newNode returns a node holding v, harvesting the oldest consumed
+// node when the consumer's published position has moved past it. A
+// node equal to pos is never taken (the consumer may still read its
+// next link), and a producer that cannot get the harvest lock
+// allocates rather than spin.
+func (q *MPSC[T]) newNode(v T) *mpscNode[T] {
+	if q.reclaim.TryLock() {
+		if nd := q.first; nd != q.pos.Load() {
+			// nd is strictly behind the consumer: it has been consumed,
+			// its next link is final, and the consumer will never touch
+			// it again.
+			q.first = nd.next.Load()
+			q.reclaim.Unlock()
+			nd.next.Store(nil)
+			nd.v = v
+			return nd
+		}
+		q.reclaim.Unlock()
+	}
+	return &mpscNode[T]{v: v}
 }
 
 // SetNotify installs a became-non-empty notification hook: every
@@ -96,7 +140,7 @@ func (q *MPSC[T]) tryEnqueue(v T, notify bool) bool {
 		q.wake()
 		return false
 	}
-	n := &mpscNode[T]{v: v}
+	n := q.newNode(v)
 	prev := q.headP.Swap(n) // serialization point
 	prev.next.Store(n)      // publish; the chain is briefly broken between these
 	q.inflight.Add(-1)
@@ -150,6 +194,9 @@ func (q *MPSC[T]) TryDequeue() (v T, ok bool) {
 	var zero T
 	next.v = zero
 	q.tailC = next
+	// Publish the new position; nodes strictly behind it are done and
+	// may be harvested by producers.
+	q.pos.Store(next)
 	return v, true
 }
 

@@ -278,3 +278,65 @@ func BenchmarkMPSCEnqueue(b *testing.B) {
 	b.StopTimer()
 	q.Close()
 }
+
+// TestMPSCRecyclesNodes pins the reservation hot path's allocation
+// profile: a single producer paced by the consumer must reuse nodes
+// (the Vyukov producer-side harvest) instead of allocating one per
+// enqueue.
+func TestMPSCRecyclesNodes(t *testing.T) {
+	q := NewMPSC[int](1)
+	// Warm up: create the first real node and publish a position.
+	q.Enqueue(0)
+	q.TryDequeue()
+	allocs := testing.AllocsPerRun(1000, func() {
+		q.Enqueue(1)
+		if _, ok := q.TryDequeue(); !ok {
+			t.Fatal("dequeue failed")
+		}
+	})
+	if allocs > 0.1 {
+		t.Fatalf("paced enqueue/dequeue allocates %.2f allocs/op, want ~0", allocs)
+	}
+}
+
+// Recycling must not break correctness when producers race the
+// harvest lock: hammer the queue from many producers and check every
+// item arrives exactly once in per-producer order.
+func TestMPSCRecycleManyProducers(t *testing.T) {
+	const producers, per = 8, 5000
+	q := NewMPSC[[2]int](1)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				q.Enqueue([2]int{p, i})
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		q.Close()
+	}()
+	last := make([]int, producers)
+	for i := range last {
+		last[i] = -1
+	}
+	total := 0
+	for {
+		v, ok := q.Dequeue()
+		if !ok {
+			break
+		}
+		if v[1] != last[v[0]]+1 {
+			t.Fatalf("producer %d: item %d after %d (per-producer FIFO broken)", v[0], v[1], last[v[0]])
+		}
+		last[v[0]] = v[1]
+		total++
+	}
+	if total != producers*per {
+		t.Fatalf("consumed %d items, want %d", total, producers*per)
+	}
+}

@@ -1,235 +1,320 @@
 package remote
 
 import (
-	"encoding/gob"
-	"errors"
 	"fmt"
 	"net"
+	"sync"
 
 	"scoopqs/internal/future"
 )
 
-// Client is a remote SCOOP client: its private queues ride on a
-// network connection instead of an in-process lock-free queue. One
-// Client maps to one connection and, like core.Client, must not be
-// used concurrently.
-type Client struct {
-	conn net.Conn
-	enc  *gob.Encoder
-	dec  *gob.Decoder
+// RemoteSession is one logical client multiplexed onto a Mux: its
+// private queues ride a shared connection instead of an in-process
+// lock-free queue, identified on the wire by a channel id. Like a
+// core.Client it must not be used concurrently — but any number of
+// RemoteSessions on the same Mux may run in parallel, which is where
+// one connection's concurrency comes from.
+//
+// Requests are fire-and-forget writes into the connection's batching
+// writer: BEGIN and END pay no round-trip, queries are pipelined and
+// resolve futures as the reader demultiplexes replies. Errors surface
+// at synchronization points (Query, Sync, Await, Flush), matching the
+// local runtime's separate-block semantics.
+type RemoteSession struct {
+	m       *Mux
+	ch      uint32
+	ownsMux bool // Dial-created: Close tears down the whole Mux
 
-	// Pipelining state: futures handed out by QueryAsync, keyed by the
-	// id their reply will carry. Replies are consumed whenever the
-	// client reads the connection — inside a synchronous round-trip or
-	// an explicit Await/Flush.
+	// nextID is owned by the session's goroutine; pending is shared
+	// with the mux reader, hence the mutex.
 	nextID  uint64
+	mu      sync.Mutex
 	pending map[uint64]*future.Future
+	closed  bool
+
+	// blockErr holds a block-level failure the server reported with an
+	// id-0 ERROR frame (unknown handler, reservation after shutdown,
+	// unknown procedure in a CALL) — the cases a fire-and-forget block
+	// with no query of its own would otherwise never learn about. It is
+	// sticky (first failure wins) until a synchronization point — the
+	// end of a Separate, or Flush — takes it.
+	blockErr error
 }
 
-// Dial connects to a Server.
+// Client is the single-session view of a connection: Dial and
+// NewClient return a RemoteSession that owns its Mux, so one-client
+// uses read exactly as they did before multiplexing.
+type Client = RemoteSession
+
+// Dial connects to a Server with a dedicated connection carrying one
+// logical client. For many logical clients on one connection, use
+// DialMux + Mux.NewSession.
 func Dial(network, addr string) (*Client, error) {
-	conn, err := net.Dial(network, addr)
+	m, err := DialMux(network, addr)
 	if err != nil {
-		return nil, fmt.Errorf("remote: %w", err)
+		return nil, err
 	}
-	return NewClient(conn), nil
+	rs := m.NewSession()
+	rs.ownsMux = true
+	return rs, nil
 }
 
-// NewClient wraps an established connection.
+// NewClient wraps an established connection in a single-session Mux.
 func NewClient(conn net.Conn) *Client {
-	return &Client{
-		conn:    conn,
-		enc:     gob.NewEncoder(conn),
-		dec:     gob.NewDecoder(conn),
-		pending: map[uint64]*future.Future{},
-	}
+	rs := NewMux(conn).NewSession()
+	rs.ownsMux = true
+	return rs
 }
 
-// Close tears the connection down. An open separate block on the
-// server is closed out when the server notices; unresolved pipelined
-// futures are failed so awaiting code does not hang.
-func (c *Client) Close() error {
-	err := c.conn.Close()
-	c.failPending(errors.New("remote: connection closed"))
+// Close retires the logical client. A session that owns its Mux (Dial,
+// NewClient) tears the connection down; a session handed out by
+// Mux.NewSession sends CLOSE — the server ENDs any open block and
+// frees the channel's state — and leaves the connection to its other
+// sessions. Unresolved pipelined futures are failed either way.
+func (rs *RemoteSession) Close() error {
+	if rs.ownsMux {
+		return rs.m.Close()
+	}
+	rs.mu.Lock()
+	if rs.closed {
+		rs.mu.Unlock()
+		return nil
+	}
+	rs.closed = true
+	rs.mu.Unlock()
+	rs.m.drop(rs.ch)
+	rs.m.w.frame(&frame{kind: fClose, ch: rs.ch})
+	rs.failPending(errClosed)
+	return nil
+}
+
+// send writes one frame through the mux's batching writer.
+func (rs *RemoteSession) send(f *frame) error {
+	if !rs.m.w.frame(f) {
+		if err := rs.m.Err(); err != nil {
+			return fmt.Errorf("remote: send: %w", err)
+		}
+		return fmt.Errorf("remote: send: %w", errClosed)
+	}
+	return nil
+}
+
+// register allocates a pipeline id and parks f under it until the
+// reader resolves it.
+func (rs *RemoteSession) register(f *future.Future) (uint64, error) {
+	rs.nextID++
+	id := rs.nextID
+	rs.mu.Lock()
+	if rs.closed {
+		rs.mu.Unlock()
+		return 0, errClosed
+	}
+	rs.pending[id] = f
+	rs.mu.Unlock()
+	return id, nil
+}
+
+// sealRegistration re-checks the mux after a successful send: if the
+// connection died between registering and sending, the teardown may
+// have swept the pending map before our entry was visible, so we fail
+// the future ourselves (Future.Fail is first-wins, a double fail is
+// harmless).
+func (rs *RemoteSession) sealRegistration(id uint64, f *future.Future) error {
+	if err := rs.m.Err(); err != nil {
+		rs.mu.Lock()
+		delete(rs.pending, id)
+		rs.mu.Unlock()
+		f.Fail(err)
+		return err
+	}
+	return nil
+}
+
+// unregister abandons a pending id after a failed send.
+func (rs *RemoteSession) unregister(id uint64) {
+	rs.mu.Lock()
+	delete(rs.pending, id)
+	rs.mu.Unlock()
+}
+
+// resolve matches a REPLY/ERROR frame to its future — or, for an id-0
+// ERROR, records the block-level failure. Called by the mux reader.
+func (rs *RemoteSession) resolve(f *frame) {
+	if f.kind == fError && f.id == 0 {
+		rs.setBlockErr(fmt.Errorf("remote: server: %s", f.name))
+		return
+	}
+	rs.mu.Lock()
+	fut := rs.pending[f.id]
+	delete(rs.pending, f.id)
+	rs.mu.Unlock()
+	if fut == nil {
+		return // duplicate or unknown id; nothing to resolve
+	}
+	if f.kind == fError {
+		fut.Fail(fmt.Errorf("remote: server: %s", f.name))
+		return
+	}
+	fut.Complete(f.val)
+}
+
+// setBlockErr records a block-level failure; the first one wins.
+func (rs *RemoteSession) setBlockErr(err error) {
+	rs.mu.Lock()
+	if rs.blockErr == nil {
+		rs.blockErr = err
+	}
+	rs.mu.Unlock()
+}
+
+// takeBlockErr consumes the recorded block-level failure, if any.
+func (rs *RemoteSession) takeBlockErr() error {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	err := rs.blockErr
+	rs.blockErr = nil
 	return err
 }
 
 // failPending resolves every outstanding pipelined future with err;
-// called when the connection dies under them.
-func (c *Client) failPending(err error) {
-	for id, f := range c.pending {
-		delete(c.pending, id)
+// called when the channel or connection dies under them.
+func (rs *RemoteSession) failPending(err error) {
+	rs.mu.Lock()
+	pend := rs.pending
+	rs.pending = map[uint64]*future.Future{}
+	rs.mu.Unlock()
+	for _, f := range pend {
 		f.Fail(err)
 	}
 }
 
-// resolveAsync matches an ASYNCREPLY to its future.
-func (c *Client) resolveAsync(r msg) {
-	f, ok := c.pending[r.Id]
-	if !ok {
-		return // duplicate or unknown id; nothing to resolve
-	}
-	delete(c.pending, r.Id)
-	if r.Err != "" {
-		f.Fail(fmt.Errorf("remote: server: %s", r.Err))
-		return
-	}
-	f.Complete(r.Val)
-}
-
-// recvMsg reads one message. If it is a pipelined reply it is resolved
-// into its future and async=true is returned; otherwise the message is
-// handed back for synchronous processing. A decode failure fails every
-// outstanding pipelined future before returning.
-func (c *Client) recvMsg() (r msg, async bool, err error) {
-	if err := c.dec.Decode(&r); err != nil {
-		e := fmt.Errorf("remote: recv: %w", err)
-		c.failPending(e)
-		return msg{}, false, e
-	}
-	if r.Kind == kindAsyncReply {
-		c.resolveAsync(r)
-		return r, true, nil
-	}
-	return r, false, nil
-}
-
-// recv reads messages, resolving any pipelined replies on the way, and
-// returns the first synchronous (non-async) one.
-func (c *Client) recv() (msg, error) {
-	for {
-		r, async, err := c.recvMsg()
-		if err != nil {
-			return msg{}, err
-		}
-		if !async {
-			return r, nil
-		}
-	}
-}
-
-// roundTrip sends m and waits for its synchronous reply.
-func (c *Client) roundTrip(m msg) (int64, error) {
-	if err := c.enc.Encode(m); err != nil {
-		return 0, fmt.Errorf("remote: send: %w", err)
-	}
-	r, err := c.recv()
+// Await blocks until f resolves and returns its value. Replies arrive
+// on the mux's reader goroutine, so awaiting never drives the
+// connection — and a dead connection fails every pending future, so
+// Await cannot hang on one.
+func (rs *RemoteSession) Await(f *future.Future) (int64, error) {
+	v, err := f.Get()
 	if err != nil {
 		return 0, err
 	}
-	if r.Kind != kindReply {
-		return 0, fmt.Errorf("remote: unexpected reply kind %d", r.Kind)
-	}
-	if r.Err != "" {
-		return 0, fmt.Errorf("remote: server: %s", r.Err)
-	}
-	return r.Val, nil
+	return v.(int64), nil
 }
 
-// Await drives the connection until f resolves and returns its value.
-// f must come from this client's QueryAsync (or already be resolved);
-// awaiting a foreign future would read the connection forever.
-func (c *Client) Await(f *future.Future) (int64, error) {
-	for {
-		if v, err, ok := f.TryGet(); ok {
-			if err != nil {
-				return 0, err
-			}
-			return v.(int64), nil
-		}
-		r, async, err := c.recvMsg()
-		if err != nil {
-			return 0, err
-		}
-		if !async {
-			// No synchronous request is outstanding here, so a
-			// synchronous reply is protocol corruption.
-			return 0, fmt.Errorf("remote: unexpected reply kind %d while awaiting", r.Kind)
-		}
+// Flush blocks until every pipelined future handed out so far has
+// resolved. Per-query failures stay in their futures (collect them
+// with Await); Flush itself reports a dead connection or a recorded
+// block-level failure (see Separate).
+func (rs *RemoteSession) Flush() error {
+	rs.mu.Lock()
+	fs := make([]*future.Future, 0, len(rs.pending))
+	for _, f := range rs.pending {
+		fs = append(fs, f)
 	}
-}
-
-// Flush drives the connection until every pipelined future handed out
-// so far has resolved.
-func (c *Client) Flush() error {
-	for len(c.pending) > 0 {
-		r, async, err := c.recvMsg()
-		if err != nil {
-			return err
-		}
-		if !async {
-			return fmt.Errorf("remote: unexpected reply kind %d while flushing", r.Kind)
-		}
+	rs.mu.Unlock()
+	for _, f := range fs {
+		f.Get() //nolint:errcheck // per-query errors surface via Await
 	}
-	return nil
+	if err := rs.takeBlockErr(); err != nil {
+		return err
+	}
+	return rs.m.Err()
 }
 
 // Session is a remote separate block in progress.
 type Session struct {
-	c    *Client
-	done bool
+	rs *RemoteSession
 }
 
 // Separate opens a separate block on the named remote handler, runs
-// body, and ends the block. Errors from the body's operations are
-// returned. Pipelined futures may resolve after the block ends; Await
-// or Flush them on the client.
-func (c *Client) Separate(handler string, body func(s *Session) error) error {
-	if _, err := c.roundTrip(msg{Kind: kindBegin, Handler: handler}); err != nil {
+// body, and ends the block — all without a round-trip: BEGIN and END
+// are fire-and-forget frames, so a whole block can sit in one batched
+// write. Errors from the body's operations are returned; block-level
+// failures (an unknown handler, a runtime shutting down) surface at
+// the body's first synchronization point. A block with no
+// synchronization point of its own still learns of such a failure —
+// the server reports it with an id-0 ERROR frame — but asynchronously:
+// at this Separate's return if the report has already arrived, else at
+// the channel's next synchronization point (Flush, or a later block).
+// Pipelined futures may resolve after the block ends; Await or Flush
+// them on the session.
+func (rs *RemoteSession) Separate(handler string, body func(s *Session) error) error {
+	if err := rs.send(&frame{kind: fBegin, ch: rs.ch, name: handler}); err != nil {
 		return err
 	}
-	s := &Session{c: c}
-	bodyErr := body(s)
-	if s.done {
+	bodyErr := body(&Session{rs: rs})
+	endErr := rs.send(&frame{kind: fEnd, ch: rs.ch})
+	// Consume any block-level failure: either it belongs to this block
+	// (fire-and-forget BEGIN/CALL misfire) or to an earlier one whose
+	// report raced past its Separate — stale either way once returned.
+	blockErr := rs.takeBlockErr()
+	if bodyErr != nil {
 		return bodyErr
 	}
-	if _, err := c.roundTrip(msg{Kind: kindEnd}); err != nil {
-		if bodyErr != nil {
-			return bodyErr
-		}
-		return err
+	if blockErr != nil {
+		return blockErr
 	}
-	return bodyErr
+	return endErr
 }
 
 // Call logs an asynchronous call of the named procedure. Like a local
-// Session.Call it does not wait for execution; unlike one it does pay
-// the network write.
+// Session.Call it does not wait for execution — and unlike the gob-era
+// client it does not even pay a direct socket write: the frame joins
+// the connection's current batch.
 func (s *Session) Call(fn string, args ...int64) error {
-	if err := s.c.enc.Encode(msg{Kind: kindCall, Fn: fn, Args: args}); err != nil {
-		return fmt.Errorf("remote: send: %w", err)
-	}
-	return nil
-}
-
-// Query runs the named procedure synchronously and returns its result;
-// it observes every previously logged call of this block.
-func (s *Session) Query(fn string, args ...int64) (int64, error) {
-	return s.c.roundTrip(msg{Kind: kindQuery, Fn: fn, Args: args})
+	return s.rs.send(&frame{kind: fCall, ch: s.rs.ch, name: fn, args: args})
 }
 
 // QueryAsync logs the named procedure as a pipelined query: it returns
 // immediately with a future and pays no round-trip. Like Query it
-// observes every previously logged call of this block; unlike Query,
-// many QueryAsyncs can be in flight on the wire at once, which is
-// where a remote separate block's throughput comes from. Resolve the
-// future with Client.Await (or Flush); its error mirrors Query's.
+// observes every previously logged call of this block; any number of
+// QueryAsyncs from any number of the connection's sessions can be in
+// flight at once. Resolve the future with Await (or Flush); its error
+// mirrors Query's.
 func (s *Session) QueryAsync(fn string, args ...int64) (*future.Future, error) {
-	c := s.c
-	c.nextID++
-	id := c.nextID
+	return s.rs.pipelined(&frame{kind: fQuery, ch: s.rs.ch, name: fn, args: args})
+}
+
+// pipelined registers a fresh future, stamps its id onto fr, sends the
+// frame, and seals the registration against the teardown race. It is
+// the one implementation of the reply-expected send path (QueryAsync,
+// Sync).
+func (rs *RemoteSession) pipelined(fr *frame) (*future.Future, error) {
 	f := future.New()
-	c.pending[id] = f
-	if err := c.enc.Encode(msg{Kind: kindQueryAsync, Id: id, Fn: fn, Args: args}); err != nil {
-		delete(c.pending, id)
-		return nil, fmt.Errorf("remote: send: %w", err)
+	id, err := rs.register(f)
+	if err != nil {
+		return nil, err
+	}
+	fr.id = id
+	if err := rs.send(fr); err != nil {
+		rs.unregister(id)
+		return nil, err
+	}
+	if err := rs.sealRegistration(id, f); err != nil {
+		return nil, err
 	}
 	return f, nil
 }
 
+// Query runs the named procedure synchronously and returns its result;
+// it observes every previously logged call of this block. On the wire
+// it is QueryAsync + Await: one write, one demultiplexed reply.
+func (s *Session) Query(fn string, args ...int64) (int64, error) {
+	f, err := s.QueryAsync(fn, args...)
+	if err != nil {
+		return 0, err
+	}
+	return s.rs.Await(f)
+}
+
 // Sync brings the remote handler to a quiescent point on this block's
-// private queue.
+// private queue: when Sync returns, every previously logged call has
+// executed. It is a SYNC frame resolved through the server's
+// non-blocking barrier (core.Session.SyncFuture).
 func (s *Session) Sync() error {
-	_, err := s.c.roundTrip(msg{Kind: kindSync})
+	f, err := s.rs.pipelined(&frame{kind: fSync, ch: s.rs.ch})
+	if err != nil {
+		return err
+	}
+	_, err = s.rs.Await(f)
 	return err
 }

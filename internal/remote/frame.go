@@ -1,0 +1,284 @@
+// Package remote implements the paper's §7 future-work item: private
+// queues with sockets as the underlying implementation. A Server
+// exposes named procedures bound to the handlers of a local SCOOP/Qs
+// runtime; remote clients get the same separate-block vocabulary —
+// asynchronous calls, pipelined queries, sync handshakes — with the
+// private queue realized as a framed binary protocol over a TCP (or
+// any net.Conn) stream.
+//
+// # Multiplexing
+//
+// One connection hosts many logical clients. A Mux owns the
+// connection and hands out lightweight RemoteSessions; every frame
+// carries a channel id, so the separate blocks of hundreds of logical
+// clients interleave on one stream while each channel keeps its own
+// private-queue ordering. The server end demultiplexes frames into
+// per-channel core.Session state and drives every reply through the
+// runtime's non-blocking futures path, so one reader goroutine and one
+// writer goroutine serve all the channels of a connection — no
+// goroutine per logical client anywhere.
+//
+// Because the reader goroutine serves every channel, nothing it does
+// may block: reservations use the queue-of-queues (the server requires
+// a QoQ configuration), queries are logged with core.Session.CallFuture
+// and replied to from completion callbacks, and sync handshakes ride
+// core.Session.SyncFuture. All replies are id-tagged and may resolve in
+// any order; per-block ordering comes from the handler executing each
+// private queue in order, exactly as for local clients.
+//
+// # Wire format
+//
+// Frames are binary: a fixed one-byte kind, then uvarint/zigzag-varint
+// fields (strings are uvarint length + bytes). There is no length
+// prefix; the stream is self-delimiting. All frames start with
+//
+//	kind:uint8  channel:uvarint
+//
+// followed by the kind's payload:
+//
+//	BEGIN (0x01)  handler:string            open a separate block
+//	END   (0x02)  —                         end the block (END marker)
+//	CALL  (0x03)  fn:string args:varints    asynchronous call, no reply
+//	QUERY (0x04)  id:uvarint fn:string args pipelined query -> REPLY/ERROR
+//	SYNC  (0x05)  id:uvarint                barrier -> REPLY once prior
+//	                                        requests have executed
+//	CLOSE (0x06)  —                         retire the channel (abandons
+//	                                        an open block: server ENDs it)
+//	REPLY (0x81)  id:uvarint val:varint     query/sync result
+//	ERROR (0x82)  id:uvarint msg:string     query/sync failure; id 0 is
+//	                                        a block-level failure (BEGIN
+//	                                        or CALL misfired), recorded
+//	                                        as the channel's sticky
+//	                                        block error and surfaced at
+//	                                        its next sync point
+//
+// args is a uvarint count followed by that many zigzag varints; values
+// are int64, the protocol's wire currency. Encoding appends to a
+// caller-owned buffer and decoding reuses the frame's args slice and an
+// interning table for procedure/handler names, so the steady-state hot
+// path allocates nothing per message in either direction.
+//
+// The gob-encoded, connection-per-client protocol this replaced is
+// retained as GobClient/GobServer — a measurement baseline for
+// qsbench -experiment remote, not an API to build on.
+package remote
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// frameKind enumerates the wire frames. Client->server kinds are low,
+// server->client kinds have the high bit set.
+type frameKind uint8
+
+const (
+	fBegin frameKind = 0x01 // open a separate block on a handler
+	fEnd   frameKind = 0x02 // end the block (the END marker)
+	fCall  frameKind = 0x03 // asynchronous call, no reply
+	fQuery frameKind = 0x04 // pipelined query; REPLY/ERROR carries id
+	fSync  frameKind = 0x05 // barrier; REPLY once prior requests ran
+	fClose frameKind = 0x06 // retire the channel
+
+	fReply frameKind = 0x81 // query/sync result
+	fError frameKind = 0x82 // query/sync failure (id 0: block-level)
+)
+
+// Decoder hard limits: a malformed or malicious stream cannot make the
+// reader allocate unboundedly. Handler/procedure names and error
+// messages are short; argument vectors are call-sized.
+const (
+	maxStringLen = 1 << 16 // name or error message bytes
+	maxArgs      = 1 << 16 // arguments per call
+	maxInterned  = 4096    // distinct names cached per connection
+)
+
+// frame is the decoded wire message. One frame struct is reused across
+// reads: args is truncated and refilled, and name strings are interned
+// per connection, so steady-state decoding does not allocate.
+type frame struct {
+	kind frameKind
+	ch   uint32 // channel (logical client) id
+	id   uint64 // fQuery/fSync/fReply/fError: pipeline tag
+	val  int64  // fReply: result value
+	name string // fBegin: handler; fCall/fQuery: procedure; fError: message
+	args []int64
+}
+
+// appendFrame encodes f onto buf and returns the extended buffer. It is
+// the single encoder for both directions; the caller owns the buffer,
+// so encoding into a reused batch buffer allocates nothing.
+func appendFrame(buf []byte, f *frame) []byte {
+	buf = append(buf, byte(f.kind))
+	buf = binary.AppendUvarint(buf, uint64(f.ch))
+	switch f.kind {
+	case fBegin:
+		buf = appendString(buf, f.name)
+	case fEnd, fClose:
+	case fCall:
+		buf = appendString(buf, f.name)
+		buf = appendArgs(buf, f.args)
+	case fQuery:
+		buf = binary.AppendUvarint(buf, f.id)
+		buf = appendString(buf, f.name)
+		buf = appendArgs(buf, f.args)
+	case fSync:
+		buf = binary.AppendUvarint(buf, f.id)
+	case fReply:
+		buf = binary.AppendUvarint(buf, f.id)
+		buf = binary.AppendVarint(buf, f.val)
+	case fError:
+		buf = binary.AppendUvarint(buf, f.id)
+		buf = appendString(buf, f.name)
+	default:
+		panic(fmt.Sprintf("remote: encoding unknown frame kind 0x%02x", byte(f.kind)))
+	}
+	return buf
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func appendArgs(buf []byte, args []int64) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(args)))
+	for _, a := range args {
+		buf = binary.AppendVarint(buf, a)
+	}
+	return buf
+}
+
+// frameReader decodes frames from a stream. It owns a buffered reader,
+// a scratch buffer for string bytes, and a per-connection interning
+// table so repeated handler/procedure names decode to the same string
+// with no allocation.
+type frameReader struct {
+	r      *bufio.Reader
+	names  map[string]string
+	strbuf []byte
+}
+
+func newFrameReader(r io.Reader) *frameReader {
+	return &frameReader{
+		r:     bufio.NewReader(r),
+		names: make(map[string]string),
+	}
+}
+
+// readFrame decodes the next frame into f, reusing f's args slice. Any
+// error (including a malformed frame) is terminal for the stream: the
+// reader's position is undefined afterwards.
+func (fr *frameReader) readFrame(f *frame) error {
+	k, err := fr.r.ReadByte()
+	if err != nil {
+		return err
+	}
+	f.kind = frameKind(k)
+	ch, err := binary.ReadUvarint(fr.r)
+	if err != nil {
+		return unexpectedEOF(err)
+	}
+	if ch > math.MaxUint32 {
+		return fmt.Errorf("remote: channel id %d overflows uint32", ch)
+	}
+	f.ch = uint32(ch)
+	f.id, f.val, f.name = 0, 0, ""
+	f.args = f.args[:0]
+	switch f.kind {
+	case fBegin:
+		f.name, err = fr.readString(true)
+	case fEnd, fClose:
+	case fCall:
+		if f.name, err = fr.readString(true); err == nil {
+			err = fr.readArgs(f)
+		}
+	case fQuery:
+		if f.id, err = binary.ReadUvarint(fr.r); err != nil {
+			return unexpectedEOF(err)
+		}
+		if f.name, err = fr.readString(true); err == nil {
+			err = fr.readArgs(f)
+		}
+	case fSync:
+		f.id, err = binary.ReadUvarint(fr.r)
+	case fReply:
+		if f.id, err = binary.ReadUvarint(fr.r); err != nil {
+			return unexpectedEOF(err)
+		}
+		f.val, err = binary.ReadVarint(fr.r)
+	case fError:
+		if f.id, err = binary.ReadUvarint(fr.r); err != nil {
+			return unexpectedEOF(err)
+		}
+		f.name, err = fr.readString(false)
+	default:
+		return fmt.Errorf("remote: unknown frame kind 0x%02x", k)
+	}
+	return unexpectedEOF(err)
+}
+
+// readString decodes a length-prefixed string. With intern=true the
+// bytes are looked up in (and added to) the connection's name table, so
+// a hot procedure name costs a map probe instead of an allocation.
+func (fr *frameReader) readString(intern bool) (string, error) {
+	n, err := binary.ReadUvarint(fr.r)
+	if err != nil {
+		return "", unexpectedEOF(err)
+	}
+	if n > maxStringLen {
+		return "", fmt.Errorf("remote: string of %d bytes exceeds limit %d", n, maxStringLen)
+	}
+	if cap(fr.strbuf) < int(n) {
+		fr.strbuf = make([]byte, n)
+	}
+	b := fr.strbuf[:n]
+	if _, err := io.ReadFull(fr.r, b); err != nil {
+		return "", unexpectedEOF(err)
+	}
+	if intern {
+		if s, ok := fr.names[string(b)]; ok {
+			return s, nil
+		}
+		if len(fr.names) < maxInterned {
+			s := string(b)
+			fr.names[s] = s
+			return s, nil
+		}
+	}
+	return string(b), nil
+}
+
+func (fr *frameReader) readArgs(f *frame) error {
+	n, err := binary.ReadUvarint(fr.r)
+	if err != nil {
+		return unexpectedEOF(err)
+	}
+	if n > maxArgs {
+		return fmt.Errorf("remote: %d arguments exceed limit %d", n, maxArgs)
+	}
+	if cap(f.args) < int(n) {
+		f.args = make([]int64, 0, n)
+	}
+	for i := uint64(0); i < n; i++ {
+		a, err := binary.ReadVarint(fr.r)
+		if err != nil {
+			return unexpectedEOF(err)
+		}
+		f.args = append(f.args, a)
+	}
+	return nil
+}
+
+// unexpectedEOF converts a mid-frame EOF into io.ErrUnexpectedEOF so a
+// stream truncated inside a frame is distinguishable from a clean close
+// between frames (plain io.EOF from the kind byte).
+func unexpectedEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}

@@ -1,0 +1,166 @@
+package remote
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// frameEq compares decoded frames, treating nil and empty args alike.
+func frameEq(a, b *frame) bool {
+	if a.kind != b.kind || a.ch != b.ch || a.id != b.id || a.val != b.val || a.name != b.name {
+		return false
+	}
+	if len(a.args) != len(b.args) {
+		return false
+	}
+	for i := range a.args {
+		if a.args[i] != b.args[i] {
+			return false
+		}
+	}
+	return true
+}
+
+var roundTripFrames = []frame{
+	{kind: fBegin, ch: 1, name: "counter"},
+	{kind: fBegin, ch: 0xFFFFFFFF, name: ""},
+	{kind: fEnd, ch: 7},
+	{kind: fClose, ch: 42},
+	{kind: fCall, ch: 3, name: "add", args: []int64{1, -1, 1 << 62, -(1 << 62)}},
+	{kind: fCall, ch: 3, name: "tick"},
+	{kind: fQuery, ch: 9, id: 123456789, name: "get", args: []int64{0}},
+	{kind: fSync, ch: 2, id: 1},
+	{kind: fReply, ch: 5, id: 99, val: -987654321},
+	{kind: fError, ch: 5, id: 0, name: `unknown handler "nonesuch"`},
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf []byte
+	for i := range roundTripFrames {
+		buf = appendFrame(buf, &roundTripFrames[i])
+	}
+	fr := newFrameReader(bytes.NewReader(buf))
+	var got frame
+	for i := range roundTripFrames {
+		if err := fr.readFrame(&got); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !frameEq(&got, &roundTripFrames[i]) {
+			t.Fatalf("frame %d: got %+v, want %+v", i, got, roundTripFrames[i])
+		}
+	}
+	if err := fr.readFrame(&got); err != io.EOF {
+		t.Fatalf("after last frame: err = %v, want io.EOF", err)
+	}
+}
+
+// A stream cut inside a frame must yield ErrUnexpectedEOF (not a clean
+// EOF), for every truncation point.
+func TestFrameTruncation(t *testing.T) {
+	full := appendFrame(nil, &frame{kind: fQuery, ch: 300, id: 7, name: "add", args: []int64{1, 2, 3}})
+	for cut := 1; cut < len(full); cut++ {
+		fr := newFrameReader(bytes.NewReader(full[:cut]))
+		var f frame
+		if err := fr.readFrame(&f); err != io.ErrUnexpectedEOF {
+			t.Fatalf("cut at %d: err = %v, want io.ErrUnexpectedEOF", cut, err)
+		}
+	}
+}
+
+func TestFrameLimits(t *testing.T) {
+	// A declared string length beyond the cap must be rejected before
+	// any allocation of that size.
+	buf := []byte{byte(fBegin), 1}
+	buf = append(buf, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F) // uvarint ~34GB
+	fr := newFrameReader(bytes.NewReader(buf))
+	var f frame
+	if err := fr.readFrame(&f); err == nil {
+		t.Fatal("oversized string accepted")
+	}
+
+	buf = []byte{byte(fCall), 1, 1, 'x'}
+	buf = append(buf, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F) // oversized argc
+	fr = newFrameReader(bytes.NewReader(buf))
+	if err := fr.readFrame(&f); err == nil {
+		t.Fatal("oversized arg count accepted")
+	}
+}
+
+// The codec hot path — encode into a reused batch buffer, decode into
+// a reused frame with interned names — must not allocate per message.
+func TestFrameCodecZeroAlloc(t *testing.T) {
+	msg := frame{kind: fQuery, ch: 17, id: 12345, name: "add", args: []int64{1, -2, 3}}
+	enc := appendFrame(make([]byte, 0, 64), &msg)
+	br := bytes.NewReader(enc)
+	fr := newFrameReader(br)
+	var got frame
+	// Warm up: populate the intern table and grow scratch buffers.
+	if err := fr.readFrame(&got); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 0, 64)
+	allocs := testing.AllocsPerRun(1000, func() {
+		buf = appendFrame(buf[:0], &msg)
+		br.Reset(buf)
+		fr.r.Reset(br)
+		if err := fr.readFrame(&got); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("codec round-trip allocates %.1f allocs/op, want 0", allocs)
+	}
+	if !frameEq(&got, &msg) {
+		t.Fatalf("got %+v, want %+v", got, msg)
+	}
+}
+
+func BenchmarkFrameCodec(b *testing.B) {
+	msg := frame{kind: fQuery, ch: 17, id: 12345, name: "add", args: []int64{1, -2, 3}}
+	enc := appendFrame(nil, &msg)
+	br := bytes.NewReader(enc)
+	fr := newFrameReader(br)
+	var got frame
+	buf := make([]byte, 0, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = appendFrame(buf[:0], &msg)
+		br.Reset(buf)
+		fr.r.Reset(br)
+		if err := fr.readFrame(&got); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// FuzzFrameDecode feeds arbitrary bytes to the decoder: it must never
+// panic or allocate unboundedly, and everything it does decode must
+// re-encode and re-decode to the same frame (the codec is canonical on
+// its own output).
+func FuzzFrameDecode(f *testing.F) {
+	for i := range roundTripFrames {
+		f.Add(appendFrame(nil, &roundTripFrames[i]))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr := newFrameReader(bytes.NewReader(data))
+		var got frame
+		for i := 0; i < 1024; i++ {
+			if err := fr.readFrame(&got); err != nil {
+				return
+			}
+			reenc := appendFrame(nil, &got)
+			fr2 := newFrameReader(bytes.NewReader(reenc))
+			var again frame
+			if err := fr2.readFrame(&again); err != nil {
+				t.Fatalf("re-decode of %+v failed: %v", got, err)
+			}
+			if !frameEq(&got, &again) {
+				t.Fatalf("round-trip mismatch: %+v vs %+v", got, again)
+			}
+		}
+	})
+}

@@ -1,0 +1,498 @@
+package remote
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"scoopqs/internal/core"
+	"scoopqs/internal/future"
+	"scoopqs/internal/queue"
+)
+
+// This file is the pre-multiplexing transport: one TCP connection per
+// client, gob-encoded messages, a goroutine per connection on the
+// server. It is retained verbatim (renamed Gob*) as the measurement
+// baseline for qsbench -experiment remote — the "256 separate gob
+// connections" column the multiplexed transport is compared against —
+// and is not an API to build on. New code uses Mux/RemoteSession and
+// the framed Server.
+
+// msgKind enumerates the gob protocol's messages.
+type msgKind uint8
+
+const (
+	// client -> server
+	kindBegin      msgKind = iota // reserve: open a separate block on Handler
+	kindEnd                       // end the block (the END marker)
+	kindCall                      // asynchronous call, no reply
+	kindQuery                     // synchronous query, reply carries the value
+	kindSync                      // sync handshake, empty reply
+	kindQueryAsync                // pipelined query; ASYNCREPLY carries Id+value
+	// server -> client
+	kindReply      // query/sync reply (synchronous, in request order)
+	kindAsyncReply // resolution of a pipelined query, matched by Id
+)
+
+// msg is the gob wire message. Fields are used per kind; gob omits zero
+// values so the envelope stays small.
+type msg struct {
+	Kind    msgKind
+	Handler string  // kindBegin: target handler name
+	Fn      string  // kindCall/kindQuery/kindQueryAsync: procedure name
+	Args    []int64 // kindCall/kindQuery/kindQueryAsync
+	Id      uint64  // kindQueryAsync/kindAsyncReply: pipeline tag
+	Val     int64   // kindReply/kindAsyncReply
+	Err     string  // kindReply/kindAsyncReply: non-empty on failure
+}
+
+// GobClient is the gob-era remote client: one connection, one logical
+// client, synchronous replies consumed in request order. Like the
+// framed client it must not be used concurrently.
+type GobClient struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+
+	nextID  uint64
+	pending map[uint64]*future.Future
+}
+
+// DialGob connects a gob-era client to a GobServer.
+func DialGob(network, addr string) (*GobClient, error) {
+	conn, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, fmt.Errorf("remote: %w", err)
+	}
+	return NewGobClient(conn), nil
+}
+
+// NewGobClient wraps an established connection.
+func NewGobClient(conn net.Conn) *GobClient {
+	return &GobClient{
+		conn:    conn,
+		enc:     gob.NewEncoder(conn),
+		dec:     gob.NewDecoder(conn),
+		pending: map[uint64]*future.Future{},
+	}
+}
+
+// Close tears the connection down, failing unresolved pipelined
+// futures.
+func (c *GobClient) Close() error {
+	err := c.conn.Close()
+	c.failPending(errors.New("remote: connection closed"))
+	return err
+}
+
+func (c *GobClient) failPending(err error) {
+	for id, f := range c.pending {
+		delete(c.pending, id)
+		f.Fail(err)
+	}
+}
+
+func (c *GobClient) resolveAsync(r msg) {
+	f, ok := c.pending[r.Id]
+	if !ok {
+		return // duplicate or unknown id; nothing to resolve
+	}
+	delete(c.pending, r.Id)
+	if r.Err != "" {
+		f.Fail(fmt.Errorf("remote: server: %s", r.Err))
+		return
+	}
+	f.Complete(r.Val)
+}
+
+func (c *GobClient) recvMsg() (r msg, async bool, err error) {
+	if err := c.dec.Decode(&r); err != nil {
+		e := fmt.Errorf("remote: recv: %w", err)
+		c.failPending(e)
+		return msg{}, false, e
+	}
+	if r.Kind == kindAsyncReply {
+		c.resolveAsync(r)
+		return r, true, nil
+	}
+	return r, false, nil
+}
+
+func (c *GobClient) recv() (msg, error) {
+	for {
+		r, async, err := c.recvMsg()
+		if err != nil {
+			return msg{}, err
+		}
+		if !async {
+			return r, nil
+		}
+	}
+}
+
+func (c *GobClient) roundTrip(m msg) (int64, error) {
+	if err := c.enc.Encode(m); err != nil {
+		return 0, fmt.Errorf("remote: send: %w", err)
+	}
+	r, err := c.recv()
+	if err != nil {
+		return 0, err
+	}
+	if r.Kind != kindReply {
+		return 0, fmt.Errorf("remote: unexpected reply kind %d", r.Kind)
+	}
+	if r.Err != "" {
+		return 0, fmt.Errorf("remote: server: %s", r.Err)
+	}
+	return r.Val, nil
+}
+
+// Await drives the connection until f resolves and returns its value.
+func (c *GobClient) Await(f *future.Future) (int64, error) {
+	for {
+		if v, err, ok := f.TryGet(); ok {
+			if err != nil {
+				return 0, err
+			}
+			return v.(int64), nil
+		}
+		r, async, err := c.recvMsg()
+		if err != nil {
+			return 0, err
+		}
+		if !async {
+			return 0, fmt.Errorf("remote: unexpected reply kind %d while awaiting", r.Kind)
+		}
+	}
+}
+
+// Flush drives the connection until every pipelined future resolves.
+func (c *GobClient) Flush() error {
+	for len(c.pending) > 0 {
+		r, async, err := c.recvMsg()
+		if err != nil {
+			return err
+		}
+		if !async {
+			return fmt.Errorf("remote: unexpected reply kind %d while flushing", r.Kind)
+		}
+	}
+	return nil
+}
+
+// GobSession is a gob-era separate block in progress.
+type GobSession struct {
+	c *GobClient
+}
+
+// Separate opens a separate block on the named remote handler, runs
+// body, and ends the block. BEGIN and END each pay a round-trip — the
+// cost shape the framed protocol eliminates.
+func (c *GobClient) Separate(handler string, body func(s *GobSession) error) error {
+	if _, err := c.roundTrip(msg{Kind: kindBegin, Handler: handler}); err != nil {
+		return err
+	}
+	s := &GobSession{c: c}
+	bodyErr := body(s)
+	if _, err := c.roundTrip(msg{Kind: kindEnd}); err != nil {
+		if bodyErr != nil {
+			return bodyErr
+		}
+		return err
+	}
+	return bodyErr
+}
+
+// Call logs an asynchronous call of the named procedure.
+func (s *GobSession) Call(fn string, args ...int64) error {
+	if err := s.c.enc.Encode(msg{Kind: kindCall, Fn: fn, Args: args}); err != nil {
+		return fmt.Errorf("remote: send: %w", err)
+	}
+	return nil
+}
+
+// Query runs the named procedure synchronously and returns its result.
+func (s *GobSession) Query(fn string, args ...int64) (int64, error) {
+	return s.c.roundTrip(msg{Kind: kindQuery, Fn: fn, Args: args})
+}
+
+// QueryAsync logs the named procedure as a pipelined query.
+func (s *GobSession) QueryAsync(fn string, args ...int64) (*future.Future, error) {
+	c := s.c
+	c.nextID++
+	id := c.nextID
+	f := future.New()
+	c.pending[id] = f
+	if err := c.enc.Encode(msg{Kind: kindQueryAsync, Id: id, Fn: fn, Args: args}); err != nil {
+		delete(c.pending, id)
+		return nil, fmt.Errorf("remote: send: %w", err)
+	}
+	return f, nil
+}
+
+// Sync brings the remote handler to a quiescent point on this block's
+// private queue.
+func (s *GobSession) Sync() error {
+	_, err := s.c.roundTrip(msg{Kind: kindSync})
+	return err
+}
+
+// GobServer is the gob-era server: each accepted connection serves one
+// remote client on its own goroutine.
+type GobServer struct {
+	rt *core.Runtime
+
+	mu       sync.Mutex
+	handlers map[string]*core.Handler
+	procs    map[string]map[string]Proc
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+
+	wg sync.WaitGroup
+}
+
+// NewGobServer creates a gob-era server for rt's handlers.
+func NewGobServer(rt *core.Runtime) *GobServer {
+	return &GobServer{
+		rt:       rt,
+		handlers: map[string]*core.Handler{},
+		procs:    map[string]map[string]Proc{},
+		conns:    map[net.Conn]struct{}{},
+	}
+}
+
+// Expose registers a handler under a public name with its callable
+// procedures.
+func (s *GobServer) Expose(name string, h *core.Handler, procs map[string]Proc) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[name] = h
+	s.procs[name] = procs
+}
+
+// Serve accepts connections on ln until Close. It blocks; run it in a
+// goroutine.
+func (s *GobServer) Serve(ln net.Listener) {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// Close stops accepting, closes live connections, and waits for the
+// per-connection goroutines.
+func (s *GobServer) Close() {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.wg.Wait()
+}
+
+// serveConn replays one remote client's gob protocol onto local
+// sessions.
+func (s *GobServer) serveConn(conn net.Conn) {
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	client := s.rt.NewClient()
+
+	var sess *core.Session
+	var procs map[string]Proc
+
+	out := queue.NewMPSC[msg](0)
+	var wdead atomic.Bool
+	var wwg sync.WaitGroup
+	wwg.Add(1)
+	go func() {
+		defer wwg.Done()
+		for {
+			m, ok := out.Dequeue()
+			if !ok {
+				return // connection torn down and queue drained
+			}
+			if wdead.Load() {
+				continue // drop: the write side already failed
+			}
+			if enc.Encode(m) != nil {
+				wdead.Store(true)
+				conn.Close() // unwedge the read loop too
+			}
+		}
+	}()
+	defer func() {
+		out.Close()
+		wwg.Wait()
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+
+	send := func(m msg) bool {
+		return !wdead.Load() && out.TryEnqueue(m)
+	}
+
+	reply := func(v int64, err error) bool {
+		m := msg{Kind: kindReply, Val: v}
+		if err != nil {
+			m.Err = err.Error()
+		}
+		return send(m)
+	}
+
+	var release func()
+	for {
+		var m msg
+		if err := dec.Decode(&m); err != nil {
+			if release != nil {
+				release() // client vanished mid-block: close it out
+			}
+			return
+		}
+		switch m.Kind {
+		case kindBegin:
+			if sess != nil {
+				reply(0, fmt.Errorf("remote: BEGIN inside an open block"))
+				return
+			}
+			s.mu.Lock()
+			h := s.handlers[m.Handler]
+			procs = s.procs[m.Handler]
+			s.mu.Unlock()
+			if h == nil {
+				if !reply(0, fmt.Errorf("remote: unknown handler %q", m.Handler)) {
+					return
+				}
+				continue
+			}
+			sess, release = client.Reserve(h)
+			if !reply(0, nil) {
+				release()
+				return
+			}
+		case kindEnd:
+			if sess == nil {
+				reply(0, fmt.Errorf("remote: END without a block"))
+				return
+			}
+			release()
+			sess, release = nil, nil
+			if !reply(0, nil) {
+				return
+			}
+		case kindCall:
+			if sess == nil {
+				reply(0, fmt.Errorf("remote: CALL outside a block"))
+				return
+			}
+			proc, ok := procs[m.Fn]
+			if !ok {
+				reply(0, fmt.Errorf("remote: unknown procedure %q", m.Fn))
+				return
+			}
+			args := m.Args
+			sess.Call(func() { proc(args) })
+		case kindQuery:
+			if sess == nil {
+				reply(0, fmt.Errorf("remote: QUERY outside a block"))
+				return
+			}
+			proc, ok := procs[m.Fn]
+			if !ok {
+				if !reply(0, fmt.Errorf("remote: unknown procedure %q", m.Fn)) {
+					return
+				}
+				continue
+			}
+			args := m.Args
+			v, err := gobSafeQuery(client, sess, proc, args)
+			if !reply(v, err) {
+				return
+			}
+		case kindQueryAsync:
+			if sess == nil {
+				send(msg{Kind: kindAsyncReply, Id: m.Id, Err: "remote: QUERYASYNC outside a block"})
+				return
+			}
+			proc, ok := procs[m.Fn]
+			if !ok {
+				if !send(msg{Kind: kindAsyncReply, Id: m.Id, Err: fmt.Sprintf("remote: unknown procedure %q", m.Fn)}) {
+					return
+				}
+				continue
+			}
+			id, args := m.Id, m.Args
+			fut := sess.CallFuture(func() any { return proc(args) })
+			fut.OnComplete(func(v any, err error) {
+				rm := msg{Kind: kindAsyncReply, Id: id}
+				if err != nil {
+					rm.Err = err.Error()
+				} else {
+					rm.Val = v.(int64)
+				}
+				send(rm)
+			})
+		case kindSync:
+			if sess == nil {
+				reply(0, fmt.Errorf("remote: SYNC outside a block"))
+				return
+			}
+			err := gobSafeSync(sess)
+			if !reply(0, err) {
+				return
+			}
+		default:
+			reply(0, fmt.Errorf("remote: unexpected message kind %d", m.Kind))
+			return
+		}
+	}
+}
+
+// gobSafeQuery runs a synchronous query through the futures path,
+// blocking this connection's goroutine until it resolves.
+func gobSafeQuery(c *core.Client, s *core.Session, proc Proc, args []int64) (int64, error) {
+	v, err := c.Await(s.CallFuture(func() any { return proc(args) }))
+	if err != nil {
+		return 0, fmt.Errorf("remote: %v", err)
+	}
+	return v.(int64), nil
+}
+
+// gobSafeSync is Session.Sync with panic conversion.
+func gobSafeSync(s *core.Session) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("remote: %v", r)
+		}
+	}()
+	s.Sync()
+	return nil
+}

@@ -1,0 +1,181 @@
+package remote
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"scoopqs/internal/future"
+)
+
+// closeFlushTimeout bounds Mux.Close's final flush: a peer that
+// stopped reading would otherwise leave the writer wedged in Write —
+// and Close waiting on it — forever.
+const closeFlushTimeout = 5 * time.Second
+
+// errClosed is the terminal error of a deliberately closed Mux or
+// RemoteSession.
+var errClosed = errors.New("remote: connection closed")
+
+// Mux multiplexes many logical clients onto one connection. It owns
+// the connection's two goroutines — a reader that demultiplexes
+// replies into the channels' pending futures, and a batching writer
+// (see connWriter) every channel's frames funnel through — and hands
+// out RemoteSessions, each a lightweight logical client with its own
+// wire channel.
+//
+// A Mux is safe for concurrent use: any number of goroutines may each
+// drive their own RemoteSession. One RemoteSession, like a
+// core.Client, belongs to one goroutine.
+type Mux struct {
+	conn net.Conn
+	w    *connWriter
+
+	mu     sync.Mutex
+	chans  map[uint32]*RemoteSession
+	nextCh uint32
+	err    error // terminal; set once, when the connection dies
+
+	readerDone chan struct{}
+}
+
+// DialMux connects a new Mux to a Server.
+func DialMux(network, addr string) (*Mux, error) {
+	conn, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, fmt.Errorf("remote: %w", err)
+	}
+	return NewMux(conn), nil
+}
+
+// NewMux wraps an established connection.
+func NewMux(conn net.Conn) *Mux {
+	m := &Mux{
+		conn:       conn,
+		chans:      map[uint32]*RemoteSession{},
+		readerDone: make(chan struct{}),
+	}
+	// A write failure closes the connection so the reader unwedges and
+	// runs the one teardown path (fail).
+	m.w = newConnWriter(conn, func(error) { conn.Close() })
+	go m.readLoop()
+	return m
+}
+
+// NewSession hands out a fresh logical client on this connection. The
+// channel id is never reused, so a retired session's late replies can
+// never be misdelivered.
+func (m *Mux) NewSession() *RemoteSession {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nextCh++
+	rs := &RemoteSession{
+		m:       m,
+		ch:      m.nextCh,
+		pending: map[uint64]*future.Future{},
+	}
+	m.chans[rs.ch] = rs
+	return rs
+}
+
+// Err returns the mux's terminal error, nil while the connection is
+// healthy.
+func (m *Mux) Err() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.err
+}
+
+// Stats reports the writer's frame and flush counts: frames/flushes is
+// the average batch size the adaptive flush achieved.
+func (m *Mux) Stats() (frames, flushes uint64) {
+	return m.w.stats()
+}
+
+// Close flushes queued frames, tears the connection down, and fails
+// every channel's pending futures. Idempotent.
+func (m *Mux) Close() error {
+	m.mu.Lock()
+	if m.err != nil {
+		m.mu.Unlock()
+		return nil
+	}
+	m.err = errClosed
+	chans := m.snapshotLocked()
+	m.mu.Unlock()
+
+	m.conn.SetWriteDeadline(time.Now().Add(closeFlushTimeout)) //nolint:errcheck // best effort
+	m.w.close()                                                // best-effort flush of queued ENDs/CLOSEs
+	err := m.conn.Close()
+	for _, rs := range chans {
+		rs.failPending(errClosed)
+	}
+	<-m.readerDone
+	return err
+}
+
+// fail is the involuntary teardown: the connection died underneath us.
+// First caller wins; everyone's pending futures are failed so no
+// awaiter hangs.
+func (m *Mux) fail(err error) {
+	m.mu.Lock()
+	if m.err != nil {
+		m.mu.Unlock()
+		return
+	}
+	m.err = err
+	chans := m.snapshotLocked()
+	m.mu.Unlock()
+
+	m.conn.Close()
+	m.w.kill()
+	for _, rs := range chans {
+		rs.failPending(err)
+	}
+}
+
+// snapshotLocked copies the live channel set; m.mu must be held.
+func (m *Mux) snapshotLocked() []*RemoteSession {
+	out := make([]*RemoteSession, 0, len(m.chans))
+	for _, rs := range m.chans {
+		out = append(out, rs)
+	}
+	return out
+}
+
+// drop removes a retired channel from the demux table.
+func (m *Mux) drop(ch uint32) {
+	m.mu.Lock()
+	delete(m.chans, ch)
+	m.mu.Unlock()
+}
+
+// readLoop demultiplexes server frames into the channels' pending
+// futures. It is the connection's only reader; any read or protocol
+// error is terminal for the whole mux.
+func (m *Mux) readLoop() {
+	defer close(m.readerDone)
+	fr := newFrameReader(m.conn)
+	var f frame
+	for {
+		if err := fr.readFrame(&f); err != nil {
+			m.fail(fmt.Errorf("remote: recv: %w", err))
+			return
+		}
+		switch f.kind {
+		case fReply, fError:
+			m.mu.Lock()
+			rs := m.chans[f.ch]
+			m.mu.Unlock()
+			if rs == nil {
+				continue // channel retired; stale reply
+			}
+			rs.resolve(&f)
+		default:
+			m.fail(fmt.Errorf("remote: unexpected frame kind 0x%02x from server", byte(f.kind)))
+			return
+		}
+	}
+}

@@ -1,32 +1,36 @@
 package remote
 
 import (
-	"encoding/gob"
-	"errors"
 	"fmt"
-	"io"
 	"net"
 	"sync"
-	"sync/atomic"
 
 	"scoopqs/internal/core"
-	"scoopqs/internal/queue"
 )
 
 // Proc is a named procedure bound to handler-owned state. It runs under
 // the handler's exclusion like any other logged call.
 type Proc func(args []int64) int64
 
-// Server exposes handlers of a local runtime to remote clients. Each
-// accepted connection serves one remote client: its messages are
-// replayed onto real sessions, so remote clients get the same ordering
-// and no-interleaving guarantees as local ones.
+// Server exposes handlers of a local runtime to remote clients over
+// the framed, multiplexed protocol. Each accepted connection is served
+// by exactly two goroutines regardless of how many logical clients it
+// carries: a reader that demultiplexes frames into per-channel
+// core.Session state, and a batching writer every reply funnels
+// through. Frames are replayed onto real sessions, so remote clients
+// get the same ordering and no-interleaving guarantees as local ones.
+//
+// Nothing on the reader path may block — that is what lets one
+// goroutine serve hundreds of channels — so the server requires a
+// runtime with QoQ reservations (non-blocking enqueues) and drives
+// every query and sync through the non-blocking futures path; replies
+// are shipped from completion callbacks.
 type Server struct {
 	rt *core.Runtime
 
 	mu       sync.Mutex
 	handlers map[string]*core.Handler
-	procs    map[string]map[string]Proc // handler -> proc name -> proc
+	procs    map[string]map[string]Proc
 	ln       net.Listener
 	conns    map[net.Conn]struct{}
 	closed   bool
@@ -34,8 +38,14 @@ type Server struct {
 	wg sync.WaitGroup
 }
 
-// NewServer creates a server for rt's handlers.
+// NewServer creates a server for rt's handlers. The runtime must use
+// QoQ reservations (core.Config.QoQ): the demultiplexer's reader
+// serves every channel of a connection and therefore must never block,
+// which lock-based reservations cannot guarantee.
 func NewServer(rt *core.Runtime) *Server {
+	if !rt.Config().QoQ {
+		panic("remote: Server requires a QoQ configuration (non-blocking reservations)")
+	}
 	return &Server{
 		rt:       rt,
 		handlers: map[string]*core.Handler{},
@@ -81,7 +91,9 @@ func (s *Server) Serve(ln net.Listener) {
 }
 
 // Close stops accepting, closes live connections, and waits for the
-// per-connection goroutines.
+// per-connection goroutines. Channels with open blocks are ENDed so
+// their handlers are released; queries already logged still execute
+// (the runtime drains accepted work), their replies are dropped.
 func (s *Server) Close() {
 	s.mu.Lock()
 	s.closed = true
@@ -96,205 +108,199 @@ func (s *Server) Close() {
 	s.wg.Wait()
 }
 
-// serveConn replays one remote client's protocol onto local sessions.
+// svChan is the server end of one logical client: a demultiplexed
+// channel with its own core.Client (so concurrent channels can hold
+// separate private queues on the same handler) and, while a block is
+// open, the session/release pair of the reservation.
+type svChan struct {
+	cl      *core.Client
+	sess    *core.Session
+	release func()
+	procs   map[string]Proc
+
+	// errmsg poisons an open block whose BEGIN or CALL failed (unknown
+	// handler/procedure, reservation after shutdown): CALLs are
+	// dropped, queries and syncs reply with the error, END clears it.
+	// The client sees exactly what a local poisoned session shows — the
+	// failure at every synchronization point until the block ends.
+	errmsg string
+}
+
+// open reports whether the channel is inside a BEGIN..END bracket
+// (healthy or poisoned).
+func (sc *svChan) open() bool { return sc.sess != nil || sc.errmsg != "" }
+
+// poison marks the open block failed and ships the id-0 block-level
+// ERROR, so even a fire-and-forget block (no query or sync of its own)
+// learns its work was dropped; queries and syncs logged before the
+// block ends keep replying with the same message per id.
+func (sc *svChan) poison(cw *connWriter, ch uint32, msg string) {
+	sc.errmsg = msg
+	reply(cw, ch, 0, 0, fmt.Errorf("%s", msg))
+}
+
+// serveConn demultiplexes one connection's frames onto local sessions.
 func (s *Server) serveConn(conn net.Conn) {
-	dec := gob.NewDecoder(conn)
-	enc := gob.NewEncoder(conn)
-	client := s.rt.NewClient()
-
-	var sess *core.Session
-	var procs map[string]Proc
-
-	// All replies — this goroutine's synchronous ones and the
-	// pipelined ones produced by handler-side completion callbacks —
-	// are enqueued onto a non-blocking outbound queue drained by a
-	// dedicated writer goroutine. Producers therefore never block on
-	// the socket: a pool worker resolving a future must not stall
-	// behind a slow-reading client (and future.OnComplete callbacks
-	// must not block at all). The queue is bounded in practice by the
-	// client's own pipelining depth: one reply per in-flight request.
-	out := queue.NewMPSC[msg](0)
-	var wdead atomic.Bool
-	var wwg sync.WaitGroup
-	wwg.Add(1)
-	go func() {
-		defer wwg.Done()
-		for {
-			m, ok := out.Dequeue()
-			if !ok {
-				return // connection torn down and queue drained
-			}
-			if wdead.Load() {
-				continue // drop: the write side already failed
-			}
-			if enc.Encode(m) != nil {
-				wdead.Store(true)
-				conn.Close() // unwedge the read loop too
+	// A reply-write failure closes the connection so the reader
+	// unwedges; completion callbacks keep feeding the writer harmlessly
+	// (dead writers drop frames).
+	cw := newConnWriter(conn, func(error) { conn.Close() })
+	fr := newFrameReader(conn)
+	chans := map[uint32]*svChan{}
+	defer func() {
+		// Client vanished (or Close tore the conn down): END every open
+		// block so no handler stays reserved by a dead channel.
+		for _, sc := range chans {
+			if sc.release != nil {
+				sc.release()
 			}
 		}
-	}()
-	defer func() {
-		out.Close()
-		wwg.Wait()
 		conn.Close()
+		cw.close()
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
 
-	send := func(m msg) bool {
-		return !wdead.Load() && out.TryEnqueue(m)
-	}
-
-	reply := func(v int64, err error) bool {
-		m := msg{Kind: kindReply, Val: v}
-		if err != nil {
-			m.Err = err.Error()
-		}
-		return send(m)
-	}
-
-	// We cannot use Client.Separate's callback shape across a message
-	// loop, so the block is driven manually with the same primitives:
-	// reserve on BEGIN, END marker on END.
-	var release func()
+	var f frame
 	for {
-		var m msg
-		if err := dec.Decode(&m); err != nil {
-			if release != nil {
-				release() // client vanished mid-block: close it out
-			}
-			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
-				// Connection torn down; nothing else to do.
-				_ = err
-			}
-			return
+		if err := fr.readFrame(&f); err != nil {
+			return // connection torn down (or stream corrupt): one path
 		}
-		switch m.Kind {
-		case kindBegin:
-			if sess != nil {
-				reply(0, fmt.Errorf("remote: BEGIN inside an open block"))
-				return
-			}
-			s.mu.Lock()
-			h := s.handlers[m.Handler]
-			procs = s.procs[m.Handler]
-			s.mu.Unlock()
-			if h == nil {
-				if !reply(0, fmt.Errorf("remote: unknown handler %q", m.Handler)) {
-					return
-				}
-				continue
-			}
-			sess, release = client.Reserve(h)
-			if !reply(0, nil) {
-				release()
-				return
-			}
-		case kindEnd:
-			if sess == nil {
-				reply(0, fmt.Errorf("remote: END without a block"))
-				return
-			}
-			release()
-			sess, release = nil, nil
-			if !reply(0, nil) {
-				return
-			}
-		case kindCall:
-			if sess == nil {
-				reply(0, fmt.Errorf("remote: CALL outside a block"))
-				return
-			}
-			proc, ok := procs[m.Fn]
-			if !ok {
-				// Surface at the next synchronous point, like a
-				// handler-side failure.
-				reply(0, fmt.Errorf("remote: unknown procedure %q", m.Fn))
-				return
-			}
-			args := m.Args
-			sess.Call(func() { proc(args) })
-		case kindQuery:
-			if sess == nil {
-				reply(0, fmt.Errorf("remote: QUERY outside a block"))
-				return
-			}
-			proc, ok := procs[m.Fn]
-			if !ok {
-				if !reply(0, fmt.Errorf("remote: unknown procedure %q", m.Fn)) {
-					return
-				}
-				continue
-			}
-			args := m.Args
-			v, err := safeQuery(client, sess, proc, args)
-			if !reply(v, err) {
-				return
-			}
-		case kindQueryAsync:
-			if sess == nil {
-				send(msg{Kind: kindAsyncReply, Id: m.Id, Err: "remote: QUERYASYNC outside a block"})
-				return
-			}
-			proc, ok := procs[m.Fn]
-			if !ok {
-				if !send(msg{Kind: kindAsyncReply, Id: m.Id, Err: fmt.Sprintf("remote: unknown procedure %q", m.Fn)}) {
-					return
-				}
-				continue
-			}
-			// The non-blocking path: log the query as a future and keep
-			// reading the connection, so any number of queries pipeline
-			// on one round-trip. The completion callback runs on the
-			// handler (or pool worker) that resolves the query and
-			// ships the reply from there.
-			id, args := m.Id, m.Args
-			fut := sess.CallFuture(func() any { return proc(args) })
-			fut.OnComplete(func(v any, err error) {
-				rm := msg{Kind: kindAsyncReply, Id: id}
-				if err != nil {
-					rm.Err = err.Error()
-				} else {
-					rm.Val = v.(int64)
-				}
-				send(rm) // failure means the connection died; nothing to do
-			})
-		case kindSync:
-			if sess == nil {
-				reply(0, fmt.Errorf("remote: SYNC outside a block"))
-				return
-			}
-			err := safeSync(sess)
-			if !reply(0, err) {
-				return
-			}
-		default:
-			reply(0, fmt.Errorf("remote: unexpected message kind %d", m.Kind))
-			return
+		if !s.handleFrame(cw, chans, &f) {
+			return // protocol violation: drop the connection
 		}
 	}
 }
 
-// safeQuery runs a synchronous query through the futures path: the
-// query is logged non-blocking and the connection goroutine awaits its
-// resolution — which also makes it shutdown-aware — converting handler
-// panics into protocol errors.
-func safeQuery(c *core.Client, s *core.Session, proc Proc, args []int64) (int64, error) {
-	v, err := c.Await(s.CallFuture(func() any { return proc(args) }))
+// reply ships a REPLY/ERROR for (ch, id) through the batching writer.
+func reply(cw *connWriter, ch uint32, id uint64, v int64, err error) {
+	f := frame{kind: fReply, ch: ch, id: id, val: v}
 	if err != nil {
-		return 0, fmt.Errorf("remote: %v", err)
+		f = frame{kind: fError, ch: ch, id: id, name: err.Error()}
 	}
-	return v.(int64), nil
+	cw.frame(&f) // false means the connection died; nothing to do
 }
 
-// safeSync is Session.Sync with panic conversion.
-func safeSync(s *core.Session) (err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			err = fmt.Errorf("remote: %v", r)
+// handleFrame processes one client frame. It reports false on protocol
+// violations, which are connection-fatal: the framing layer has no way
+// to resynchronize with a client whose channel state diverged.
+func (s *Server) handleFrame(cw *connWriter, chans map[uint32]*svChan, f *frame) bool {
+	sc := chans[f.ch]
+	switch f.kind {
+	case fBegin:
+		if sc == nil {
+			sc = &svChan{cl: s.rt.NewClient()}
+			chans[f.ch] = sc
 		}
-	}()
-	s.Sync()
-	return nil
+		if sc.open() {
+			return false // BEGIN inside an open block
+		}
+		s.mu.Lock()
+		h := s.handlers[f.name]
+		procs := s.procs[f.name]
+		s.mu.Unlock()
+		if h == nil {
+			sc.poison(cw, f.ch, fmt.Sprintf("unknown handler %q", f.name))
+			return true
+		}
+		sess, release, err := sc.cl.TryReserve(h)
+		if err != nil {
+			sc.poison(cw, f.ch, err.Error())
+			return true
+		}
+		sc.sess, sc.release, sc.procs = sess, release, procs
+
+	case fEnd:
+		if sc == nil || !sc.open() {
+			return false // END without a block
+		}
+		if sc.release != nil {
+			sc.release()
+		}
+		sc.sess, sc.release, sc.procs, sc.errmsg = nil, nil, nil, ""
+
+	case fClose:
+		// Channel retired, possibly mid-block: END the block so the
+		// handler is released, then forget the channel. A frame for
+		// this channel id never arrives again (ids are not reused).
+		if sc != nil {
+			if sc.release != nil {
+				sc.release()
+			}
+			delete(chans, f.ch)
+		}
+
+	case fCall:
+		if sc == nil || !sc.open() {
+			return false // CALL outside a block
+		}
+		if sc.errmsg != "" {
+			return true // poisoned block: drop, like a local poisoned session
+		}
+		proc, ok := sc.procs[f.name]
+		if !ok {
+			// Poison the block; the error surfaces at the next
+			// synchronization point, like a handler-side failure.
+			sc.poison(cw, f.ch, fmt.Sprintf("unknown procedure %q", f.name))
+			return true
+		}
+		args := copyArgs(f.args)
+		sc.sess.Call(func() { proc(args) })
+
+	case fQuery:
+		if sc == nil || !sc.open() {
+			return false // QUERY outside a block
+		}
+		if sc.errmsg != "" {
+			reply(cw, f.ch, f.id, 0, fmt.Errorf("%s", sc.errmsg))
+			return true
+		}
+		proc, ok := sc.procs[f.name]
+		if !ok {
+			reply(cw, f.ch, f.id, 0, fmt.Errorf("unknown procedure %q", f.name))
+			return true
+		}
+		// The non-blocking path: log the query as a future and keep
+		// demultiplexing; the completion callback runs on the handler
+		// (or pool worker) that resolves it and ships the reply from
+		// there through the shared batching writer.
+		ch, id, args := f.ch, f.id, copyArgs(f.args)
+		sc.sess.CallFuture(func() any { return proc(args) }).
+			OnComplete(func(v any, err error) {
+				if err != nil {
+					reply(cw, ch, id, 0, err)
+					return
+				}
+				reply(cw, ch, id, v.(int64), nil)
+			})
+
+	case fSync:
+		if sc == nil || !sc.open() {
+			return false // SYNC outside a block
+		}
+		if sc.errmsg != "" {
+			reply(cw, f.ch, f.id, 0, fmt.Errorf("%s", sc.errmsg))
+			return true
+		}
+		ch, id := f.ch, f.id
+		sc.sess.SyncFuture().OnComplete(func(_ any, err error) {
+			reply(cw, ch, id, 0, err)
+		})
+
+	default:
+		return false // client sent a server->client (or unknown) kind
+	}
+	return true
+}
+
+// copyArgs detaches an argument vector from the decoder's reused
+// buffer: calls and queries execute after the reader has moved on.
+func copyArgs(args []int64) []int64 {
+	if len(args) == 0 {
+		return nil
+	}
+	out := make([]int64, len(args))
+	copy(out, args)
+	return out
 }

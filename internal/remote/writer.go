@@ -1,0 +1,148 @@
+package remote
+
+import (
+	"io"
+	"sync"
+)
+
+// writerHighWater is the batch size the writer's buffers are pre-grown
+// to; batches above it shrink back after the write so one burst cannot
+// pin memory forever.
+const writerHighWater = 64 << 10
+
+// connWriter is the single writer goroutine of a connection: every
+// producer — a logical client logging requests, a handler's completion
+// callback shipping a reply — appends its encoded frame to an
+// in-memory batch under a short mutex, and the goroutine flushes the
+// batch with one conn.Write.
+//
+// The flush policy is adaptive batching: an idle connection flushes a
+// frame as soon as it arrives; while a write is in flight, new frames
+// accumulate into the next batch, so under pipelined load the batch
+// grows to match the connection's drain rate and the protocol pays one
+// syscall per drain instead of one per message. Producers never touch
+// the socket and never block on it — the critical section is a memcpy.
+type connWriter struct {
+	w     io.Writer
+	onErr func(error) // called once, off the lock, when a write fails
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	buf     []byte // batch being filled by producers
+	spare   []byte // previous batch, being written / ready for reuse
+	closed  bool
+	err     error
+	frames  uint64 // frames appended (stats)
+	flushes uint64 // conn.Write calls (stats)
+
+	done chan struct{}
+}
+
+// newConnWriter starts a writer for w. onErr, if non-nil, runs exactly
+// once when a write fails (typically to close the connection and
+// unwedge the reader); it must not call back into the writer.
+func newConnWriter(w io.Writer, onErr func(error)) *connWriter {
+	cw := &connWriter{
+		w:     w,
+		onErr: onErr,
+		buf:   make([]byte, 0, writerHighWater),
+		spare: make([]byte, 0, writerHighWater),
+		done:  make(chan struct{}),
+	}
+	cw.cond = sync.NewCond(&cw.mu)
+	go cw.loop()
+	return cw
+}
+
+// frame encodes f onto the current batch. It reports false when the
+// writer is dead (write failure, or close/kill) — the frame is dropped
+// then, which is correct for both ends: a dead connection delivers
+// nothing either way.
+func (cw *connWriter) frame(f *frame) bool {
+	cw.mu.Lock()
+	if cw.closed {
+		cw.mu.Unlock()
+		return false
+	}
+	wasEmpty := len(cw.buf) == 0
+	cw.buf = appendFrame(cw.buf, f)
+	cw.frames++
+	cw.mu.Unlock()
+	if wasEmpty {
+		// Only the empty->non-empty transition needs a signal: a
+		// non-empty batch means the writer is mid-write and will loop.
+		cw.cond.Signal()
+	}
+	return true
+}
+
+// stats returns the frames-appended and flush (conn.Write) counts.
+func (cw *connWriter) stats() (frames, flushes uint64) {
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	return cw.frames, cw.flushes
+}
+
+func (cw *connWriter) loop() {
+	defer close(cw.done)
+	cw.mu.Lock()
+	for {
+		for len(cw.buf) == 0 && !cw.closed {
+			cw.cond.Wait()
+		}
+		if len(cw.buf) == 0 {
+			cw.mu.Unlock()
+			return // closed and drained
+		}
+		batch := cw.buf
+		cw.buf, cw.spare = cw.spare[:0], batch
+		cw.flushes++
+		cw.mu.Unlock()
+
+		_, err := cw.w.Write(batch)
+		if cap(batch) > writerHighWater {
+			// One burst grew the batch; let it go rather than pinning
+			// the high-water mark in both buffers forever.
+			batch = make([]byte, 0, writerHighWater)
+		}
+		if err != nil {
+			cw.mu.Lock()
+			if cw.err == nil {
+				cw.err = err
+			}
+			cw.closed = true
+			cw.buf = cw.buf[:0] // queued frames can never be delivered
+			cw.spare = batch[:0]
+			cw.mu.Unlock()
+			if cw.onErr != nil {
+				cw.onErr(err)
+			}
+			cw.mu.Lock()
+			continue // observe closed+empty and exit
+		}
+
+		cw.mu.Lock()
+		cw.spare = batch[:0]
+	}
+}
+
+// close flushes any queued frames and stops the writer, waiting for the
+// goroutine to exit. Idempotent; safe to call concurrently with kill.
+func (cw *connWriter) close() {
+	cw.mu.Lock()
+	cw.closed = true
+	cw.mu.Unlock()
+	cw.cond.Signal()
+	<-cw.done
+}
+
+// kill stops the writer without flushing or waiting. It is the teardown
+// used on a dead connection — including from onErr-adjacent paths where
+// waiting for the goroutine would deadlock.
+func (cw *connWriter) kill() {
+	cw.mu.Lock()
+	cw.closed = true
+	cw.buf = cw.buf[:0]
+	cw.mu.Unlock()
+	cw.cond.Signal()
+}
