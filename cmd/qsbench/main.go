@@ -125,10 +125,11 @@ func main() {
 		"steal":    o.Steal,
 		"futures":  o.Futures,
 		"remote":   o.Remote,
+		"flow":     o.Flow,
 		"summary":  o.Summary,
 	}
 	order := []string{"table1", "fig16", "table2", "fig17", "table3",
-		"fig18", "fig19", "table4", "table5", "fig20", "eve", "executor", "steal", "futures", "remote", "summary"}
+		"fig18", "fig19", "table4", "table5", "fig20", "eve", "executor", "steal", "futures", "remote", "flow", "summary"}
 
 	for _, name := range strings.Split(*experiment, ",") {
 		name = strings.TrimSpace(name)

@@ -83,10 +83,20 @@
 // allocations per message, and each connection is served by exactly
 // one reader and one batching writer goroutine at both ends — the
 // server demultiplexes every channel onto real core.Sessions through
-// the non-blocking futures path. `qsbench -experiment remote` sweeps
+// the non-blocking futures path. The write path is credit-flow
+// controlled, so request logging is bounded as well as non-blocking:
+// each channel holds a server-advertised request window, the shared
+// writer caps its pending batch at a byte budget, and a stalled peer
+// therefore pins bounded memory instead of an ever-growing batch. The
+// client-side cost is that the request-logging operations of a
+// RemoteSession — Call, QueryAsync, Query, Sync (and any frame send at
+// the byte budget) — can now park the calling goroutine until the
+// window or the batch drains; they must not be called from a
+// Future.OnComplete callback. `qsbench -experiment remote` sweeps
 // logical clients over one connection against connection-per-client
-// shapes; see the README's "Remote" section for the wire layout and
-// flush policy.
+// shapes, and `qsbench -experiment flow` measures the stalled-peer
+// bounds; see the README's "Remote" and "Flow control" sections for
+// the wire layout, flush policy, and window mechanics.
 //
 // # Quick start
 //

@@ -1,0 +1,309 @@
+package harness
+
+import (
+	"fmt"
+	"net"
+	"strconv"
+	"sync"
+	"time"
+
+	"scoopqs/internal/core"
+	"scoopqs/internal/future"
+	"scoopqs/internal/remote"
+)
+
+// flowSessions is the logical-client count of the flow experiment.
+const flowSessions = 8
+
+// flowPipeListener adapts net.Pipe to net.Listener so the experiment
+// controls the transport end to end: net.Pipe has no kernel buffering,
+// so a client that stops reading stalls the server's very next flush —
+// the sharpest version of the slow-peer scenario, with no socket
+// buffers to blur the measurement.
+type flowPipeListener struct {
+	conns chan net.Conn
+	done  chan struct{}
+	once  sync.Once
+}
+
+func newFlowPipeListener() *flowPipeListener {
+	return &flowPipeListener{conns: make(chan net.Conn), done: make(chan struct{})}
+}
+
+func (l *flowPipeListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.conns:
+		return c, nil
+	case <-l.done:
+		return nil, net.ErrClosed
+	}
+}
+
+func (l *flowPipeListener) Close() error {
+	l.once.Do(func() { close(l.done) })
+	return nil
+}
+
+func (l *flowPipeListener) Addr() net.Addr { return flowPipeAddr{} }
+
+func (l *flowPipeListener) dial() net.Conn {
+	c, s := net.Pipe()
+	l.conns <- s
+	return c
+}
+
+type flowPipeAddr struct{}
+
+func (flowPipeAddr) Network() string { return "pipe" }
+func (flowPipeAddr) String() string  { return "pipe" }
+
+// gatedConn is a net.Conn whose reads can be stalled and resumed: the
+// experiment's deliberately slow reader.
+type gatedConn struct {
+	net.Conn
+	mu   sync.Mutex
+	gate chan struct{} // nil while reads flow
+}
+
+func (c *gatedConn) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	g := c.gate
+	c.mu.Unlock()
+	if g != nil {
+		<-g
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *gatedConn) stall() {
+	c.mu.Lock()
+	if c.gate == nil {
+		c.gate = make(chan struct{})
+	}
+	c.mu.Unlock()
+}
+
+func (c *gatedConn) resume() {
+	c.mu.Lock()
+	if c.gate != nil {
+		close(c.gate)
+		c.gate = nil
+	}
+	c.mu.Unlock()
+}
+
+// flowMode is one write-path configuration of the flow experiment.
+type flowMode struct {
+	name   string
+	budget int // Server.WriteBudget
+	window int // Server.Window
+}
+
+// flowModes compares the bounded write path against the PR 4 baseline:
+//
+//   - unbounded: no byte budget, a window so large the client's
+//     admission gate never closes — the pre-flow-control writer, whose
+//     batch grows with the entire reply volume under a stalled peer.
+//   - flow: an 8 KiB budget and the default credit window — the batch
+//     caps at the budget and the overflow is bounded by the window.
+var flowModes = []flowMode{
+	{"unbounded", -1, 1 << 20},
+	{"flow", 8 << 10, 0},
+}
+
+// flowRun is one repetition: prime the credit windows, stall the
+// client's reads, pipeline the whole workload into the stall, wait for
+// the server to quiesce (everything executed, replies piled in its
+// writer), then resume and drain. Returns the wall time of the
+// pipelined phase and the server's write-path stats.
+func flowRun(cfg core.Config, mode flowMode, qper int) (time.Duration, remote.ServerStats, remote.MuxStats, error) {
+	rt := core.New(cfg)
+	srv := remote.NewServer(rt)
+	srv.WriteBudget = mode.budget
+	srv.Window = mode.window
+	for i := 0; i < flowSessions; i++ {
+		h := rt.NewHandler(remoteHandlerName(i))
+		c := new(int64)
+		srv.Expose(remoteHandlerName(i), h, map[string]remote.Proc{
+			"add": func(a []int64) int64 { *c += a[0]; return *c },
+		})
+	}
+	ln := newFlowPipeListener()
+	go srv.Serve(ln)
+	defer func() {
+		srv.Close()
+		rt.Shutdown()
+	}()
+
+	conn := &gatedConn{Conn: ln.dial()}
+	mux := remote.NewMux(conn)
+	defer mux.Close()
+
+	// Prime: a sync round-trip per session delivers the server's
+	// window advertisement, so the stall phase measures the steady
+	// state, not the bootstrap.
+	sessions := make([]*remote.RemoteSession, flowSessions)
+	for i := range sessions {
+		sessions[i] = mux.NewSession()
+		err := sessions[i].Separate(remoteHandlerName(i), func(s *remote.Session) error {
+			_, err := s.Query("add", 0)
+			return err
+		})
+		if err != nil {
+			return 0, remote.ServerStats{}, remote.MuxStats{}, err
+		}
+	}
+
+	// Stall the reads and pipeline the whole workload into the stall.
+	conn.stall()
+	start := time.Now()
+	lasts := make([]*future.Future, flowSessions)
+	var wg sync.WaitGroup
+	errs := make(chan error, flowSessions)
+	for i := range sessions {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs <- sessions[i].Separate(remoteHandlerName(i), func(s *remote.Session) error {
+				for q := 0; q < qper; q++ {
+					f, err := s.QueryAsync("add", 1)
+					if err != nil {
+						return err
+					}
+					lasts[i] = f
+				}
+				return nil
+			})
+		}()
+	}
+
+	// Wait for the server to quiesce: every admitted request executed
+	// and its reply accepted by the (stalled) writer. In unbounded
+	// mode that is the entire workload; with flow control the client's
+	// admission gate closes at the window first.
+	prev := srv.Stats().Frames
+	for settled := 0; settled < 5; {
+		time.Sleep(10 * time.Millisecond)
+		if cur := srv.Stats().Frames; cur == prev {
+			settled++
+		} else {
+			prev, settled = cur, 0
+		}
+	}
+	peak := srv.Stats()
+
+	conn.resume()
+	wg.Wait()
+	for range sessions {
+		if err := <-errs; err != nil {
+			return 0, peak, mux.Stats(), err
+		}
+	}
+	for i, rs := range sessions {
+		if err := rs.Flush(); err != nil {
+			return 0, peak, mux.Stats(), err
+		}
+		v, err := rs.Await(lasts[i])
+		if err != nil {
+			return 0, peak, mux.Stats(), err
+		}
+		if v != int64(qper) {
+			return 0, peak, mux.Stats(), fmt.Errorf("harness: flow counter ended at %d, want %d", v, qper)
+		}
+	}
+	return time.Since(start), peak, mux.Stats(), nil
+}
+
+// Flow measures the remote transport's flow control under a
+// deliberately slow reader: the client stalls its reads mid-burst
+// while its sessions pipeline the whole workload. Without flow control
+// (the PR 4 writer) the server's pending batch grows with the entire
+// reply volume; with the byte budget and credit windows it is capped
+// at the budget, with the overflow bounded by window × channels. Not a
+// paper experiment; it measures this repo's remote subsystem (see
+// README "Flow control").
+func (o Options) Flow() {
+	pool := o.Pool
+	if pool <= 0 {
+		pool = 4
+	}
+	cfg := core.ConfigAll.WithWorkers(pool)
+	total := o.RemoteQueries
+	if total < 1 {
+		total = 16384
+	}
+	qper := total / flowSessions
+	if qper < 1 {
+		qper = 1
+	}
+
+	section(o.Out, "Flow control: stalled-peer write bounds",
+		fmt.Sprintf("%d pipelined queries from %d logical clients on one net.Pipe\nconnection whose reads stall mid-burst, pooled(%d) runtime\n(ConfigAll): the pre-flow-control writer (unbounded) vs. the\ncredit-window + byte-budget write path (flow, 8 KiB budget,\nwindow %d). peakKiB is the server's largest pending batch while\nstalled — the memory a slow peer can pin.", total, flowSessions, pool, 1024))
+
+	tb := newTable(o.Out)
+	tb.row("Mode", "time(s)", "queries/s", "peakKiB", "parked", "creditStalls")
+	for _, mode := range flowModes {
+		var ds []time.Duration
+		var peaks []remote.ServerStats
+		var muxs []remote.MuxStats
+		for r := 0; r < o.Reps || r == 0; r++ {
+			d, peak, ms, err := flowRun(cfg, mode, qper)
+			if err != nil {
+				panic(err)
+			}
+			ds = append(ds, d)
+			peaks = append(peaks, peak)
+			muxs = append(muxs, ms)
+		}
+		med := median(ds)
+		// The peak batch of the median-time rep would be arbitrary;
+		// report the worst observed peak — boundedness is a max claim.
+		var peak remote.ServerStats
+		var ms muxMax
+		for i := range peaks {
+			if peaks[i].MaxBatchBytes > peak.MaxBatchBytes {
+				peak = peaks[i]
+			}
+			ms.fold(muxs[i])
+		}
+		qps := float64(qper*flowSessions) / med.Seconds()
+		tb.row(mode.name, Seconds(med), fmt.Sprintf("%.0f", qps),
+			fmt.Sprintf("%.1f", float64(peak.MaxBatchBytes)/1024),
+			strconv.FormatUint(peak.MaxParkedFrames, 10),
+			strconv.FormatUint(ms.CreditStalls, 10))
+		o.Rec.Add(Result{
+			Experiment: "flow",
+			Labels: map[string]string{
+				"mode":   mode.name,
+				"config": cfg.Name(),
+			},
+			Medians: map[string]float64{
+				"seconds":            med.Seconds(),
+				"queries_per_second": qps,
+				"peak_batch_bytes":   float64(peak.MaxBatchBytes),
+				"peak_parked_frames": float64(peak.MaxParkedFrames),
+				"credit_stalls":      float64(ms.CreditStalls),
+				"writer_stalls":      float64(ms.WriterStalls),
+				"dropped_frames":     float64(peak.Dropped),
+			},
+		})
+	}
+	tb.flush()
+}
+
+// muxMax folds client-side MuxStats across repetitions (max of the
+// stall counters — like the peaks, boundedness claims are max claims).
+type muxMax struct {
+	CreditStalls uint64
+	WriterStalls uint64
+}
+
+func (m *muxMax) fold(s remote.MuxStats) {
+	if s.CreditStalls > m.CreditStalls {
+		m.CreditStalls = s.CreditStalls
+	}
+	if s.WriterStalls > m.WriterStalls {
+		m.WriterStalls = s.WriterStalls
+	}
+}

@@ -43,8 +43,8 @@ var remoteTransports = []remoteTransport{
 			defer rs.Close()
 			return pipelineBlock(rs, i, qper)
 		})
-		frames, flushes := mux.Stats()
-		return frames, flushes, err
+		st := mux.Stats()
+		return st.Frames, st.Flushes, err
 	}},
 	{"conn", false, func(addr string, n, qper int) (uint64, uint64, error) {
 		return 0, 0, eachRemoteClient(n, func(i int) error {

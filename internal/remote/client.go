@@ -8,6 +8,24 @@ import (
 	"scoopqs/internal/future"
 )
 
+// bootstrapCredits is the request window a channel starts with before
+// the server's advertisement arrives: enough to pipeline the opening
+// burst, small enough that a misbehaving server cannot be flooded. The
+// server knows this constant too — its initial CREDIT grant tops the
+// channel up to the full window (see Server.Window).
+const bootstrapCredits = 64
+
+// Client-side hard limits on CREDIT grants, in the same spirit as the
+// decoder's: a malformed or malicious stream must not be able to wedge
+// or unbound the client. A single grant beyond maxCreditGrant (or a
+// zero grant) is a protocol violation; the accumulated balance is
+// clamped at maxCreditBalance so no grant sequence can overflow the
+// admission arithmetic.
+const (
+	maxCreditGrant   = 1 << 32
+	maxCreditBalance = 1 << 40
+)
+
 // RemoteSession is one logical client multiplexed onto a Mux: its
 // private queues ride a shared connection instead of an in-process
 // lock-free queue, identified on the wire by a channel id. Like a
@@ -20,6 +38,18 @@ import (
 // resolve futures as the reader demultiplexes replies. Errors surface
 // at synchronization points (Query, Sync, Await, Flush), matching the
 // local runtime's separate-block semantics.
+//
+// Fire-and-forget is bounded, not unlimited: each channel holds a
+// credit window (advertised and replenished by the server with CREDIT
+// frames), and every request-logging operation — Call, QueryAsync,
+// Query, Sync — consumes one credit, parking the caller when the
+// window is exhausted until completions replenish it. The connection's
+// shared writer additionally parks producers (including BEGIN/END)
+// while its pending batch is at the byte budget. Both parks end in
+// bounded memory on a healthy connection and in a fast failure on a
+// dead one; because they can block, remote operations must not be
+// called from a Future.OnComplete callback (which runs on the mux's
+// reader goroutine).
 type RemoteSession struct {
 	m       *Mux
 	ch      uint32
@@ -31,6 +61,13 @@ type RemoteSession struct {
 	mu      sync.Mutex
 	pending map[uint64]*future.Future
 	closed  bool
+	term    error // terminal failure recorded by the teardown sweep
+
+	// credits is the channel's remaining request window; creditWait is
+	// the future an admission parks on at zero, completed by the mux
+	// reader when a CREDIT grant arrives (or failed by the teardown).
+	credits    int64
+	creditWait *future.Future
 
 	// blockErr holds a block-level failure the server reported with an
 	// id-0 ERROR frame (unknown handler, reservation after shutdown,
@@ -81,22 +118,84 @@ func (rs *RemoteSession) Close() error {
 		return nil
 	}
 	rs.closed = true
+	w := rs.creditWait
+	rs.creditWait = nil
 	rs.mu.Unlock()
+	if w != nil {
+		w.Fail(errClosed) // release admissions parked on this channel
+	}
 	rs.m.drop(rs.ch)
 	rs.m.w.frame(&frame{kind: fClose, ch: rs.ch})
 	rs.failPending(errClosed)
 	return nil
 }
 
-// send writes one frame through the mux's batching writer.
+// termErr returns the session's terminal error: the one recorded by a
+// teardown sweep, else the mux's, else the generic closed error.
+func (rs *RemoteSession) termErr() error {
+	rs.mu.Lock()
+	term := rs.term
+	rs.mu.Unlock()
+	if term != nil {
+		return term
+	}
+	if err := rs.m.Err(); err != nil {
+		return err
+	}
+	return errClosed
+}
+
+// send writes one frame through the mux's batching writer, parking at
+// the writer's byte budget until it drains.
 func (rs *RemoteSession) send(f *frame) error {
 	if !rs.m.w.frame(f) {
-		if err := rs.m.Err(); err != nil {
-			return fmt.Errorf("remote: send: %w", err)
-		}
-		return fmt.Errorf("remote: send: %w", errClosed)
+		return fmt.Errorf("remote: send: %w", rs.termErr())
 	}
 	return nil
+}
+
+// acquireCredit consumes one unit of the channel's request window,
+// parking the caller at zero until the server's CREDIT replenishment
+// arrives. It fails fast — without parking — on a closed session or a
+// dead mux.
+func (rs *RemoteSession) acquireCredit() error {
+	for {
+		rs.mu.Lock()
+		if rs.closed || rs.term != nil {
+			rs.mu.Unlock()
+			return fmt.Errorf("remote: send: %w", rs.termErr())
+		}
+		if rs.credits > 0 {
+			rs.credits--
+			rs.mu.Unlock()
+			return nil
+		}
+		if rs.creditWait == nil {
+			rs.creditWait = future.New()
+		}
+		w := rs.creditWait
+		rs.mu.Unlock()
+		rs.m.creditStalls.Add(1)
+		w.Get() //nolint:errcheck // wake-and-recheck; state is re-read
+	}
+}
+
+// addCredits applies a CREDIT grant and releases parked admissions.
+// Called by the mux reader, which has already validated the grant; the
+// balance is clamped so even a flood of maximal grants stays within
+// the admission arithmetic.
+func (rs *RemoteSession) addCredits(n int64) {
+	rs.mu.Lock()
+	rs.credits += n
+	if rs.credits > maxCreditBalance {
+		rs.credits = maxCreditBalance
+	}
+	w := rs.creditWait
+	rs.creditWait = nil
+	rs.mu.Unlock()
+	if w != nil {
+		w.Complete(nil)
+	}
 }
 
 // register allocates a pipeline id and parks f under it until the
@@ -105,9 +204,9 @@ func (rs *RemoteSession) register(f *future.Future) (uint64, error) {
 	rs.nextID++
 	id := rs.nextID
 	rs.mu.Lock()
-	if rs.closed {
+	if rs.closed || rs.term != nil {
 		rs.mu.Unlock()
-		return 0, errClosed
+		return 0, rs.termErr()
 	}
 	rs.pending[id] = f
 	rs.mu.Unlock()
@@ -176,13 +275,25 @@ func (rs *RemoteSession) takeBlockErr() error {
 	return err
 }
 
-// failPending resolves every outstanding pipelined future with err;
-// called when the channel or connection dies under them.
+// failPending marks the session terminally failed, resolves every
+// outstanding pipelined future with err, and releases admissions
+// parked on credits; called when the channel or connection dies.
+// Recording term under the same lock that guards creditWait closes the
+// race where an admission parks just after the teardown's sweep — the
+// admission re-checks term before parking.
 func (rs *RemoteSession) failPending(err error) {
 	rs.mu.Lock()
+	if rs.term == nil {
+		rs.term = err
+	}
 	pend := rs.pending
 	rs.pending = map[uint64]*future.Future{}
+	w := rs.creditWait
+	rs.creditWait = nil
 	rs.mu.Unlock()
+	if w != nil {
+		w.Fail(err)
+	}
 	for _, f := range pend {
 		f.Fail(err)
 	}
@@ -259,26 +370,38 @@ func (rs *RemoteSession) Separate(handler string, body func(s *Session) error) e
 // Call logs an asynchronous call of the named procedure. Like a local
 // Session.Call it does not wait for execution — and unlike the gob-era
 // client it does not even pay a direct socket write: the frame joins
-// the connection's current batch.
+// the connection's current batch. Admission is credit-bounded: at a
+// zero window Call parks until the server's replenishment arrives, so
+// a block cannot outrun the server by more than the window.
 func (s *Session) Call(fn string, args ...int64) error {
+	if err := s.rs.acquireCredit(); err != nil {
+		return err
+	}
 	return s.rs.send(&frame{kind: fCall, ch: s.rs.ch, name: fn, args: args})
 }
 
 // QueryAsync logs the named procedure as a pipelined query: it returns
-// immediately with a future and pays no round-trip. Like Query it
-// observes every previously logged call of this block; any number of
-// QueryAsyncs from any number of the connection's sessions can be in
-// flight at once. Resolve the future with Await (or Flush); its error
-// mirrors Query's.
+// a future and pays no round-trip. Like Query it observes every
+// previously logged call of this block; each of the connection's
+// sessions can keep up to its credit window of requests in flight at
+// once — past that, QueryAsync parks until completions replenish the
+// window. Resolve the future with Await (or Flush); its error mirrors
+// Query's.
 func (s *Session) QueryAsync(fn string, args ...int64) (*future.Future, error) {
 	return s.rs.pipelined(&frame{kind: fQuery, ch: s.rs.ch, name: fn, args: args})
 }
 
-// pipelined registers a fresh future, stamps its id onto fr, sends the
-// frame, and seals the registration against the teardown race. It is
-// the one implementation of the reply-expected send path (QueryAsync,
-// Sync).
+// pipelined acquires a request credit, registers a fresh future,
+// stamps its id onto fr, sends the frame, and seals the registration
+// against the teardown race. It is the one implementation of the
+// reply-expected send path (QueryAsync, Sync). A failed send does not
+// return the consumed credit: the frame never reached the server, so
+// no replenishment will come — but every such failure is terminal for
+// the channel anyway.
 func (rs *RemoteSession) pipelined(fr *frame) (*future.Future, error) {
+	if err := rs.acquireCredit(); err != nil {
+		return nil, err
+	}
 	f := future.New()
 	id, err := rs.register(f)
 	if err != nil {

@@ -26,6 +26,24 @@
 // any order; per-block ordering comes from the handler executing each
 // private queue in order, exactly as for local clients.
 //
+// # Flow control
+//
+// The write path is bounded on both ends. Each connection's batching
+// writer caps its pending batch at a soft byte budget: client-side
+// producers park at the cap until the batch drains below low water,
+// while server-side completion callbacks (which must never block)
+// defer their reply inside the writer instead. On top of the budget,
+// every channel carries a credit window — advertised by the server
+// with a CREDIT frame when the channel first appears, consumed one
+// credit per logged request, replenished in batches as requests
+// complete — so the server's deferred replies are bounded by
+// window × channels even under a peer that stopped reading, and a
+// channel overrunning its window is a connection-fatal protocol
+// violation. The client-side consequence: Call, QueryAsync, Query,
+// and Sync can park the calling goroutine (at a zero window, or at
+// the byte budget), so they must not be used inside Future.OnComplete
+// callbacks, which run on the mux's reader goroutine.
+//
 // # Wire format
 //
 // Frames are binary: a fixed one-byte kind, then uvarint/zigzag-varint
@@ -51,6 +69,12 @@
 //	                                        as the channel's sticky
 //	                                        block error and surfaced at
 //	                                        its next sync point
+//	CREDIT(0x83)  n:uvarint                 grant the channel n request
+//	                                        credits (flow control): the
+//	                                        initial window advertisement
+//	                                        on channel creation, then
+//	                                        replenishment as requests
+//	                                        complete
 //
 // args is a uvarint count followed by that many zigzag varints; values
 // are int64, the protocol's wire currency. Encoding appends to a
@@ -83,8 +107,9 @@ const (
 	fSync  frameKind = 0x05 // barrier; REPLY once prior requests ran
 	fClose frameKind = 0x06 // retire the channel
 
-	fReply frameKind = 0x81 // query/sync result
-	fError frameKind = 0x82 // query/sync failure (id 0: block-level)
+	fReply  frameKind = 0x81 // query/sync result
+	fError  frameKind = 0x82 // query/sync failure (id 0: block-level)
+	fCredit frameKind = 0x83 // flow-control grant; id carries the credit count
 )
 
 // Decoder hard limits: a malformed or malicious stream cannot make the
@@ -125,7 +150,7 @@ func appendFrame(buf []byte, f *frame) []byte {
 		buf = binary.AppendUvarint(buf, f.id)
 		buf = appendString(buf, f.name)
 		buf = appendArgs(buf, f.args)
-	case fSync:
+	case fSync, fCredit:
 		buf = binary.AppendUvarint(buf, f.id)
 	case fReply:
 		buf = binary.AppendUvarint(buf, f.id)
@@ -203,7 +228,7 @@ func (fr *frameReader) readFrame(f *frame) error {
 		if f.name, err = fr.readString(true); err == nil {
 			err = fr.readArgs(f)
 		}
-	case fSync:
+	case fSync, fCredit:
 		f.id, err = binary.ReadUvarint(fr.r)
 	case fReply:
 		if f.id, err = binary.ReadUvarint(fr.r); err != nil {

@@ -33,6 +33,8 @@ var roundTripFrames = []frame{
 	{kind: fSync, ch: 2, id: 1},
 	{kind: fReply, ch: 5, id: 99, val: -987654321},
 	{kind: fError, ch: 5, id: 0, name: `unknown handler "nonesuch"`},
+	{kind: fCredit, ch: 6, id: 960},
+	{kind: fCredit, ch: 0, id: 1},
 }
 
 func TestFrameRoundTrip(t *testing.T) {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"scoopqs/internal/future"
@@ -38,6 +39,8 @@ type Mux struct {
 	nextCh uint32
 	err    error // terminal; set once, when the connection dies
 
+	creditStalls atomic.Uint64 // admissions parked at zero credits
+
 	readerDone chan struct{}
 }
 
@@ -57,16 +60,23 @@ func NewMux(conn net.Conn) *Mux {
 		chans:      map[uint32]*RemoteSession{},
 		readerDone: make(chan struct{}),
 	}
-	// A write failure closes the connection so the reader unwedges and
-	// runs the one teardown path (fail).
-	m.w = newConnWriter(conn, func(error) { conn.Close() })
+	// A write failure is terminal for the whole mux: fail directly so
+	// every channel's pending futures resolve promptly (closing the
+	// connection inside fail also unwedges the reader) instead of
+	// waiting for the reader to notice the dead peer.
+	m.w = newConnWriter(conn, 0, func(err error) {
+		m.fail(fmt.Errorf("remote: send: %w", err))
+	})
 	go m.readLoop()
 	return m
 }
 
 // NewSession hands out a fresh logical client on this connection. The
 // channel id is never reused, so a retired session's late replies can
-// never be misdelivered.
+// never be misdelivered. On a dead mux (after Close, or after the
+// connection failed) the session is born terminal: every operation
+// fails fast with the mux's terminal error instead of registering
+// futures nobody will ever resolve.
 func (m *Mux) NewSession() *RemoteSession {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -75,6 +85,14 @@ func (m *Mux) NewSession() *RemoteSession {
 		m:       m,
 		ch:      m.nextCh,
 		pending: map[uint64]*future.Future{},
+		credits: bootstrapCredits,
+	}
+	if m.err != nil {
+		// A dead mux will never run another teardown sweep, so a
+		// session registered now would hang its callers forever.
+		rs.closed = true
+		rs.term = m.err
+		return rs
 	}
 	m.chans[rs.ch] = rs
 	return rs
@@ -88,10 +106,29 @@ func (m *Mux) Err() error {
 	return m.err
 }
 
-// Stats reports the writer's frame and flush counts: frames/flushes is
-// the average batch size the adaptive flush achieved.
-func (m *Mux) Stats() (frames, flushes uint64) {
-	return m.w.stats()
+// MuxStats is a snapshot of a connection's client-side flow-control
+// and writer counters.
+type MuxStats struct {
+	Frames  uint64 // frames accepted by the writer
+	Flushes uint64 // conn.Write calls; Frames/Flushes is the mean batch
+	Dropped uint64 // frames accepted but never delivered (write failure/teardown)
+
+	WriterStalls  uint64 // producers parked at the writer's byte budget
+	CreditStalls  uint64 // admissions parked at zero per-channel credits
+	MaxBatchBytes uint64 // peak pending-batch size (bounded by the budget)
+}
+
+// Stats reports the connection's writer and flow-control counters.
+func (m *Mux) Stats() MuxStats {
+	ws := m.w.stats()
+	return MuxStats{
+		Frames:        ws.Frames,
+		Flushes:       ws.Flushes,
+		Dropped:       ws.Dropped,
+		WriterStalls:  ws.Stalls,
+		CreditStalls:  m.creditStalls.Load(),
+		MaxBatchBytes: ws.MaxBatchBytes,
+	}
 }
 
 // Close flushes queued frames, tears the connection down, and fails
@@ -173,6 +210,21 @@ func (m *Mux) readLoop() {
 				continue // channel retired; stale reply
 			}
 			rs.resolve(&f)
+		case fCredit:
+			if f.id == 0 || f.id > maxCreditGrant {
+				// A zero or absurd grant is a protocol violation, not
+				// arithmetic input: applied blindly, a huge count would
+				// go negative in int64 and park every admission forever.
+				m.fail(fmt.Errorf("remote: credit grant of %d outside (0, %d]", f.id, uint64(maxCreditGrant)))
+				return
+			}
+			m.mu.Lock()
+			rs := m.chans[f.ch]
+			m.mu.Unlock()
+			if rs == nil {
+				continue // channel retired; stale grant
+			}
+			rs.addCredits(int64(f.id))
 		default:
 			m.fail(fmt.Errorf("remote: unexpected frame kind 0x%02x from server", byte(f.kind)))
 			return

@@ -4,9 +4,19 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"scoopqs/internal/core"
 )
+
+// defaultCreditWindow is the per-channel request window a Server
+// advertises when Server.Window is zero: the maximum number of
+// requests (CALL/QUERY/SYNC) a channel may have admitted but not yet
+// completed. It bounds the server's deferred replies per channel — and
+// with them the whole write path's memory — while staying far above
+// the batching writer's typical flush size, so a pipelining client
+// never notices it on a healthy connection.
+const defaultCreditWindow = 1024
 
 // Proc is a named procedure bound to handler-owned state. It runs under
 // the handler's exclusion like any other logged call.
@@ -25,15 +35,43 @@ type Proc func(args []int64) int64
 // runtime with QoQ reservations (non-blocking enqueues) and drives
 // every query and sync through the non-blocking futures path; replies
 // are shipped from completion callbacks.
+//
+// The write path is bounded end to end. The writer's pending batch is
+// capped at WriteBudget bytes; replies that do not fit are deferred
+// inside the writer until the batch drains, and the deferred backlog
+// is in turn bounded by the per-channel credit window: the server
+// advertises Window credits when a channel first appears, each
+// admitted request consumes one, and completions replenish them in
+// batches — so a stalled or slow peer caps this server's memory at
+// budget + window×channels reply frames instead of growing without
+// limit. A channel that overruns its window (a client ignoring
+// credits) is a protocol violation and drops the connection.
 type Server struct {
 	rt *core.Runtime
+
+	// Window is the per-channel credit window to advertise; 0 selects
+	// defaultCreditWindow. Values below the client bootstrap
+	// (bootstrapCredits) are effectively raised to it, since a client
+	// starts with that many credits before any advertisement arrives.
+	// Set before Serve.
+	Window int
+
+	// WriteBudget is the byte cap on each connection writer's pending
+	// batch: 0 selects the default, negative disables the cap (the
+	// pre-flow-control behavior, kept for baseline measurement only).
+	// Set before Serve.
+	WriteBudget int
 
 	mu       sync.Mutex
 	handlers map[string]*core.Handler
 	procs    map[string]map[string]Proc
 	ln       net.Listener
 	conns    map[net.Conn]struct{}
+	writers  map[*connWriter]struct{}
+	gone     writerStats // folded stats of finished connections
 	closed   bool
+
+	creditsGranted atomic.Uint64
 
 	wg sync.WaitGroup
 }
@@ -51,6 +89,7 @@ func NewServer(rt *core.Runtime) *Server {
 		handlers: map[string]*core.Handler{},
 		procs:    map[string]map[string]Proc{},
 		conns:    map[net.Conn]struct{}{},
+		writers:  map[*connWriter]struct{}{},
 	}
 }
 
@@ -61,6 +100,54 @@ func (s *Server) Expose(name string, h *core.Handler, procs map[string]Proc) {
 	defer s.mu.Unlock()
 	s.handlers[name] = h
 	s.procs[name] = procs
+}
+
+// ServerStats aggregates the write-path counters of every connection
+// this server has carried (live and finished).
+type ServerStats struct {
+	Frames  uint64 // reply/credit frames accepted by the writers
+	Flushes uint64 // conn.Write calls
+	Dropped uint64 // frames accepted but never delivered (dead connections)
+
+	FramesParked    uint64 // frames deferred past the write budget (total)
+	MaxBatchBytes   uint64 // peak pending batch across connections (≤ budget + one frame)
+	MaxParkedFrames uint64 // peak deferred backlog: ≤ window×channels replies, plus pending grants and ≤1 block error per channel
+	CreditsGranted  uint64 // request credits advertised + replenished
+}
+
+// Stats reports the server's aggregated write-path and flow-control
+// counters.
+func (s *Server) Stats() ServerStats {
+	s.mu.Lock()
+	agg := s.gone
+	for cw := range s.writers {
+		agg.fold(cw.stats())
+	}
+	s.mu.Unlock()
+	return ServerStats{
+		Frames:          agg.Frames,
+		Flushes:         agg.Flushes,
+		Dropped:         agg.Dropped,
+		FramesParked:    agg.Parked,
+		MaxBatchBytes:   agg.MaxBatchBytes,
+		MaxParkedFrames: agg.MaxParkedFrames,
+		CreditsGranted:  s.creditsGranted.Load(),
+	}
+}
+
+// window returns the effective per-channel credit window.
+func (s *Server) window() int64 {
+	w := int64(s.Window)
+	if w <= 0 {
+		w = defaultCreditWindow
+	}
+	if w < bootstrapCredits {
+		// The client starts with bootstrapCredits before any
+		// advertisement: that is the floor of what it may have in
+		// flight, so enforcing less would kill honest clients.
+		w = bootstrapCredits
+	}
+	return w
 }
 
 // Serve accepts connections on ln until Close. It blocks; run it in a
@@ -118,25 +205,43 @@ type svChan struct {
 	release func()
 	procs   map[string]Proc
 
+	// outstanding counts admitted-but-uncompleted requests (the credit
+	// window in use); pendGrant accumulates completions awaiting a
+	// batched CREDIT replenishment. Both are touched by the reader and
+	// by completion callbacks on handler/pool goroutines.
+	outstanding atomic.Int64
+	pendGrant   atomic.Int64
+
 	// errmsg poisons an open block whose BEGIN or CALL failed (unknown
 	// handler/procedure, reservation after shutdown): CALLs are
 	// dropped, queries and syncs reply with the error, END clears it.
 	// The client sees exactly what a local poisoned session shows — the
 	// failure at every synchronization point until the block ends.
 	errmsg string
+
+	// poisonSeq is the deferred-queue sequence number of this channel's
+	// last block-level id-0 ERROR (zero when it went straight onto the
+	// batch). While that frame is still queued, further poisons are
+	// skipped: BEGIN/END are not credit-gated, so without this a peer
+	// that stopped reading could cycle failing blocks and grow the
+	// deferred queue without limit — and the client coalesces block
+	// errors anyway (first-wins until a synchronization point), so a
+	// second queued one adds memory without information.
+	poisonSeq uint64
 }
 
 // open reports whether the channel is inside a BEGIN..END bracket
 // (healthy or poisoned).
 func (sc *svChan) open() bool { return sc.sess != nil || sc.errmsg != "" }
 
-// poison marks the open block failed and ships the id-0 block-level
-// ERROR, so even a fire-and-forget block (no query or sync of its own)
-// learns its work was dropped; queries and syncs logged before the
-// block ends keep replying with the same message per id.
-func (sc *svChan) poison(cw *connWriter, ch uint32, msg string) {
-	sc.errmsg = msg
-	reply(cw, ch, 0, 0, fmt.Errorf("%s", msg))
+// serverConn is the per-connection demultiplexer state shared by the
+// reader and the completion callbacks it arms.
+type serverConn struct {
+	s          *Server
+	cw         *connWriter
+	chans      map[uint32]*svChan
+	window     int64 // per-channel credit window (enforced)
+	grantBatch int64 // completions coalesced per CREDIT frame
 }
 
 // serveConn demultiplexes one connection's frames onto local sessions.
@@ -144,13 +249,21 @@ func (s *Server) serveConn(conn net.Conn) {
 	// A reply-write failure closes the connection so the reader
 	// unwedges; completion callbacks keep feeding the writer harmlessly
 	// (dead writers drop frames).
-	cw := newConnWriter(conn, func(error) { conn.Close() })
+	cw := newConnWriter(conn, s.WriteBudget, func(error) { conn.Close() })
+	s.mu.Lock()
+	s.writers[cw] = struct{}{}
+	s.mu.Unlock()
+	window := s.window()
+	grantBatch := window / 8
+	if grantBatch < 1 {
+		grantBatch = 1
+	}
+	c := &serverConn{s: s, cw: cw, chans: map[uint32]*svChan{}, window: window, grantBatch: grantBatch}
 	fr := newFrameReader(conn)
-	chans := map[uint32]*svChan{}
 	defer func() {
 		// Client vanished (or Close tore the conn down): END every open
 		// block so no handler stays reserved by a dead channel.
-		for _, sc := range chans {
+		for _, sc := range c.chans {
 			if sc.release != nil {
 				sc.release()
 			}
@@ -158,6 +271,8 @@ func (s *Server) serveConn(conn net.Conn) {
 		conn.Close()
 		cw.close()
 		s.mu.Lock()
+		delete(s.writers, cw)
+		s.gone.fold(cw.stats())
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
@@ -167,31 +282,86 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err := fr.readFrame(&f); err != nil {
 			return // connection torn down (or stream corrupt): one path
 		}
-		if !s.handleFrame(cw, chans, &f) {
+		if !c.handleFrame(&f) {
 			return // protocol violation: drop the connection
 		}
 	}
 }
 
-// reply ships a REPLY/ERROR for (ch, id) through the batching writer.
-func reply(cw *connWriter, ch uint32, id uint64, v int64, err error) {
+// reply ships a REPLY/ERROR for (ch, id) through the batching writer,
+// deferring past the byte budget — never blocking, since it runs on
+// the reader or a completion callback.
+func (c *serverConn) reply(ch uint32, id uint64, v int64, err error) {
 	f := frame{kind: fReply, ch: ch, id: id, val: v}
 	if err != nil {
 		f = frame{kind: fError, ch: ch, id: id, name: err.Error()}
 	}
-	cw.frame(&f) // false means the connection died; nothing to do
+	c.cw.frameDeferred(&f) // ok=false means the connection died; nothing to do
+}
+
+// poison marks the open block failed and ships the id-0 block-level
+// ERROR, so even a fire-and-forget block (no query or sync of its own)
+// learns its work was dropped; queries and syncs logged before the
+// block ends keep replying with the same message per id. At most one
+// id-0 ERROR per channel sits in the writer's deferred queue at a time
+// (see svChan.poisonSeq) — the write-path memory bound must hold even
+// though BEGIN/END are not credit-gated. The coalescing window is
+// exact: a new poison is skipped only while the previous one is
+// provably still queued, never because of unrelated later congestion.
+func (c *serverConn) poison(sc *svChan, ch uint32, msg string) {
+	sc.errmsg = msg
+	if sc.poisonSeq != 0 && c.cw.drainedParked() < sc.poisonSeq {
+		return // this channel's previous block error is still queued
+	}
+	f := frame{kind: fError, ch: ch, id: 0, name: msg}
+	_, seq := c.cw.frameDeferred(&f)
+	sc.poisonSeq = seq
+}
+
+// grant ships n request credits to the channel.
+func (c *serverConn) grant(ch uint32, n int64) {
+	c.s.creditsGranted.Add(uint64(n))
+	c.cw.frameDeferred(&frame{kind: fCredit, ch: ch, id: uint64(n)})
+}
+
+// admit charges one unit of the channel's credit window for a received
+// request. It reports false when the client overran its window — a
+// protocol violation (the client-side admission gate cannot overrun),
+// and the bound that keeps deferred replies finite.
+func (c *serverConn) admit(sc *svChan) bool {
+	return sc.outstanding.Add(1) <= c.window
+}
+
+// credit returns one unit of the channel's window after a request
+// completed (executed, replied, or dropped by a poisoned block) and
+// replenishes the client in grantBatch-sized CREDIT frames. Runs on
+// the reader or on handler/pool goroutines; never blocks.
+func (c *serverConn) credit(sc *svChan, ch uint32) {
+	sc.outstanding.Add(-1)
+	if sc.pendGrant.Add(1) < c.grantBatch {
+		return
+	}
+	if n := sc.pendGrant.Swap(0); n > 0 {
+		c.grant(ch, n)
+	}
 }
 
 // handleFrame processes one client frame. It reports false on protocol
 // violations, which are connection-fatal: the framing layer has no way
 // to resynchronize with a client whose channel state diverged.
-func (s *Server) handleFrame(cw *connWriter, chans map[uint32]*svChan, f *frame) bool {
-	sc := chans[f.ch]
+func (c *serverConn) handleFrame(f *frame) bool {
+	s := c.s
+	sc := c.chans[f.ch]
 	switch f.kind {
 	case fBegin:
 		if sc == nil {
 			sc = &svChan{cl: s.rt.NewClient()}
-			chans[f.ch] = sc
+			c.chans[f.ch] = sc
+			// Advertise the window: top the channel up from the client
+			// bootstrap to the full credit window.
+			if n := c.window - bootstrapCredits; n > 0 {
+				c.grant(f.ch, n)
+			}
 		}
 		if sc.open() {
 			return false // BEGIN inside an open block
@@ -201,12 +371,12 @@ func (s *Server) handleFrame(cw *connWriter, chans map[uint32]*svChan, f *frame)
 		procs := s.procs[f.name]
 		s.mu.Unlock()
 		if h == nil {
-			sc.poison(cw, f.ch, fmt.Sprintf("unknown handler %q", f.name))
+			c.poison(sc, f.ch, fmt.Sprintf("unknown handler %q", f.name))
 			return true
 		}
 		sess, release, err := sc.cl.TryReserve(h)
 		if err != nil {
-			sc.poison(cw, f.ch, err.Error())
+			c.poison(sc, f.ch, err.Error())
 			return true
 		}
 		sc.sess, sc.release, sc.procs = sess, release, procs
@@ -228,64 +398,87 @@ func (s *Server) handleFrame(cw *connWriter, chans map[uint32]*svChan, f *frame)
 			if sc.release != nil {
 				sc.release()
 			}
-			delete(chans, f.ch)
+			delete(c.chans, f.ch)
 		}
 
 	case fCall:
 		if sc == nil || !sc.open() {
 			return false // CALL outside a block
 		}
+		if !c.admit(sc) {
+			return false // client overran its credit window
+		}
 		if sc.errmsg != "" {
-			return true // poisoned block: drop, like a local poisoned session
+			c.credit(sc, f.ch) // dropped, like a local poisoned session
+			return true
 		}
 		proc, ok := sc.procs[f.name]
 		if !ok {
 			// Poison the block; the error surfaces at the next
 			// synchronization point, like a handler-side failure.
-			sc.poison(cw, f.ch, fmt.Sprintf("unknown procedure %q", f.name))
+			c.poison(sc, f.ch, fmt.Sprintf("unknown procedure %q", f.name))
+			c.credit(sc, f.ch)
 			return true
 		}
 		args := copyArgs(f.args)
-		sc.sess.Call(func() { proc(args) })
+		ch, lsc := f.ch, sc
+		sc.sess.Call(func() {
+			proc(args)
+			c.credit(lsc, ch)
+		})
 
 	case fQuery:
 		if sc == nil || !sc.open() {
 			return false // QUERY outside a block
 		}
+		if !c.admit(sc) {
+			return false // client overran its credit window
+		}
 		if sc.errmsg != "" {
-			reply(cw, f.ch, f.id, 0, fmt.Errorf("%s", sc.errmsg))
+			c.reply(f.ch, f.id, 0, fmt.Errorf("%s", sc.errmsg))
+			c.credit(sc, f.ch)
 			return true
 		}
 		proc, ok := sc.procs[f.name]
 		if !ok {
-			reply(cw, f.ch, f.id, 0, fmt.Errorf("unknown procedure %q", f.name))
+			c.reply(f.ch, f.id, 0, fmt.Errorf("unknown procedure %q", f.name))
+			c.credit(sc, f.ch)
 			return true
 		}
 		// The non-blocking path: log the query as a future and keep
 		// demultiplexing; the completion callback runs on the handler
 		// (or pool worker) that resolves it and ships the reply from
-		// there through the shared batching writer.
-		ch, id, args := f.ch, f.id, copyArgs(f.args)
+		// there through the shared batching writer — replying first,
+		// then crediting, so a replenished client's next request can
+		// never observe the connection before its predecessor's reply
+		// was accepted.
+		ch, id, args, lsc := f.ch, f.id, copyArgs(f.args), sc
 		sc.sess.CallFuture(func() any { return proc(args) }).
 			OnComplete(func(v any, err error) {
 				if err != nil {
-					reply(cw, ch, id, 0, err)
-					return
+					c.reply(ch, id, 0, err)
+				} else {
+					c.reply(ch, id, v.(int64), nil)
 				}
-				reply(cw, ch, id, v.(int64), nil)
+				c.credit(lsc, ch)
 			})
 
 	case fSync:
 		if sc == nil || !sc.open() {
 			return false // SYNC outside a block
 		}
+		if !c.admit(sc) {
+			return false // client overran its credit window
+		}
 		if sc.errmsg != "" {
-			reply(cw, f.ch, f.id, 0, fmt.Errorf("%s", sc.errmsg))
+			c.reply(f.ch, f.id, 0, fmt.Errorf("%s", sc.errmsg))
+			c.credit(sc, f.ch)
 			return true
 		}
-		ch, id := f.ch, f.id
+		ch, id, lsc := f.ch, f.id, sc
 		sc.sess.SyncFuture().OnComplete(func(_ any, err error) {
-			reply(cw, ch, id, 0, err)
+			c.reply(ch, id, 0, err)
+			c.credit(lsc, ch)
 		})
 
 	default:

@@ -3,6 +3,8 @@ package remote
 import (
 	"io"
 	"sync"
+
+	"scoopqs/internal/future"
 )
 
 // writerHighWater is the batch size the writer's buffers are pre-grown
@@ -10,94 +12,315 @@ import (
 // pin memory forever.
 const writerHighWater = 64 << 10
 
+// defaultWriteBudget is the soft byte cap on the pending batch. Below
+// it, producers append and move on (the PR 4 fast path); at or above
+// it, blocking producers park until the writer drains below low water
+// and non-blocking producers defer their frame to the parked queue.
+// The low-water mark is half the budget.
+const defaultWriteBudget = 256 << 10
+
+// writerStats is a snapshot of a connWriter's counters.
+type writerStats struct {
+	Frames  uint64 // frames accepted (appended or parked)
+	Flushes uint64 // conn.Write calls
+	Dropped uint64 // frames accepted but never delivered (write failure or kill)
+	Stalls  uint64 // blocking producers parked at the byte budget
+	Parked  uint64 // frames deferred past the budget (total)
+
+	MaxBatchBytes   uint64 // peak pending-batch size
+	MaxParkedFrames uint64 // peak length of the parked queue
+}
+
+// fold accumulates o into s: counters add, peaks take the max. Used to
+// aggregate the writers of many connections (Server.Stats).
+func (s *writerStats) fold(o writerStats) {
+	s.Frames += o.Frames
+	s.Flushes += o.Flushes
+	s.Dropped += o.Dropped
+	s.Stalls += o.Stalls
+	s.Parked += o.Parked
+	if o.MaxBatchBytes > s.MaxBatchBytes {
+		s.MaxBatchBytes = o.MaxBatchBytes
+	}
+	if o.MaxParkedFrames > s.MaxParkedFrames {
+		s.MaxParkedFrames = o.MaxParkedFrames
+	}
+}
+
 // connWriter is the single writer goroutine of a connection: every
 // producer — a logical client logging requests, a handler's completion
-// callback shipping a reply — appends its encoded frame to an
-// in-memory batch under a short mutex, and the goroutine flushes the
-// batch with one conn.Write.
+// callback shipping a reply — hands its frame to an in-memory batch
+// under a short mutex, and the goroutine flushes the batch with one
+// conn.Write.
 //
 // The flush policy is adaptive batching: an idle connection flushes a
 // frame as soon as it arrives; while a write is in flight, new frames
 // accumulate into the next batch, so under pipelined load the batch
 // grows to match the connection's drain rate and the protocol pays one
-// syscall per drain instead of one per message. Producers never touch
-// the socket and never block on it — the critical section is a memcpy.
+// syscall per drain instead of one per message.
+//
+// The batch is bounded by a soft byte budget. A stalled peer leaves
+// the goroutine wedged in conn.Write; without the budget the batch
+// would grow with everything produced meanwhile (PR 4 behavior, sized
+// only by the clients' pipelining depth). At the budget the two
+// producer paths diverge:
+//
+//   - frame (blocking, client side): the producer parks on a drain
+//     future completed when the batch empties below low water, then
+//     retries. Producers never touch the socket; they wait on memory
+//     pressure only.
+//   - frameDeferred (non-blocking, server side): the frame is moved to
+//     a parked queue and appended once the batch drains. The caller —
+//     a completion callback on the reader or a pool worker — never
+//     blocks, which the demux path requires. Parked frames are bounded
+//     by the credit window (one reply per admitted request), not by
+//     this writer.
 type connWriter struct {
 	w     io.Writer
 	onErr func(error) // called once, off the lock, when a write fails
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	buf     []byte // batch being filled by producers
-	spare   []byte // previous batch, being written / ready for reuse
-	closed  bool
-	err     error
-	frames  uint64 // frames appended (stats)
-	flushes uint64 // conn.Write calls (stats)
+	budget   int // soft byte cap on buf; 0 = unbounded
+	lowWater int // drain threshold waking stalled producers
+
+	mu            sync.Mutex
+	cond          *sync.Cond
+	buf           []byte  // batch being filled by producers
+	bufN          int     // frames in buf
+	spare         []byte  // previous batch, being written / ready for reuse
+	parked        []frame // frames deferred past the budget (FIFO)
+	parkedHead    int     // consumed prefix of parked (amortized-O(1) pops)
+	parkedDrained uint64  // deferred frames that have left the queue (flushed or discarded)
+	drain         *future.Future
+	closed        bool
+	err           error
+	st            writerStats
 
 	done chan struct{}
 }
 
-// newConnWriter starts a writer for w. onErr, if non-nil, runs exactly
-// once when a write fails (typically to close the connection and
-// unwedge the reader); it must not call back into the writer.
-func newConnWriter(w io.Writer, onErr func(error)) *connWriter {
+// newConnWriter starts a writer for w with the given byte budget
+// (0 selects defaultWriteBudget, negative disables the budget — the
+// unbounded PR 4 behavior, kept for baseline measurement only). onErr,
+// if non-nil, runs exactly once when a write fails (typically to tear
+// the connection down and unwedge the reader); it must not call back
+// into the writer's blocking paths.
+func newConnWriter(w io.Writer, budget int, onErr func(error)) *connWriter {
+	switch {
+	case budget == 0:
+		budget = defaultWriteBudget
+	case budget < 0:
+		budget = 0 // unbounded
+	}
 	cw := &connWriter{
-		w:     w,
-		onErr: onErr,
-		buf:   make([]byte, 0, writerHighWater),
-		spare: make([]byte, 0, writerHighWater),
-		done:  make(chan struct{}),
+		w:        w,
+		onErr:    onErr,
+		budget:   budget,
+		lowWater: budget / 2,
+		buf:      make([]byte, 0, writerHighWater),
+		spare:    make([]byte, 0, writerHighWater),
+		done:     make(chan struct{}),
 	}
 	cw.cond = sync.NewCond(&cw.mu)
 	go cw.loop()
 	return cw
 }
 
-// frame encodes f onto the current batch. It reports false when the
-// writer is dead (write failure, or close/kill) — the frame is dropped
-// then, which is correct for both ends: a dead connection delivers
-// nothing either way.
+// overBudgetLocked reports whether the pending batch is at the soft
+// cap; cw.mu must be held.
+func (cw *connWriter) overBudgetLocked() bool {
+	return cw.budget > 0 && len(cw.buf) >= cw.budget
+}
+
+// parkedLenLocked is the number of deferred frames awaiting a drain;
+// cw.mu must be held.
+func (cw *connWriter) parkedLenLocked() int {
+	return len(cw.parked) - cw.parkedHead
+}
+
+// drainedParked reports how many deferred frames have left the parked
+// queue (flushed onto a batch, or discarded by teardown). Compared
+// against the sequence number frameDeferred returns, it tells a
+// producer whether an earlier deferred frame is still queued — which
+// is what lets optional frames (the server's coalesced block errors)
+// be skipped only while a predecessor genuinely still covers them.
+func (cw *connWriter) drainedParked() uint64 {
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	return cw.parkedDrained
+}
+
+// appendLocked encodes f onto the current batch; cw.mu must be held.
+// It reports whether this append was the empty->non-empty transition
+// (the only one that needs to signal the writer goroutine).
+func (cw *connWriter) appendLocked(f *frame) (wasEmpty bool) {
+	wasEmpty = len(cw.buf) == 0
+	cw.buf = appendFrame(cw.buf, f)
+	cw.bufN++
+	cw.st.Frames++
+	if n := uint64(len(cw.buf)); n > cw.st.MaxBatchBytes {
+		cw.st.MaxBatchBytes = n
+	}
+	return wasEmpty
+}
+
+// drainFutureLocked returns the future completed when the batch next
+// drains below low water (or the writer dies); cw.mu must be held.
+func (cw *connWriter) drainFutureLocked() *future.Future {
+	if cw.drain == nil {
+		cw.drain = future.New()
+	}
+	return cw.drain
+}
+
+// takeDrainersLocked claims the drain future for completion if the
+// batch is below low water (always claims when the writer is closed);
+// cw.mu must be held. The caller completes the result off the lock.
+func (cw *connWriter) takeDrainersLocked() *future.Future {
+	if cw.drain == nil {
+		return nil
+	}
+	if !cw.closed && cw.budget > 0 && len(cw.buf) > cw.lowWater {
+		return nil
+	}
+	d := cw.drain
+	cw.drain = nil
+	return d
+}
+
+// frame encodes f onto the current batch, parking the caller while the
+// batch is at the byte budget (the stall completes when the writer
+// drains below low water). It reports false when the writer is dead
+// (write failure, or close/kill) — the frame is dropped then, which is
+// correct for both ends: a dead connection delivers nothing either
+// way. This is the client-side producer path; it may block, so it must
+// never run on a reader goroutine or inside a completion callback.
 func (cw *connWriter) frame(f *frame) bool {
+	for {
+		cw.mu.Lock()
+		if cw.closed {
+			cw.mu.Unlock()
+			return false
+		}
+		if !cw.overBudgetLocked() {
+			wasEmpty := cw.appendLocked(f)
+			cw.mu.Unlock()
+			if wasEmpty {
+				// Only the empty->non-empty transition needs a signal:
+				// a non-empty batch means the writer is mid-write and
+				// will loop.
+				cw.cond.Signal()
+			}
+			return true
+		}
+		cw.st.Stalls++
+		d := cw.drainFutureLocked()
+		cw.mu.Unlock()
+		d.Get() //nolint:errcheck // wake-and-recheck; state is re-read
+	}
+}
+
+// frameDeferred encodes f onto the current batch if the budget allows,
+// and otherwise parks a detached copy to be appended when the batch
+// drains — it never blocks, making it the only legal producer path on
+// the server's reader-driven demux side (completion callbacks run on
+// the reader or a pool worker). ok is false when the writer is dead.
+// parkedSeq is zero when the frame went straight onto the batch, else
+// the frame's 1-based position in the total deferred sequence: the
+// frame has left the queue once drainedParked() reaches it. FIFO order
+// between deferred frames is preserved: once anything is parked, later
+// frames park behind it.
+func (cw *connWriter) frameDeferred(f *frame) (ok bool, parkedSeq uint64) {
 	cw.mu.Lock()
 	if cw.closed {
 		cw.mu.Unlock()
-		return false
+		return false, 0
 	}
-	wasEmpty := len(cw.buf) == 0
-	cw.buf = appendFrame(cw.buf, f)
-	cw.frames++
+	if cw.parkedLenLocked() == 0 && !cw.overBudgetLocked() {
+		wasEmpty := cw.appendLocked(f)
+		cw.mu.Unlock()
+		if wasEmpty {
+			cw.cond.Signal()
+		}
+		return true, 0
+	}
+	// Park a copy that owns its fields: the caller may reuse f (and
+	// its args) the moment we return.
+	pf := *f
+	if len(f.args) > 0 {
+		pf.args = append([]int64(nil), f.args...)
+	}
+	cw.parked = append(cw.parked, pf)
+	cw.st.Frames++
+	cw.st.Parked++
+	if n := uint64(cw.parkedLenLocked()); n > cw.st.MaxParkedFrames {
+		cw.st.MaxParkedFrames = n
+	}
+	seq := cw.st.Parked
 	cw.mu.Unlock()
-	if wasEmpty {
-		// Only the empty->non-empty transition needs a signal: a
-		// non-empty batch means the writer is mid-write and will loop.
-		cw.cond.Signal()
-	}
-	return true
+	// No signal needed: parked is only reachable with a full (hence
+	// non-empty) batch, so the writer goroutine is already committed
+	// to another swap and will pick parked frames up there.
+	return true, seq
 }
 
-// stats returns the frames-appended and flush (conn.Write) counts.
-func (cw *connWriter) stats() (frames, flushes uint64) {
+// refillLocked moves parked frames onto the batch up to the budget;
+// cw.mu must be held. Pops advance a head cursor instead of shifting
+// the slice, so draining a large deferred backlog stays linear; the
+// consumed prefix is compacted away once it dominates the array.
+func (cw *connWriter) refillLocked() {
+	for cw.parkedHead < len(cw.parked) && !cw.overBudgetLocked() {
+		cw.appendLocked(&cw.parked[cw.parkedHead])
+		cw.st.Frames-- // appendLocked recounts; the frame was counted when parked
+		cw.parked[cw.parkedHead] = frame{}
+		cw.parkedHead++
+		cw.parkedDrained++
+	}
+	switch {
+	case cw.parkedHead == len(cw.parked):
+		cw.parked = cw.parked[:0]
+		cw.parkedHead = 0
+		if cap(cw.parked) > 4096 {
+			cw.parked = nil // one burst must not pin the queue's array
+		}
+	case cw.parkedHead > 64 && cw.parkedHead > len(cw.parked)/2:
+		n := copy(cw.parked, cw.parked[cw.parkedHead:])
+		clear(cw.parked[n:])
+		cw.parked = cw.parked[:n]
+		cw.parkedHead = 0
+	}
+}
+
+// stats returns a snapshot of the writer's counters.
+func (cw *connWriter) stats() writerStats {
 	cw.mu.Lock()
 	defer cw.mu.Unlock()
-	return cw.frames, cw.flushes
+	return cw.st
 }
 
 func (cw *connWriter) loop() {
 	defer close(cw.done)
 	cw.mu.Lock()
 	for {
-		for len(cw.buf) == 0 && !cw.closed {
+		for len(cw.buf) == 0 && cw.parkedLenLocked() == 0 && !cw.closed {
 			cw.cond.Wait()
 		}
-		if len(cw.buf) == 0 {
+		if len(cw.buf) == 0 && cw.parkedLenLocked() == 0 {
 			cw.mu.Unlock()
 			return // closed and drained
 		}
-		batch := cw.buf
+		cw.refillLocked() // close() may race a park past the last swap
+		batch, batchN := cw.buf, cw.bufN
 		cw.buf, cw.spare = cw.spare[:0], batch
-		cw.flushes++
+		cw.bufN = 0
+		cw.st.Flushes++
+		// The batch just emptied: pull deferred frames in (budget
+		// permitting) and release stalled producers if below low water.
+		cw.refillLocked()
+		d := cw.takeDrainersLocked()
 		cw.mu.Unlock()
+		if d != nil {
+			d.Complete(nil)
+		}
 
 		_, err := cw.w.Write(batch)
 		if cap(batch) > writerHighWater {
@@ -111,9 +334,21 @@ func (cw *connWriter) loop() {
 				cw.err = err
 			}
 			cw.closed = true
-			cw.buf = cw.buf[:0] // queued frames can never be delivered
+			// Everything accepted but undelivered is lost: the batch
+			// that failed mid-write, frames appended since it started,
+			// and the parked queue. Count them — frame()/frameDeferred
+			// already told their producers "accepted".
+			cw.st.Dropped += uint64(batchN + cw.bufN + cw.parkedLenLocked())
+			cw.parkedDrained += uint64(cw.parkedLenLocked())
+			cw.buf = cw.buf[:0]
+			cw.bufN = 0
+			cw.parked, cw.parkedHead = nil, 0
 			cw.spare = batch[:0]
+			d := cw.takeDrainersLocked()
 			cw.mu.Unlock()
+			if d != nil {
+				d.Complete(nil) // stalled producers recheck and see closed
+			}
 			if cw.onErr != nil {
 				cw.onErr(err)
 			}
@@ -127,22 +362,38 @@ func (cw *connWriter) loop() {
 }
 
 // close flushes any queued frames and stops the writer, waiting for the
-// goroutine to exit. Idempotent; safe to call concurrently with kill.
+// goroutine to exit. Producers stalled at the budget are released (and
+// see the writer as dead). Idempotent; safe to call concurrently with
+// kill.
 func (cw *connWriter) close() {
 	cw.mu.Lock()
 	cw.closed = true
+	d := cw.takeDrainersLocked()
 	cw.mu.Unlock()
+	if d != nil {
+		d.Complete(nil)
+	}
 	cw.cond.Signal()
 	<-cw.done
 }
 
-// kill stops the writer without flushing or waiting. It is the teardown
-// used on a dead connection — including from onErr-adjacent paths where
-// waiting for the goroutine would deadlock.
+// kill stops the writer without flushing or waiting, dropping queued
+// and parked frames (counted in Dropped) and releasing stalled
+// producers. It is the teardown used on a dead connection — including
+// from onErr-adjacent paths where waiting for the goroutine would
+// deadlock.
 func (cw *connWriter) kill() {
 	cw.mu.Lock()
 	cw.closed = true
+	cw.st.Dropped += uint64(cw.bufN + cw.parkedLenLocked())
+	cw.parkedDrained += uint64(cw.parkedLenLocked())
 	cw.buf = cw.buf[:0]
+	cw.bufN = 0
+	cw.parked, cw.parkedHead = nil, 0
+	d := cw.takeDrainersLocked()
 	cw.mu.Unlock()
+	if d != nil {
+		d.Complete(nil)
+	}
 	cw.cond.Signal()
 }
