@@ -6,9 +6,14 @@
 //
 //	qsbench [flags]
 //
-//	-experiment all|table1|table2|table3|table4|table5|
-//	            fig16|fig17|fig18|fig19|fig20|executor|steal|futures|
-//	            remote|summary (comma-separate to run several)
+//	-experiment NAME[,NAME...]  experiments to run; "all" runs every
+//	            one in order. The canonical list lives in
+//	            experimentOrder below (flag help and error messages are
+//	            generated from it): the paper's tables and figures
+//	            (table1..5, fig16..20), the repo's scheduler and
+//	            transport studies (eve, executor, steal, futures,
+//	            remote, flow), the Cowichan suite on the unified
+//	            scheduler (cowichan), and the roll-up (summary).
 //	-json path  also write machine-readable results (experiment,
 //	            config, medians, counters) for BENCH_*.json trajectory
 //	            files
@@ -40,6 +45,36 @@ import (
 	"scoopqs/internal/harness"
 )
 
+// experimentOrder is the canonical experiment list: the run order of
+// -experiment all, and the source of the flag help and error text.
+// Adding an experiment means adding it here and in experimentTable —
+// main fails fast if the two drift apart.
+var experimentOrder = []string{
+	"table1", "fig16", "table2", "fig17", "table3",
+	"fig18", "fig19", "table4", "table5", "fig20",
+	"eve", "executor", "steal", "futures", "remote", "flow",
+	"cowichan", "summary",
+}
+
+// experimentTable binds each name to its Options method.
+func experimentTable(o harness.Options) map[string]func() {
+	return map[string]func(){
+		"table1": o.Table1, "fig16": o.Fig16,
+		"table2": o.Table2, "fig17": o.Fig17,
+		"table3": o.Table3,
+		"fig18":  o.Fig18, "fig19": o.Fig19, "table4": o.Table4,
+		"table5": o.Table5, "fig20": o.Fig20,
+		"eve":      o.Eve,
+		"executor": o.Executor,
+		"steal":    o.Steal,
+		"futures":  o.Futures,
+		"remote":   o.Remote,
+		"flow":     o.Flow,
+		"cowichan": o.Cowichan,
+		"summary":  o.Summary,
+	}
+}
+
 // configByName resolves the paper's configuration labels
 // (case-insensitive; "Dyn." accepted for Dynamic).
 func configByName(name string) (core.Config, bool) {
@@ -59,7 +94,8 @@ func configByName(name string) (core.Config, bool) {
 }
 
 func main() {
-	experiment := flag.String("experiment", "all", "experiment to run (all, table1..5, fig16..20, executor, steal, futures, remote, summary)")
+	experiment := flag.String("experiment", "all",
+		"experiment to run: all, "+strings.Join(experimentOrder, ", ")+" (comma-separate to run several)")
 	size := flag.String("size", "small", "problem sizes: small or paper")
 	reps := flag.Int("reps", 3, "repetitions per measurement")
 	workers := flag.Int("workers", 0, "workers/handlers (default: NumCPU, min 2)")
@@ -114,34 +150,27 @@ func main() {
 	fmt.Printf("qsbench: host CPUs=%d, workers=%d, reps=%d, cow=%+v, conc=%+v\n",
 		runtime.NumCPU(), o.Workers, o.Reps, o.Cow, o.Conc)
 
-	experiments := map[string]func(){
-		"table1": o.Table1, "fig16": o.Fig16,
-		"table2": o.Table2, "fig17": o.Fig17,
-		"table3": o.Table3,
-		"fig18":  o.Fig18, "fig19": o.Fig19, "table4": o.Table4,
-		"table5": o.Table5, "fig20": o.Fig20,
-		"eve":      o.Eve,
-		"executor": o.Executor,
-		"steal":    o.Steal,
-		"futures":  o.Futures,
-		"remote":   o.Remote,
-		"flow":     o.Flow,
-		"summary":  o.Summary,
+	experiments := experimentTable(o)
+	if len(experiments) != len(experimentOrder) {
+		fatalf("experiment table and order list drifted (%d vs %d entries)", len(experiments), len(experimentOrder))
 	}
-	order := []string{"table1", "fig16", "table2", "fig17", "table3",
-		"fig18", "fig19", "table4", "table5", "fig20", "eve", "executor", "steal", "futures", "remote", "flow", "summary"}
+	for _, n := range experimentOrder {
+		if _, ok := experiments[n]; !ok {
+			fatalf("experiment %q is in the order list but not the table", n)
+		}
+	}
 
 	for _, name := range strings.Split(*experiment, ",") {
 		name = strings.TrimSpace(name)
 		if name == "all" {
-			for _, n := range order {
+			for _, n := range experimentOrder {
 				experiments[n]()
 			}
 			continue
 		}
 		f, ok := experiments[name]
 		if !ok {
-			fatalf("unknown -experiment %q (want all, %s)", name, strings.Join(order, ", "))
+			fatalf("unknown -experiment %q (want all, %s)", name, strings.Join(experimentOrder, ", "))
 		}
 		f()
 	}

@@ -61,6 +61,29 @@
 // See the README's "Scheduler" section for the ordering and wake-path
 // details, and `qsbench -experiment steal` for the measured sweep.
 //
+// The pool also carries fork-join work: internal/sched exposes a
+// TaskGroup (Spawn/Wait) and TBB-style skeletons (ParallelFor,
+// ParallelReduce, ParallelSort) whose one-shot tasks ride the same
+// deques as the handler steps — a spawn from worker code takes the
+// owner's local fast path, idle workers steal it like any handler
+// wake, so data-parallel kernels and message-passing handlers share
+// one scheduler (Runtime.Executor exposes the pool; nil in dedicated
+// mode). A spawner's own tasks run newest-first while thieves take
+// its oldest — depth-first execution with breadth-first stealing —
+// and handler fairness needs nothing new, since tasks are finite
+// units under the same budget/steal machinery. Wait helps before it
+// parks: it runs fork-join tasks found in its own queues, the
+// injector, or victims' deques (handler runnables it uncovers are
+// republished through the injector, never executed mid-join), making
+// joins deadlock-free on a one-worker pool; an exhausted waiter parks
+// inside a BlockingBegin/End bracket, so the compensation machinery
+// treats a task join like any other blocking section — which is why
+// Wait is legal inside a handler step. Task panics re-raise at the
+// join. Stats adds TasksSpawned, TaskSteals, and TaskWaitParks; `go
+// run ./cmd/qsbench -experiment cowichan` sweeps the Cowichan suite
+// (every paradigm, including the fork-join "cxx" stand-in and the
+// pooled Qs runtime) on the unified scheduler.
+//
 // Compensation is a last resort, though: the futures subsystem lets
 // handler code wait without blocking at all. Session.CallFuture (and
 // the typed QueryAsync) log a query whose result resolves a Future

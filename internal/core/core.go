@@ -164,6 +164,12 @@ type Stats struct {
 	Steals         int64 // tasks migrated between workers by stealing
 	InjectorPushes int64 // wakes routed through the shared injector
 	LocalPushes    int64 // wakes fast-pathed onto a worker's own deque
+
+	// Fork-join layer counters (see sched.TaskGroup). Nonzero only when
+	// client or handler code uses the parallel skeletons on the pool.
+	TasksSpawned  int64 // fork-join tasks spawned via TaskGroup.Spawn
+	TaskSteals    int64 // fork-join tasks that migrated to another worker
+	TaskWaitParks int64 // TaskGroup.Wait parks after helping found nothing
 }
 
 type statsCounters struct {
@@ -285,8 +291,17 @@ func (rt *Runtime) Stats() Stats {
 	if rt.exec != nil {
 		st.WorkerSpawns, st.WorkerParks = rt.exec.Counters()
 		st.Steals, st.InjectorPushes, st.LocalPushes = rt.exec.StealCounters()
+		st.TasksSpawned, st.TaskSteals, st.TaskWaitParks = rt.exec.TaskCounters()
 	}
 	return st
+}
+
+// Executor exposes the runtime's work-stealing pool so clients can run
+// fork-join work (sched.ParallelFor and friends) on the same workers
+// that serve the handlers. Nil in dedicated-goroutine mode
+// (cfg.Workers == 0), where there is no shared pool to join.
+func (rt *Runtime) Executor() *sched.Executor {
+	return rt.exec
 }
 
 // Handlers returns the handlers created so far, in creation order.

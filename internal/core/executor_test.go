@@ -6,6 +6,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"scoopqs/internal/sched"
 )
 
 // pooledAll is ConfigAll on a small pool, forcing real multiplexing in
@@ -282,5 +284,42 @@ func TestExecutorStatsCounters(t *testing.T) {
 	st2 := rt2.Stats()
 	if st2.Schedules != 0 || st2.WorkerSpawns != 0 || st2.WorkerParks != 0 {
 		t.Errorf("dedicated mode leaked executor stats: %+v", st2)
+	}
+}
+
+// Fork-join work issued from inside a handler call, on the same
+// executor that runs the handler: the calling step occupies a worker
+// for its whole duration, so on a one-worker pool the join must help
+// or compensate rather than park the only worker against its own
+// spawned tasks. This is the unified-scheduler contract — data-parallel
+// skeletons and handler steps sharing one pool.
+func TestForkJoinInsideHandlerCall(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		rt := New(pooledAll(workers))
+		h := rt.NewHandler("h")
+		c := rt.NewClient()
+		var sum int64 // handler-owned until synced below
+		c.Separate(h, func(s *Session) {
+			s.Call(func() {
+				sum = sched.ParallelReduce(rt.Executor(), 0, 10000, 64,
+					func(lo, hi int) int64 {
+						var acc int64
+						for i := lo; i < hi; i++ {
+							acc += int64(i)
+						}
+						return acc
+					},
+					func(a, b int64) int64 { return a + b })
+			})
+			s.SyncNow()
+		})
+		if want := int64(10000) * 9999 / 2; sum != want {
+			t.Fatalf("workers=%d: sum = %d, want %d", workers, sum, want)
+		}
+		rt.Shutdown()
+		st := rt.Stats()
+		if st.TasksSpawned == 0 {
+			t.Errorf("workers=%d: TasksSpawned = 0 after in-handler fork-join", workers)
+		}
 	}
 }

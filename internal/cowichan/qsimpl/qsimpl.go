@@ -28,6 +28,7 @@ import (
 
 	"scoopqs/internal/core"
 	"scoopqs/internal/cowichan"
+	"scoopqs/internal/sched"
 )
 
 // pullMode selects the query strategy implied by the configuration.
@@ -315,9 +316,18 @@ func (im *Impl) Winnow(m *cowichan.Matrix, mask *cowichan.Mask, nw int) ([]cowic
 		}
 		t.Comm += time.Since(t2)
 
-		// Sort and select on the client.
+		// Sort and select on the client. When the runtime is pooled, the
+		// sort is fork-join work on the same executor that runs the
+		// handlers — the unified scheduler serving both workloads; in
+		// dedicated-goroutine mode there is no pool to join, so sort
+		// sequentially. Point.Less is a total order, so both paths give
+		// the identical permutation.
 		t3 := time.Now()
-		sort.Slice(pts, func(a, b int) bool { return pts[a].Less(pts[b]) })
+		if e := im.rt.Executor(); e != nil {
+			sched.ParallelSort(e, pts, func(a, b cowichan.Point) bool { return a.Less(b) })
+		} else {
+			sort.Slice(pts, func(a, b int) bool { return pts[a].Less(pts[b]) })
+		}
 		sel = cowichan.SelectPoints(pts, nw)
 		t.Compute += time.Since(t3)
 	})

@@ -1,39 +1,47 @@
-// Package tbbimpl implements the Cowichan kernels on the work-stealing
-// pool of internal/tbb: ParallelFor over row ranges, ParallelReduce for
-// the histogram, ParallelSort for winnow. This is the "cxx"
-// (C++/TBB) comparator of the paper's language study — the unguarded
-// shared-memory performance ceiling.
+// Package tbbimpl implements the Cowichan kernels on the unified
+// work-stealing executor of internal/sched: ParallelFor over row
+// ranges, ParallelReduce for the histogram, ParallelSort for winnow.
+// This is the "cxx" (C++/TBB) comparator of the paper's language study
+// — the unguarded shared-memory performance ceiling — and since the
+// fork-join fold-in it runs on the same scheduler that serves the Qs
+// handler runtime, so data-parallel kernels and handler traffic can
+// share one worker pool.
 package tbbimpl
 
 import (
 	"time"
 
 	"scoopqs/internal/cowichan"
-	"scoopqs/internal/tbb"
+	"scoopqs/internal/sched"
 )
 
-// Impl runs the kernels on a private work-stealing pool.
+// Impl runs the kernels on a private instance of the unified executor.
 type Impl struct {
-	pool  *tbb.Pool
+	exec  *sched.Executor
 	grain int
 }
 
-// New creates an implementation backed by a pool of the given size.
+// New creates an implementation backed by an executor of the given
+// worker count.
 func New(workers int) *Impl {
-	return &Impl{pool: tbb.NewPool(workers), grain: 8}
+	return &Impl{exec: sched.NewExecutor(workers), grain: 8}
 }
+
+// Executor exposes the backing executor, so harness code can read its
+// task counters after a run.
+func (im *Impl) Executor() *sched.Executor { return im.exec }
 
 // Name implements cowichan.Impl.
 func (*Impl) Name() string { return "cxx" }
 
 // Close implements cowichan.Impl.
-func (im *Impl) Close() { im.pool.Close() }
+func (im *Impl) Close() { im.exec.Stop() }
 
 // Randmat implements cowichan.Impl.
 func (im *Impl) Randmat(p cowichan.Params) (*cowichan.Matrix, cowichan.Timing) {
 	start := time.Now()
 	m := cowichan.NewMatrix(p.NR)
-	im.pool.ParallelFor(0, p.NR, im.grain, func(lo, hi int) {
+	sched.ParallelFor(im.exec, 0, p.NR, im.grain, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			cowichan.FillRow(m.Row(i), p.Seed, i)
 		}
@@ -44,7 +52,7 @@ func (im *Impl) Randmat(p cowichan.Params) (*cowichan.Matrix, cowichan.Timing) {
 // Thresh implements cowichan.Impl.
 func (im *Impl) Thresh(m *cowichan.Matrix, pct int) (*cowichan.Mask, cowichan.Timing) {
 	start := time.Now()
-	hist := tbb.ParallelReduce(im.pool, 0, m.N, im.grain,
+	hist := sched.ParallelReduce(im.exec, 0, m.N, im.grain,
 		func(lo, hi int) []int {
 			h := make([]int, cowichan.MaxValue)
 			for _, v := range m.A[lo*m.N : hi*m.N] {
@@ -60,7 +68,7 @@ func (im *Impl) Thresh(m *cowichan.Matrix, pct int) (*cowichan.Mask, cowichan.Ti
 		})
 	cut := cowichan.ThresholdFromHist(hist, len(m.A), pct)
 	mask := cowichan.NewMask(m.N)
-	im.pool.ParallelFor(0, m.N, im.grain, func(lo, hi int) {
+	sched.ParallelFor(im.exec, 0, m.N, im.grain, func(lo, hi int) {
 		for k := lo * m.N; k < hi*m.N; k++ {
 			mask.B[k] = m.A[k] >= cut
 		}
@@ -71,10 +79,10 @@ func (im *Impl) Thresh(m *cowichan.Matrix, pct int) (*cowichan.Mask, cowichan.Ti
 // Winnow implements cowichan.Impl.
 func (im *Impl) Winnow(m *cowichan.Matrix, mask *cowichan.Mask, nw int) ([]cowichan.Point, cowichan.Timing) {
 	start := time.Now()
-	pts := tbb.ParallelReduce(im.pool, 0, m.N, im.grain,
+	pts := sched.ParallelReduce(im.exec, 0, m.N, im.grain,
 		func(lo, hi int) []cowichan.Point { return cowichan.CollectPoints(m, mask, lo, hi) },
 		func(a, b []cowichan.Point) []cowichan.Point { return append(a, b...) })
-	tbb.ParallelSort(im.pool, pts, func(a, b cowichan.Point) bool { return a.Less(b) })
+	sched.ParallelSort(im.exec, pts, func(a, b cowichan.Point) bool { return a.Less(b) })
 	sel := cowichan.SelectPoints(pts, nw)
 	return sel, cowichan.Timing{Compute: time.Since(start)}
 }
@@ -85,7 +93,7 @@ func (im *Impl) Outer(pts []cowichan.Point) (*cowichan.FMatrix, cowichan.Vector,
 	n := len(pts)
 	om := cowichan.NewFMatrix(n)
 	vec := make(cowichan.Vector, n)
-	im.pool.ParallelFor(0, n, im.grain, func(lo, hi int) {
+	sched.ParallelFor(im.exec, 0, n, im.grain, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			cowichan.OuterRow(om.Row(i), pts, i)
 			vec[i] = cowichan.OriginDistance(pts[i])
@@ -98,7 +106,7 @@ func (im *Impl) Outer(pts []cowichan.Point) (*cowichan.FMatrix, cowichan.Vector,
 func (im *Impl) Product(m *cowichan.FMatrix, v cowichan.Vector) (cowichan.Vector, cowichan.Timing) {
 	start := time.Now()
 	out := make(cowichan.Vector, m.N)
-	im.pool.ParallelFor(0, m.N, im.grain, func(lo, hi int) {
+	sched.ParallelFor(im.exec, 0, m.N, im.grain, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			out[i] = cowichan.DotRow(m.Row(i), v)
 		}

@@ -20,7 +20,7 @@ func TestWorkerCountsProduceIdenticalResults(t *testing.T) {
 }
 
 // The histogram reduce must be deterministic despite work stealing:
-// combines happen in range order (see tbb.ParallelReduce).
+// combines happen in range order (see sched.ParallelReduce).
 func TestThreshDeterministicUnderStealing(t *testing.T) {
 	p := cowichan.Params{NR: 64, P: 20, NW: 64, Seed: 8}
 	seq := cowichan.NewSeq()

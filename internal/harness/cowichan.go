@@ -1,0 +1,179 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"time"
+
+	"scoopqs/internal/core"
+	"scoopqs/internal/cowichan"
+	"scoopqs/internal/cowichan/qsimpl"
+	"scoopqs/internal/cowichan/tbbimpl"
+	"scoopqs/internal/sched"
+)
+
+// CowichanWorkers is the pool-size sweep of the cowichan experiment.
+var CowichanWorkers = []int{1, 4, 8}
+
+// cowichanCounters extracts the scheduler counters an implementation
+// can report: tbbimpl exposes its private executor, qsimpl its runtime.
+// Other paradigms (goroutines, STM, actors) have no sched substrate and
+// return nil.
+func cowichanCounters(im cowichan.Impl) map[string]int64 {
+	switch v := im.(type) {
+	case *tbbimpl.Impl:
+		spawned, steals, parks := v.Executor().TaskCounters()
+		execSteals, injPushes, localPushes := v.Executor().StealCounters()
+		return map[string]int64{
+			"tasks_spawned":   spawned,
+			"task_steals":     steals,
+			"task_wait_parks": parks,
+			"steals":          execSteals,
+			"injector_pushes": injPushes,
+			"local_pushes":    localPushes,
+		}
+	case *qsimpl.Impl:
+		st := v.Runtime().Stats()
+		return map[string]int64{
+			"tasks_spawned":   st.TasksSpawned,
+			"task_steals":     st.TaskSteals,
+			"task_wait_parks": st.TaskWaitParks,
+			"steals":          st.Steals,
+			"injector_pushes": st.InjectorPushes,
+			"local_pushes":    st.LocalPushes,
+		}
+	}
+	return nil
+}
+
+// Cowichan sweeps the full Cowichan chain over problem size NR, pool
+// size, and implementation, asserting exact cross-implementation
+// equality against the sequential reference on every cell — the suite
+// behind the paper's §4 language study, now running every parallel
+// paradigm on request. cxx (fork-join skeletons) and Qs (handler
+// runtime) both execute on the unified internal/sched executor, so
+// their rows carry its task and steal counters; a dedicated
+// ParallelSort row sizes the skeleton the winnow kernel leans on.
+func (o Options) Cowichan() {
+	sizes := []int{cowichan.BenchParams().NR}
+	if o.Cow.NR != sizes[0] {
+		sizes = append(sizes, o.Cow.NR)
+	}
+	langs := append([]string{"seq"}, CowLangs...)
+
+	section(o.Out, "Cowichan",
+		fmt.Sprintf("Cowichan chain sweep: NR %v x Workers %v x implementation,\nexact equality asserted against seq; cxx and Qs run on the unified\ninternal/sched executor (task counters shown). ParallelSort row: %d\nrandom ints on the fork-join skeletons.", sizes, CowichanWorkers, sortBenchN))
+
+	tb := newTable(o.Out)
+	tb.row("NR", "Impl", "Workers", "time(s)", "comp(s)", "comm(s)", "spawned", "task-steals", "wait-parks")
+	for _, nr := range sizes {
+		p := o.Cow
+		p.NR = nr
+		if p.NW > nr {
+			p.NW = nr
+		}
+		want := cowichan.Chain(cowichan.NewSeq(), p).Result
+		for _, lang := range langs {
+			for _, workers := range CowichanWorkers {
+				if lang == "seq" && workers != 1 {
+					continue // no pool to sweep
+				}
+				// Qs runs pooled at the sweep's worker count — handlers
+				// multiplexed on the unified executor is the point of the
+				// sweep; dedicated-goroutine mode is the other experiments'
+				// territory.
+				cfg := core.ConfigAll.WithWorkers(workers)
+				var t cowichan.Timing
+				var counters map[string]int64
+				t = o.MeasureTiming(func() cowichan.Timing {
+					im := NewImpl(lang, cfg, workers)
+					defer im.Close()
+					cr := cowichan.Chain(im, p)
+					if !cr.Result.Equal(want) {
+						panic(fmt.Sprintf("harness: %s diverges from seq at NR=%d workers=%d", lang, nr, workers))
+					}
+					counters = cowichanCounters(im)
+					return cr.Timing
+				})
+				cells := []string{strconv.Itoa(nr), lang, strconv.Itoa(workers),
+					Seconds(t.Total()), Seconds(t.Compute), Seconds(t.Comm), "-", "-", "-"}
+				if counters != nil {
+					cells[6] = fmt.Sprintf("%d", counters["tasks_spawned"])
+					cells[7] = fmt.Sprintf("%d", counters["task_steals"])
+					cells[8] = fmt.Sprintf("%d", counters["task_wait_parks"])
+				}
+				tb.row(cells...)
+				o.Rec.Add(Result{
+					Experiment: "cowichan",
+					Labels: map[string]string{
+						"task":    "chain",
+						"impl":    lang,
+						"nr":      strconv.Itoa(nr),
+						"workers": strconv.Itoa(workers),
+					},
+					Medians: map[string]float64{
+						"seconds": t.Total().Seconds(),
+						"compute": t.Compute.Seconds(),
+						"comm":    t.Comm.Seconds(),
+					},
+					Counters: counters,
+				})
+			}
+		}
+	}
+	tb.flush()
+	o.cowichanSort()
+}
+
+// sortBenchN is the element count of the standalone ParallelSort row —
+// large enough to split several levels past sortGrain.
+const sortBenchN = 1 << 20
+
+// cowichanSort measures sched.ParallelSort alone (the skeleton winnow
+// leans on) across the worker sweep, with a sequential-stability check.
+func (o Options) cowichanSort() {
+	tb := newTable(o.Out)
+	tb.row("Sort", "Workers", "time(s)", "spawned", "task-steals", "wait-parks")
+	for _, workers := range CowichanWorkers {
+		var spawned, steals, parks int64
+		t := o.MeasureTiming(func() cowichan.Timing {
+			rng := rand.New(rand.NewSource(11))
+			data := make([]int64, sortBenchN)
+			for i := range data {
+				data[i] = rng.Int63()
+			}
+			e := sched.NewExecutor(workers)
+			start := time.Now()
+			sched.ParallelSort(e, data, func(a, b int64) bool { return a < b })
+			d := time.Since(start)
+			spawned, steals, parks = e.TaskCounters()
+			e.Stop()
+			for i := 1; i < len(data); i++ {
+				if data[i-1] > data[i] {
+					panic("harness: ParallelSort produced unsorted output")
+				}
+			}
+			return cowichan.Timing{Compute: d}
+		})
+		d := t.Compute
+		tb.row("parallel-sort", strconv.Itoa(workers), Seconds(d),
+			fmt.Sprintf("%d", spawned), fmt.Sprintf("%d", steals), fmt.Sprintf("%d", parks))
+		o.Rec.Add(Result{
+			Experiment: "cowichan",
+			Labels: map[string]string{
+				"task":    "parallel-sort",
+				"impl":    "cxx",
+				"n":       strconv.Itoa(sortBenchN),
+				"workers": strconv.Itoa(workers),
+			},
+			Medians: map[string]float64{"seconds": d.Seconds()},
+			Counters: map[string]int64{
+				"tasks_spawned":   spawned,
+				"task_steals":     steals,
+				"task_wait_parks": parks,
+			},
+		})
+	}
+	tb.flush()
+}

@@ -187,7 +187,7 @@ func (o Options) Table3() {
 		"Language characteristics (static; paper: Table 3). The repo's\nstand-ins implement the same coordination mechanics in Go.")
 	tb := newTable(o.Out)
 	tb.row("Language", "Races", "Threads", "Paradigm", "Memory", "Approach", "Stand-in")
-	tb.row("C++/TBB", "possible", "OS", "Imperative", "Shared", "Skeletons/traditional", "internal/tbb work-stealing pool")
+	tb.row("C++/TBB", "possible", "OS", "Imperative", "Shared", "Skeletons/traditional", "internal/sched fork-join skeletons")
 	tb.row("Go", "possible", "light", "Imperative", "Shared", "Goroutines/channels", "native goroutines+channels")
 	tb.row("Haskell", "none", "light", "Functional", "STM", "STM/Repa", "internal/stm + chunk-and-concat")
 	tb.row("Erlang", "none", "light", "Functional", "Non-shared", "Actors", "internal/actor deep-copy messages")

@@ -148,6 +148,9 @@ func (o Options) Steal() {
 					"schedules":       st.Schedules,
 					"worker_spawns":   st.WorkerSpawns,
 					"worker_parks":    st.WorkerParks,
+					"tasks_spawned":   st.TasksSpawned,
+					"task_steals":     st.TaskSteals,
+					"task_wait_parks": st.TaskWaitParks,
 				},
 			})
 		}

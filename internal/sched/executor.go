@@ -147,6 +147,12 @@ type Executor struct {
 	steals      atomic.Int64 // tasks migrated between workers
 	injPushes   atomic.Int64 // tasks enqueued through the injector
 	localPushes atomic.Int64 // tasks pushed onto a local deque
+
+	// Fork-join counters (see task.go).
+	tasksSpawned  atomic.Int64 // TaskGroup.Spawn calls
+	taskSteals    atomic.Int64 // fork-join tasks taken from another worker
+	taskWaitParks atomic.Int64 // TaskGroup.Wait parks after helping found nothing
+	helpSeq       atomic.Uint64 // victim rotation for worker-less helpers
 }
 
 // NewExecutor starts a pool of n workers (n must be positive).
@@ -418,6 +424,9 @@ func (e *Executor) sweep(w *Worker) *Task {
 		}
 		if t != nil {
 			e.steals.Add(1)
+			if isTask(t) {
+				e.taskSteals.Add(1)
+			}
 			if v.dq.nonEmpty() {
 				e.wakeOne() // the victim has more; fan out further
 			}
@@ -579,4 +588,12 @@ func (e *Executor) Counters() (spawns, parks int64) {
 // and tasks fast-pathed onto a local deque.
 func (e *Executor) StealCounters() (steals, injectorPushes, localPushes int64) {
 	return e.steals.Load(), e.injPushes.Load(), e.localPushes.Load()
+}
+
+// TaskCounters reports the fork-join layer's traffic: tasks spawned
+// through TaskGroup.Spawn, fork-join tasks that migrated to another
+// worker (worker sweeps and helping joins both count), and Wait parks
+// taken after a helping sweep found nothing runnable.
+func (e *Executor) TaskCounters() (spawned, taskSteals, waitParks int64) {
+	return e.tasksSpawned.Load(), e.taskSteals.Load(), e.taskWaitParks.Load()
 }

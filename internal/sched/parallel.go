@@ -1,0 +1,129 @@
+package sched
+
+import (
+	"sort"
+)
+
+// Parallel skeletons in the spirit of Intel Threading Building Blocks,
+// running on the executor's fork-join task layer (task.go). They are
+// the substrate standing in for C++/TBB in the paper's language
+// comparison — fork-join data parallelism over shared memory with
+// randomized work stealing and no safety guarantees, the performance
+// ceiling the safe models are measured against — and, because they ride
+// the same deques as the handler state machines, they let data-parallel
+// kernels and message-passing handlers share one worker pool.
+//
+// All three skeletons may be called from any goroutine; calls from
+// inside a spawned task or a handler step are fine (the joins help and,
+// as a last resort, park with blocking compensation). The executor must
+// outlive every call.
+
+// ParallelFor executes body over [lo, hi) by recursive range splitting
+// with the given grain size: ranges at or below grain run sequentially;
+// larger ranges split in half, with the right half spawned for
+// stealing. The calling goroutine runs the leftmost spine and then
+// helps execute outstanding tasks until the whole range has been
+// processed, so nested ParallelFor calls from inside tasks or handler
+// steps cannot deadlock the pool.
+func ParallelFor(e *Executor, lo, hi, grain int, body func(lo, hi int)) {
+	if grain < 1 {
+		grain = 1
+	}
+	if hi <= lo {
+		return
+	}
+	g := e.NewGroup()
+	var run func(w *Worker, lo, hi int)
+	run = func(w *Worker, lo, hi int) {
+		for hi-lo > grain {
+			mid := lo + (hi-lo)/2
+			right := hi
+			g.Spawn(w, func(w2 *Worker) { run(w2, mid, right) })
+			hi = mid
+		}
+		body(lo, hi)
+	}
+	run(nil, lo, hi)
+	g.Wait(nil)
+}
+
+// ParallelReduce folds leaf results over [lo, hi) with the same
+// splitting strategy as ParallelFor. combine must be associative; it is
+// applied in deterministic left-to-right range order, so deterministic
+// leaves give deterministic results even under stealing.
+func ParallelReduce[T any](e *Executor, lo, hi, grain int, leaf func(lo, hi int) T, combine func(a, b T) T) T {
+	if grain < 1 {
+		grain = 1
+	}
+	if hi <= lo {
+		var zero T
+		return zero
+	}
+	var run func(w *Worker, lo, hi int) T
+	run = func(w *Worker, lo, hi int) T {
+		if hi-lo <= grain {
+			return leaf(lo, hi)
+		}
+		mid := lo + (hi-lo)/2
+		var right T
+		g := e.NewGroup()
+		g.Spawn(w, func(w2 *Worker) { right = run(w2, mid, hi) })
+		left := run(w, lo, mid)
+		g.Wait(w)
+		return combine(left, right)
+	}
+	return run(nil, lo, hi)
+}
+
+// sortGrain is the range size below which ParallelSort falls back to
+// the standard library's sequential sort.
+const sortGrain = 2048
+
+// ParallelSort sorts data by less using parallel merge sort: halves
+// sort concurrently (one half spawned for stealing, with a helping
+// join) and are merged into a scratch buffer. The sort is stable —
+// merges take from the left half first — matching tbb::parallel_sort's
+// common use here (winnow needs a deterministic order, which stability
+// provides).
+func ParallelSort[T any](e *Executor, data []T, less func(a, b T) bool) {
+	if len(data) < 2 {
+		return
+	}
+	scratch := make([]T, len(data))
+	var run func(w *Worker, d, s []T)
+	run = func(w *Worker, d, s []T) {
+		if len(d) <= sortGrain {
+			sort.SliceStable(d, func(i, j int) bool { return less(d[i], d[j]) })
+			return
+		}
+		mid := len(d) / 2
+		g := e.NewGroup()
+		g.Spawn(w, func(w2 *Worker) { run(w2, d[mid:], s[mid:]) })
+		run(w, d[:mid], s[:mid])
+		g.Wait(w)
+		// Merge d[:mid] and d[mid:] into s, then copy back.
+		i, j, k := 0, mid, 0
+		for i < mid && j < len(d) {
+			if less(d[j], d[i]) {
+				s[k] = d[j]
+				j++
+			} else {
+				s[k] = d[i]
+				i++
+			}
+			k++
+		}
+		for i < mid {
+			s[k] = d[i]
+			i++
+			k++
+		}
+		for j < len(d) {
+			s[k] = d[j]
+			j++
+			k++
+		}
+		copy(d, s[:len(d)])
+	}
+	run(nil, data, scratch)
+}
