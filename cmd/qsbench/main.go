@@ -17,6 +17,11 @@
 //	-json path  also write machine-readable results (experiment,
 //	            config, medians, counters) for BENCH_*.json trajectory
 //	            files
+//	-trace path enable the internal/obs tracer for the whole run and
+//	            export a Chrome trace_event JSON file at exit (load it
+//	            in Perfetto or chrome://tracing)
+//	-baseline path  prior BENCH_*.json the obs experiment gates its
+//	            disabled-tracer overhead against
 //	-size      small|paper   problem sizes (paper sizes are large!)
 //	-reps      N             repetitions per measurement (median)
 //	-workers   N             worker/handler count at full width
@@ -43,6 +48,7 @@ import (
 	"scoopqs/internal/core"
 	"scoopqs/internal/cowichan"
 	"scoopqs/internal/harness"
+	"scoopqs/internal/obs"
 )
 
 // experimentOrder is the canonical experiment list: the run order of
@@ -53,7 +59,7 @@ var experimentOrder = []string{
 	"table1", "fig16", "table2", "fig17", "table3",
 	"fig18", "fig19", "table4", "table5", "fig20",
 	"eve", "executor", "steal", "futures", "remote", "flow",
-	"cowichan", "summary",
+	"cowichan", "obs", "summary",
 }
 
 // experimentTable binds each name to its Options method.
@@ -71,6 +77,7 @@ func experimentTable(o harness.Options) map[string]func() {
 		"remote":   o.Remote,
 		"flow":     o.Flow,
 		"cowichan": o.Cowichan,
+		"obs":      o.Obs,
 		"summary":  o.Summary,
 	}
 }
@@ -103,7 +110,15 @@ func main() {
 	config := flag.String("config", "", "restrict optimization sweeps to one configuration (None, Dynamic, Static, QoQ, All)")
 	cores := flag.String("cores", "", "comma-separated worker sweep for fig19/table4")
 	jsonPath := flag.String("json", "", "also write machine-readable results (experiment, config, medians, counters) to this path")
+	tracePath := flag.String("trace", "", "record internal/obs events for the whole run and write a Chrome trace_event JSON file here")
+	baseline := flag.String("baseline", "BENCH_PR7_obs.json", "prior BENCH_*.json the obs experiment gates disabled-tracer overhead against")
 	flag.Parse()
+
+	// Fail fast if the -json document shape drifted from its canonical
+	// key list (same discipline as the experiment-list check below).
+	if err := harness.SchemaSelfCheck(); err != nil {
+		fatalf("%v", err)
+	}
 
 	o := harness.Defaults(os.Stdout)
 	o.Reps = *reps
@@ -146,6 +161,10 @@ func main() {
 	if *jsonPath != "" {
 		o.Rec = &harness.Recorder{}
 	}
+	o.Baseline = *baseline
+	if *tracePath != "" {
+		obs.Enable()
+	}
 
 	fmt.Printf("qsbench: host CPUs=%d, workers=%d, reps=%d, cow=%+v, conc=%+v\n",
 		runtime.NumCPU(), o.Workers, o.Reps, o.Cow, o.Conc)
@@ -179,6 +198,24 @@ func main() {
 			fatalf("writing -json file: %v", err)
 		}
 		fmt.Fprintf(os.Stderr, "qsbench: wrote %d result rows to %s\n", len(o.Rec.Results), *jsonPath)
+	}
+	if *tracePath != "" {
+		// Disable before export for a consistent snapshot (live emitters
+		// would otherwise tear records mid-copy).
+		obs.Disable()
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatalf("creating -trace file: %v", err)
+		}
+		if err := obs.WriteChromeTrace(f); err != nil {
+			fatalf("writing -trace file: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("closing -trace file: %v", err)
+		}
+		kinds := obs.KindCounts()
+		fmt.Fprintf(os.Stderr, "qsbench: wrote %d trace events (%d kinds) to %s\n",
+			obs.EventCount(), len(kinds), *tracePath)
 	}
 }
 

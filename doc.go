@@ -121,6 +121,23 @@
 // bounds; see the README's "Remote" and "Flow control" sections for
 // the wire layout, flush policy, and window mechanics.
 //
+// All three layers are observable (internal/obs): scheduler dispatch
+// waits, worker parks, steals, and task spawn/join; handler state
+// transitions, await-park durations, and call/query/sync end-to-end
+// latencies; remote flush sizes, writer stalls, credit waits, and
+// per-channel round-trips. Events land in per-worker lock-free ring
+// buffers exportable as Chrome trace_event JSON (Perfetto-loadable;
+// every qsbench run takes -trace), durations additionally feed
+// sharded power-of-two-bucket histograms in a process-global named
+// registry (p50/p90/p99/max on the bench rows). Recording is off by
+// default behind one process-global flag, and the disabled contract
+// is strict: each instrumented site pays a single predictable branch
+// — no atomics on the data path, no allocation, nothing recorded.
+// `go run ./cmd/qsbench -experiment obs` measures that contract and
+// enforces it against the pre-instrumentation baseline (3% budget);
+// see the README's "Observability" section for the event kinds and
+// histogram semantics.
+//
 // # Quick start
 //
 //	rt := scoopqs.New(scoopqs.ConfigAll)

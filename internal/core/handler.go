@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"scoopqs/internal/future"
+	"scoopqs/internal/obs"
 	"scoopqs/internal/queue"
 	"scoopqs/internal/sched"
 )
@@ -44,6 +45,12 @@ type Handler struct {
 	task     *sched.Task
 	onWorker *sched.Worker
 	spin     int
+
+	// awaitStart is the obs timestamp of the last await park, written
+	// by the worker before the state moves to hAwaiting and consumed by
+	// awaitWake after its CAS out of hAwaiting — the state transition
+	// orders the accesses. Zero when recording was off at park time.
+	awaitStart int64
 
 	// awaitingOn publishes the future a parked await is waiting on, so
 	// the deadlock detector can follow await edges. Set before the
@@ -208,9 +215,18 @@ func (h *Handler) serviceAwaitBlocking(s *Session) {
 	for h.pendingAwait != nil {
 		req := h.pendingAwait
 		h.pendingAwait = nil
+		var t0 int64
+		if obs.Enabled() {
+			t0 = obs.Now()
+		}
 		h.awaitingOn.Store(req.fut)
 		v, err := req.fut.Get()
 		h.awaitingOn.Store(nil)
+		if t0 != 0 {
+			d := obs.Now() - t0
+			awaitHist.Observe(d)
+			obs.Emit(obs.KindAwaitPark, uint64(h.id), d)
+		}
 		h.runCont(s, req.cont, v, err)
 	}
 }
@@ -283,6 +299,9 @@ func (h *Handler) wakeFrom(w *sched.Worker) {
 		case hIdle:
 			if h.state.CompareAndSwap(hIdle, hReady) {
 				h.rt.stats.schedules.Add(1)
+				if obs.Enabled() {
+					emitOn(w, obs.KindHandlerReady, uint64(h.id), 0)
+				}
 				h.rt.exec.ReadyLocal(w, h.task)
 				return
 			}
@@ -315,6 +334,10 @@ const stepBudget = 1024
 func (h *Handler) Step(w *sched.Worker) {
 	h.onWorker = w
 	h.state.Store(hRunning)
+	var runT0 int64
+	if obs.Enabled() {
+		runT0 = obs.Now()
+	}
 	budget := stepBudget
 	for {
 		switch h.drain(&budget) {
@@ -325,11 +348,13 @@ func (h *Handler) Step(w *sched.Worker) {
 				h.state.Store(hRunning)
 				continue
 			}
+			h.noteRun(w, runT0)
 			h.rt.wg.Done()
 			return
 		case drainBudget:
 			h.state.Store(hReady)
 			h.rt.stats.schedules.Add(1)
+			h.noteRun(w, runT0)
 			// Through the injector, not the local deque: the budget
 			// exists to round-robin a saturated handler with everyone
 			// else's pending work, and a LIFO self-push would defeat it.
@@ -343,6 +368,10 @@ func (h *Handler) Step(w *sched.Worker) {
 			// wake is picked up then.
 			req := h.pendingAwait
 			h.rt.stats.awaitParks.Add(1)
+			h.noteRun(w, runT0)
+			if obs.Enabled() {
+				h.awaitStart = obs.Now()
+			}
 			h.awaitingOn.Store(req.fut)
 			h.state.Store(hAwaiting)
 			req.fut.OnComplete(func(any, error) { h.awaitWake() })
@@ -352,6 +381,7 @@ func (h *Handler) Step(w *sched.Worker) {
 			// CAS to hIdle another worker may immediately resume the
 			// handler and rewrite it.
 			parkedMidSession := h.cur != nil
+			h.noteRun(w, runT0)
 			if h.state.CompareAndSwap(hRunning, hIdle) {
 				if parkedMidSession {
 					// The client owns the next move; its enqueue will
@@ -363,8 +393,20 @@ func (h *Handler) Step(w *sched.Worker) {
 			// A wake arrived while draining (hRunningDirty): new work
 			// may have been enqueued after our last empty poll.
 			h.state.Store(hRunning)
+			if runT0 != 0 {
+				runT0 = obs.Now() // new pass, new span
+			}
 		}
 	}
+}
+
+// noteRun emits the handler-run span of one Step pass; no-op when the
+// pass started with recording off.
+func (h *Handler) noteRun(w *sched.Worker, t0 int64) {
+	if t0 == 0 {
+		return
+	}
+	emitOn(w, obs.KindHandlerRun, uint64(h.id), obs.Now()-t0)
 }
 
 // drainOutcome says why a drain pass stopped.
@@ -385,6 +427,12 @@ const (
 // threaded through future callbacks.
 func (h *Handler) awaitWake() {
 	if h.state.CompareAndSwap(hAwaiting, hReady) {
+		if t0 := h.awaitStart; t0 != 0 {
+			h.awaitStart = 0
+			d := obs.Now() - t0
+			awaitHist.Observe(d)
+			obs.Emit(obs.KindAwaitPark, uint64(h.id), d)
+		}
 		h.awaitingOn.Store(nil)
 		h.rt.stats.schedules.Add(1)
 		h.rt.exec.Ready(h.task)
@@ -484,6 +532,13 @@ func (h *Handler) execOne(s *Session, c call) (ended bool) {
 		h.notifyWaiters(s.ownerWait)
 		return true
 	case callCall:
+		if c.at != 0 {
+			// Log→execution latency of an async call; the stamp is only
+			// written while recording is enabled (see Session.Call).
+			d := obs.Now() - c.at
+			callExecHist.Observe(d)
+			emitOn(h.onWorker, obs.KindCall, uint64(h.id), d)
+		}
 		h.execCall(s, c.fn)
 	case callFuture:
 		// An asynchronous query: execute and resolve the future; nobody

@@ -1,0 +1,34 @@
+package core
+
+import (
+	"scoopqs/internal/obs"
+	"scoopqs/internal/sched"
+)
+
+// The core runtime's observability instruments (see internal/obs for
+// the overhead contract): end-to-end latency of the client-visible
+// synchronization operations, plus the await-park duration that the
+// pooled state machine otherwise hides entirely.
+var (
+	// callExecHist is an async call's log→execution latency — how long
+	// a request sits in its private queue before the handler runs it.
+	callExecHist = obs.Default().Hist("core.call_exec_ns")
+	// queryHist is the synchronous query round-trip, client-observed.
+	queryHist = obs.Default().Hist("core.query_ns")
+	// syncHist is the sync round-trip, client-observed (elided syncs
+	// never reach it).
+	syncHist = obs.Default().Hist("core.sync_ns")
+	// awaitHist is how long a handler sits parked on an unresolved
+	// future (Handler.Await), pooled and dedicated mode alike.
+	awaitHist = obs.Default().Hist("core.await_park_ns")
+)
+
+// emitOn records an event on w's ring when the caller runs on a pool
+// worker, else on the shared rings.
+func emitOn(w *sched.Worker, k obs.Kind, id uint64, arg int64) {
+	if w != nil {
+		w.Emit(k, id, arg)
+	} else {
+		obs.Emit(k, id, arg)
+	}
+}

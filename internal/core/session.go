@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"scoopqs/internal/future"
+	"scoopqs/internal/obs"
 	"scoopqs/internal/queue"
 	"scoopqs/internal/sched"
 )
@@ -40,6 +41,11 @@ type call struct {
 	fn   func()
 	qfn  func() any
 	fut  *future.Future // callFuture: the cell qfn's result resolves
+	// at is the obs enqueue stamp of an async call (callCall), written
+	// only while recording is enabled; the handler measures the
+	// log→execution latency from it. The SPSC queue's handoff orders
+	// the accesses.
+	at int64
 }
 
 // Session is a private queue: the communication channel between one
@@ -84,7 +90,11 @@ func (s *Session) Call(fn func()) {
 	rt := s.h.rt
 	rt.stats.asyncCalls.Add(1)
 	s.synced = false // an async call desynchronizes the handler
-	s.q.Enqueue(call{kind: callCall, fn: fn})
+	c := call{kind: callCall, fn: fn}
+	if obs.Enabled() {
+		c.at = obs.Now()
+	}
+	s.q.Enqueue(c)
 }
 
 // Sync brings the handler to a quiescent point on this private queue:
@@ -107,6 +117,10 @@ func (s *Session) Sync() {
 func (s *Session) SyncNow() {
 	rt := s.h.rt
 	rt.stats.syncsPerformed.Add(1)
+	var t0 int64
+	if obs.Enabled() {
+		t0 = obs.Now()
+	}
 	s.owner.setWaiting(s.h)
 	// Enqueue before blockBegin: a worker-hosted client's enqueue may
 	// park the woken handler on this worker's own deque with no wake
@@ -117,6 +131,11 @@ func (s *Session) SyncNow() {
 	s.parker.Park()
 	s.owner.blockEnd()
 	s.owner.clearWaiting()
+	if t0 != 0 {
+		d := obs.Now() - t0
+		syncHist.Observe(d)
+		obs.Emit(obs.KindSync, uint64(s.h.id), d)
+	}
 	s.synced = true
 	s.checkErr()
 }
@@ -130,6 +149,10 @@ func (s *Session) Synced() bool { return s.synced }
 func (s *Session) queryRemote(qfn func() any) any {
 	rt := s.h.rt
 	rt.stats.remoteQueries.Add(1)
+	var t0 int64
+	if obs.Enabled() {
+		t0 = obs.Now()
+	}
 	s.owner.setWaiting(s.h)
 	// Enqueue before blockBegin — see SyncNow.
 	s.q.Enqueue(call{kind: callQueryRemote, qfn: qfn})
@@ -137,6 +160,11 @@ func (s *Session) queryRemote(qfn func() any) any {
 	s.parker.Park()
 	s.owner.blockEnd()
 	s.owner.clearWaiting()
+	if t0 != 0 {
+		d := obs.Now() - t0
+		queryHist.Observe(d)
+		obs.Emit(obs.KindQuery, uint64(s.h.id), d)
+	}
 	v, err := s.replyVal, s.replyErr
 	s.replyVal, s.replyErr = nil, nil
 	// After the reply the handler loops back to dequeue on this same

@@ -96,6 +96,16 @@ func (o Options) Cowichan() {
 					counters = cowichanCounters(im)
 					return cr.Timing
 				})
+				// Implementations on the sched substrate get an extra
+				// instrumented run for the JSON row's latency percentiles.
+				var pct map[string]float64
+				if counters != nil {
+					pct = obsPercentiles(func() {
+						im := NewImpl(lang, cfg, workers)
+						defer im.Close()
+						cowichan.Chain(im, p)
+					}, "sched.dispatch_wait_ns", "sched.task_wait_ns")
+				}
 				cells := []string{strconv.Itoa(nr), lang, strconv.Itoa(workers),
 					Seconds(t.Total()), Seconds(t.Compute), Seconds(t.Comm), "-", "-", "-"}
 				if counters != nil {
@@ -112,11 +122,11 @@ func (o Options) Cowichan() {
 						"nr":      strconv.Itoa(nr),
 						"workers": strconv.Itoa(workers),
 					},
-					Medians: map[string]float64{
+					Medians: mergeMedians(map[string]float64{
 						"seconds": t.Total().Seconds(),
 						"compute": t.Compute.Seconds(),
 						"comm":    t.Comm.Seconds(),
-					},
+					}, pct),
 					Counters: counters,
 				})
 			}
@@ -157,6 +167,16 @@ func (o Options) cowichanSort() {
 			return cowichan.Timing{Compute: d}
 		})
 		d := t.Compute
+		pct := obsPercentiles(func() {
+			rng := rand.New(rand.NewSource(13))
+			data := make([]int64, sortBenchN)
+			for i := range data {
+				data[i] = rng.Int63()
+			}
+			e := sched.NewExecutor(workers)
+			sched.ParallelSort(e, data, func(a, b int64) bool { return a < b })
+			e.Stop()
+		}, "sched.dispatch_wait_ns", "sched.task_wait_ns")
 		tb.row("parallel-sort", strconv.Itoa(workers), Seconds(d),
 			fmt.Sprintf("%d", spawned), fmt.Sprintf("%d", steals), fmt.Sprintf("%d", parks))
 		o.Rec.Add(Result{
@@ -167,7 +187,7 @@ func (o Options) cowichanSort() {
 				"n":       strconv.Itoa(sortBenchN),
 				"workers": strconv.Itoa(workers),
 			},
-			Medians: map[string]float64{"seconds": d.Seconds()},
+			Medians: mergeMedians(map[string]float64{"seconds": d.Seconds()}, pct),
 			Counters: map[string]int64{
 				"tasks_spawned":   spawned,
 				"task_steals":     steals,

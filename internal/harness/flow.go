@@ -257,6 +257,13 @@ func (o Options) Flow() {
 			muxs = append(muxs, ms)
 		}
 		med := median(ds)
+		// One extra instrumented rep yields the stall-duration and
+		// flush-size percentiles for the JSON row.
+		pct := obsPercentiles(func() {
+			if _, _, _, err := flowRun(cfg, mode, qper); err != nil {
+				panic(err)
+			}
+		}, "remote.credit_wait_ns", "remote.writer_stall_ns", "remote.flush_bytes")
 		// The peak batch of the median-time rep would be arbitrary;
 		// report the worst observed peak — boundedness is a max claim.
 		var peak remote.ServerStats
@@ -278,7 +285,7 @@ func (o Options) Flow() {
 				"mode":   mode.name,
 				"config": cfg.Name(),
 			},
-			Medians: map[string]float64{
+			Medians: mergeMedians(map[string]float64{
 				"seconds":            med.Seconds(),
 				"queries_per_second": qps,
 				"peak_batch_bytes":   float64(peak.MaxBatchBytes),
@@ -286,7 +293,7 @@ func (o Options) Flow() {
 				"credit_stalls":      float64(ms.CreditStalls),
 				"writer_stalls":      float64(ms.WriterStalls),
 				"dropped_frames":     float64(peak.Dropped),
-			},
+			}, pct),
 		})
 	}
 	tb.flush()

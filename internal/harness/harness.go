@@ -58,6 +58,9 @@ type Options struct {
 	// Rec, when non-nil, collects machine-readable Results alongside
 	// the text tables (qsbench -json).
 	Rec *Recorder
+	// Baseline is the prior BENCH_*.json trajectory file the Obs
+	// experiment gates its disabled-tracer overhead against.
+	Baseline string
 }
 
 // Defaults returns laptop-scale options writing to w.

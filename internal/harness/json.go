@@ -2,8 +2,11 @@ package harness
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
+	"os/exec"
 	"runtime"
+	"strings"
 	"time"
 )
 
@@ -32,20 +35,122 @@ func (r *Recorder) Add(res Result) {
 	r.Results = append(r.Results, res)
 }
 
-// benchFile is the on-disk shape of a qsbench -json artifact.
+// benchSchemaVersion stamps -json documents so trajectory tooling can
+// tell metadata generations apart: version 2 added the schema field
+// itself plus goos/goarch/host/git_sha. Bump it when benchFile's
+// shape changes, and keep benchFileKeys in step.
+const benchSchemaVersion = 2
+
+// benchFile is the on-disk shape of a qsbench -json artifact. The
+// metadata header identifies the run well enough to decide whether
+// two trajectory files are comparable (same toolchain, same host
+// shape, which commit).
 type benchFile struct {
+	Schema    int      `json:"schema"`
 	Generated string   `json:"generated"`
 	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	Host      string   `json:"host,omitempty"`
+	GitSHA    string   `json:"git_sha,omitempty"`
 	NumCPU    int      `json:"num_cpu"`
 	GOMAXPROC int      `json:"gomaxprocs"`
 	Results   []Result `json:"results"`
 }
 
+// benchFileKeys is the canonical key set of a -json document; the
+// startup self-check fails fast when the struct tags drift from it
+// (the same discipline as qsbench's experiment-list drift check).
+var benchFileKeys = []string{
+	"schema", "generated", "go_version", "goos", "goarch", "host",
+	"git_sha", "num_cpu", "gomaxprocs", "results",
+}
+
+// resultKeys is the canonical key set of one Result row.
+var resultKeys = []string{"experiment", "labels", "medians", "counters"}
+
+// SchemaSelfCheck verifies that the JSON shape benchFile and Result
+// actually marshal to matches the canonical key lists — a struct-tag
+// typo or an undocumented field addition fails at startup instead of
+// producing trajectory files nothing downstream can diff.
+func SchemaSelfCheck() error {
+	probe := benchFile{
+		Host:   "h",
+		GitSHA: "s",
+		Results: []Result{{
+			Labels:   map[string]string{"k": "v"},
+			Medians:  map[string]float64{"k": 1},
+			Counters: map[string]int64{"k": 1},
+		}},
+	}
+	data, err := json.Marshal(probe)
+	if err != nil {
+		return fmt.Errorf("bench schema self-check: %w", err)
+	}
+	var top map[string]json.RawMessage
+	if err := json.Unmarshal(data, &top); err != nil {
+		return fmt.Errorf("bench schema self-check: %w", err)
+	}
+	if err := matchKeys("benchFile", top, benchFileKeys); err != nil {
+		return err
+	}
+	var rows []map[string]json.RawMessage
+	if err := json.Unmarshal(top["results"], &rows); err != nil || len(rows) != 1 {
+		return fmt.Errorf("bench schema self-check: results row: %v", err)
+	}
+	return matchKeys("Result", rows[0], resultKeys)
+}
+
+func matchKeys(what string, got map[string]json.RawMessage, want []string) error {
+	for _, k := range want {
+		if _, ok := got[k]; !ok {
+			return fmt.Errorf("bench schema self-check: %s is missing key %q (struct tag drift)", what, k)
+		}
+	}
+	for k := range got {
+		known := false
+		for _, w := range want {
+			if k == w {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return fmt.Errorf("bench schema self-check: %s has undocumented key %q (update the canonical key list)", what, k)
+		}
+	}
+	return nil
+}
+
+// gitSHA returns the checkout's commit, best-effort: trajectory files
+// remain valid outside a git checkout, just unattributed.
+func gitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// hostName is os.Hostname, best-effort.
+func hostName() string {
+	h, err := os.Hostname()
+	if err != nil {
+		return ""
+	}
+	return h
+}
+
 // WriteFile renders the collected results as indented JSON at path.
 func (r *Recorder) WriteFile(path string) error {
 	f := benchFile{
+		Schema:    benchSchemaVersion,
 		Generated: time.Now().UTC().Format(time.RFC3339),
 		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Host:      hostName(),
+		GitSHA:    gitSHA(),
 		NumCPU:    runtime.NumCPU(),
 		GOMAXPROC: runtime.GOMAXPROCS(0),
 		Results:   r.Results,

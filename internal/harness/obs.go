@@ -1,0 +1,423 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"scoopqs/internal/core"
+	"scoopqs/internal/obs"
+)
+
+// obsOverheadGate is the disabled-tracer overhead budget: with
+// recording off, the instrumented threadring must stay within 3% of
+// the pre-instrumentation baseline row measured on the same host.
+const obsOverheadGate = 0.03
+
+// obsPercentiles runs f once with recording enabled and extracts
+// p50/p90/p99/max from the named histograms, keyed for a Result's
+// Medians map ("p50_dispatch_wait_ns", ...). The default registry is
+// reset first so the percentiles cover exactly this run; the trace
+// rings are left alone so a -trace export accumulates events across
+// the whole qsbench run.
+func obsPercentiles(f func(), hists ...string) map[string]float64 {
+	was := obs.Enabled()
+	obs.Default().Reset()
+	obs.Enable()
+	f()
+	if !was {
+		obs.Disable()
+	}
+	out := make(map[string]float64)
+	for _, name := range hists {
+		s := obs.Default().Hist(name).Snapshot()
+		if s.Count == 0 {
+			continue
+		}
+		base := name
+		if i := strings.IndexByte(base, '.'); i >= 0 {
+			base = base[i+1:]
+		}
+		out["p50_"+base] = float64(s.P50())
+		out["p90_"+base] = float64(s.P90())
+		out["p99_"+base] = float64(s.P99())
+		out["max_"+base] = float64(s.Max)
+	}
+	return out
+}
+
+// mergeMedians folds src into dst (dst allocated when nil) so
+// experiments can append percentile columns to an existing row.
+func mergeMedians(dst, src map[string]float64) map[string]float64 {
+	if dst == nil {
+		dst = make(map[string]float64, len(src))
+	}
+	for k, v := range src {
+		dst[k] = v
+	}
+	return dst
+}
+
+// benchBaseline is a parsed prior BENCH_*.json plus whether its host
+// is comparable to this process (same Go version and CPU count — the
+// two facts every trajectory file has recorded since PR 3).
+type benchBaseline struct {
+	file       benchFile
+	path       string
+	comparable bool
+}
+
+// readBenchBaseline loads a trajectory file; nil when the path is
+// empty, missing, or unparsable (the gate is then skipped, loudly).
+func readBenchBaseline(path string) *benchBaseline {
+	if path == "" {
+		return nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	var f benchFile
+	if json.Unmarshal(data, &f) != nil {
+		return nil
+	}
+	return &benchBaseline{
+		file:       f,
+		path:       path,
+		comparable: f.GoVersion == runtime.Version() && f.NumCPU == runtime.NumCPU(),
+	}
+}
+
+// stealSeconds returns the baseline's steal-experiment median for a
+// workload at a worker count.
+func (b *benchBaseline) stealSeconds(workload string, workers int) (float64, bool) {
+	if b == nil {
+		return 0, false
+	}
+	for _, r := range b.file.Results {
+		if r.Experiment == "steal" &&
+			r.Labels["workload"] == workload &&
+			r.Labels["workers"] == strconv.Itoa(workers) {
+			if s, ok := r.Medians["seconds"]; ok && s > 0 {
+				return s, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// obsRef is one baseline reference for the overhead gate: the
+// recorded off-mode floor and, when the baseline carries one, the
+// host-speed calibration it was measured under.
+type obsRef struct {
+	seconds float64
+	calib   float64 // 0 when the baseline predates calibration
+}
+
+// obsOffRef prefers the baseline's own obs off-mode rows (min_seconds
+// plus calibration, recorded by this experiment since PR 7); files
+// that predate the experiment fall back to the steal threadring
+// median, uncalibrated.
+func (b *benchBaseline) obsOffRef(workers int) (obsRef, bool) {
+	if b == nil {
+		return obsRef{}, false
+	}
+	for _, r := range b.file.Results {
+		if r.Experiment == "obs" &&
+			r.Labels["mode"] == "off" &&
+			r.Labels["workload"] == "threadring" &&
+			r.Labels["workers"] == strconv.Itoa(workers) {
+			if s, ok := r.Medians["min_seconds"]; ok && s > 0 {
+				return obsRef{seconds: s, calib: r.Medians["calib_seconds"]}, true
+			}
+		}
+	}
+	if s, ok := b.stealSeconds("threadring", workers); ok {
+		return obsRef{seconds: s}, true
+	}
+	return obsRef{}, false
+}
+
+// calibSpin measures a fixed pure-arithmetic workload (best of five):
+// a host-speed reference that moves with era drift — neighbor load,
+// frequency scaling, a different machine — but not with changes to
+// the scheduler or the instrumentation. The gate normalizes the
+// off/baseline comparison by it when the baseline recorded one,
+// because months-apart wall clocks on shared hosts differ by more
+// than the 3% budget even for identical binaries.
+func calibSpin() time.Duration {
+	best := time.Duration(math.MaxInt64)
+	for rep := 0; rep < 5; rep++ {
+		x := uint64(88172645463325252)
+		start := time.Now()
+		for i := 0; i < 1<<24; i++ {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+		}
+		d := time.Since(start)
+		if x == 0 {
+			panic("harness: xorshift cycle collapsed")
+		}
+		if d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// Obs measures the tracer's own overhead on the steal experiment's
+// threadring (the dispatch-heaviest workload in the suite), in two
+// runtime modes — off-but-compiled (recording disabled: the hot paths
+// pay one predictable branch each) and on (rings + histograms
+// recording) — against the baseline rows of a prior trajectory file
+// (-baseline). The off mode asserts that nothing recorded (zero
+// events, observations, and counter increments), and when the
+// baseline was measured on a comparable host with the default
+// workload sizes, enforces the 3% disabled-path budget on the
+// off/baseline geometric mean, normalized by the calibration spin
+// when the baseline recorded one (pre-PR7 files did not; against
+// those the comparison is raw wall clock and correspondingly
+// noisier). Violation panics, so CI can gate on the exit code. Not a
+// paper experiment; it measures this repo's observability layer (see
+// README "Observability").
+func (o Options) Obs() {
+	handlers := o.ExecHandlers / 10
+	if handlers < 2 {
+		handlers = 2
+	}
+	hops := o.ExecHops / 5
+	if hops < 1 {
+		hops = handlers
+	}
+
+	baseline := readBenchBaseline(o.Baseline)
+	// The baseline rows are only meaningful for the default workload
+	// sizes the trajectory files were recorded with.
+	defaultSizes := o.ExecHandlers == 10000 && o.ExecHops == 100000
+	gateArmed := baseline != nil && baseline.comparable && defaultSizes
+
+	section(o.Out, "Obs: tracer overhead",
+		fmt.Sprintf("Threadring (%d handlers x %d hops, ConfigAll) with the tracer\noff-but-compiled vs. recording (rings + histograms), against the\nuninstrumented baseline medians from %q. The off path must stay\nwithin %.0f%% of the baseline on a comparable host; off mode also\nasserts zero events/observations recorded.",
+			handlers, hops, o.Baseline, obsOverheadGate*100))
+
+	// The experiment drives the enable flag itself; restore whatever
+	// the caller (a -trace run) had set.
+	was := obs.Enabled()
+	defer func() {
+		if was {
+			obs.Enable()
+		} else {
+			obs.Disable()
+		}
+	}()
+
+	countersSum := func() int64 {
+		var n int64
+		for _, v := range obs.Default().Counters() {
+			n += v
+		}
+		return n
+	}
+
+	type cell struct {
+		med, min      time.Duration
+		events, obsvd int64
+	}
+	modes := []string{"off", "on"}
+	cells := map[string]map[int]cell{}
+	for _, mode := range modes {
+		cells[mode] = map[int]cell{}
+		for _, workers := range StealWorkers {
+			cfg := core.ConfigAll.WithWorkers(workers)
+			if mode == "on" {
+				obs.Enable()
+			} else {
+				obs.Disable()
+			}
+			// More reps than the default 3: the gate compares min-of-reps
+			// against the baseline median, and the min only converges to
+			// the true floor with enough samples — on a small shared host
+			// single runs scatter well past the 3% budget.
+			reps := o.Reps
+			if reps < 7 {
+				reps = 7
+			}
+			ev0, ob0, ct0 := obs.Emitted(), obs.Default().TotalObservations(), countersSum()
+			var ds []time.Duration
+			for r := 0; r < reps; r++ {
+				d, _ := ringOnce(cfg, handlers, hops)
+				ds = append(ds, d)
+			}
+			evd := obs.Emitted() - ev0
+			obd := obs.Default().TotalObservations() - ob0
+			ctd := countersSum() - ct0
+			if mode == "off" && (evd != 0 || obd != 0 || ctd != 0) {
+				panic(fmt.Sprintf("harness: obs disabled but recorded %d events, %d observations, %d counter increments", evd, obd, ctd))
+			}
+			if mode == "on" && (evd == 0 || obd == 0) {
+				panic("harness: obs enabled but recorded nothing")
+			}
+			med := median(ds) // sorts ds in place
+			cells[mode][workers] = cell{med: med, min: ds[0], events: evd, obsvd: obd}
+		}
+	}
+	obs.Disable()
+
+	// The gate compares the geometric mean of the per-row off/baseline
+	// ratios, not individual rows: on a small host a single baseline
+	// median carries scheduler-placement noise well above 3%, and a
+	// per-row gate would flag baseline luck as tracer overhead. The
+	// sweep-wide mean is the stable signal for a uniform slowdown,
+	// which is what a hot-path regression looks like. Ratios are
+	// calibration-normalized when the baseline carries a spin time.
+	calib := calibSpin()
+	offMin := map[int]time.Duration{}
+	for _, workers := range StealWorkers {
+		offMin[workers] = cells["off"][workers].min
+	}
+	scaledBase := func(workers int) (float64, bool) {
+		ref, ok := baseline.obsOffRef(workers)
+		if !ok {
+			return 0, false
+		}
+		base := ref.seconds
+		if ref.calib > 0 && calib > 0 {
+			base *= calib.Seconds() / ref.calib
+		}
+		return base, true
+	}
+	rowRatio := func(workers int) (float64, bool) {
+		base, ok := scaledBase(workers)
+		if !ok {
+			return 0, false
+		}
+		return offMin[workers].Seconds() / base, true
+	}
+	gateGeomean := func() (float64, int) {
+		var logSum float64
+		var n int
+		for _, workers := range StealWorkers {
+			if rel, ok := rowRatio(workers); ok {
+				logSum += math.Log(rel)
+				n++
+			}
+		}
+		if n == 0 {
+			return 0, 0
+		}
+		return math.Exp(logSum / float64(n)), n
+	}
+
+	tb := newTable(o.Out)
+	tb.row("Workers", "off(s)", "on(s)", "on/off", "base(s)", "off/base", "events(on)")
+	for _, workers := range StealWorkers {
+		off, on := cells["off"][workers], cells["on"][workers]
+		base, haveBase := scaledBase(workers)
+		baseCell, vsBase := "-", "-"
+		if haveBase {
+			baseCell = fmt.Sprintf("%.3f", base)
+			vsBase = fmt.Sprintf("%.2f", off.min.Seconds()/base)
+		}
+		tb.row(strconv.Itoa(workers), Seconds(off.med), Seconds(on.med),
+			Ratio(on.med, off.med), baseCell, vsBase,
+			strconv.FormatInt(on.events, 10))
+
+		for _, mode := range modes {
+			c := cells[mode][workers]
+			med := map[string]float64{
+				"seconds":     c.med.Seconds(),
+				"min_seconds": c.min.Seconds(),
+			}
+			if mode == "on" && off.med > 0 {
+				med["overhead_vs_off_pct"] = (c.med.Seconds()/off.med.Seconds() - 1) * 100
+			}
+			if mode == "off" {
+				// The calibration rides every off row so a future session
+				// gating against this file can normalize out host drift.
+				med["calib_seconds"] = calib.Seconds()
+				if haveBase {
+					med["baseline_seconds"] = base
+					med["overhead_vs_baseline_pct"] = (c.min.Seconds()/base - 1) * 100
+				}
+			}
+			o.Rec.Add(Result{
+				Experiment: "obs",
+				Labels: map[string]string{
+					"mode":     mode,
+					"workload": "threadring",
+					"config":   core.ConfigAll.WithWorkers(workers).Name(),
+					"workers":  strconv.Itoa(workers),
+				},
+				Medians: med,
+				Counters: map[string]int64{
+					"events":       c.events,
+					"observations": c.obsvd,
+				},
+			})
+		}
+	}
+	tb.flush()
+
+	geo, ratios := gateGeomean()
+	switch {
+	case baseline == nil:
+		fmt.Fprintf(o.Out, "\noverhead gate: skipped (baseline %q not readable)\n", o.Baseline)
+	case !baseline.comparable:
+		fmt.Fprintf(o.Out, "\noverhead gate: skipped (baseline host %s/%d CPUs, this host %s/%d)\n",
+			baseline.file.GoVersion, baseline.file.NumCPU, runtime.Version(), runtime.NumCPU())
+	case !defaultSizes:
+		fmt.Fprintln(o.Out, "\noverhead gate: skipped (non-default workload sizes)")
+	case !gateArmed || ratios == 0:
+		fmt.Fprintln(o.Out, "\noverhead gate: skipped (no comparable baseline rows)")
+	default:
+		// Overhead is a lower-bound property: if the disabled path can
+		// reach baseline parity in any quiet window, the compiled-in
+		// branches are not costing the budget — whereas a real hot-path
+		// regression is slow in every window. So on a violation the off
+		// sweep re-measures (folding per-row minima) before the gate
+		// fails: a shared host's loud phases last longer than one sweep,
+		// and a single-window gate would flag neighbor load as overhead.
+		for round := 1; geo > 1+obsOverheadGate && round <= 2; round++ {
+			fmt.Fprintf(o.Out, "\noverhead gate: geomean %.3f over budget, re-measuring off sweep (round %d/2)\n", geo, round)
+			obs.Disable()
+			// Refresh the calibration too (folding the faster reading):
+			// if the first spin ran in a loud phase, the normalization
+			// itself was inflated.
+			if c := calibSpin(); c < calib {
+				calib = c
+			}
+			for _, workers := range StealWorkers {
+				cfg := core.ConfigAll.WithWorkers(workers)
+				for r := 0; r < 7; r++ {
+					d, _ := ringOnce(cfg, handlers, hops)
+					if d < offMin[workers] {
+						offMin[workers] = d
+					}
+				}
+			}
+			geo, ratios = gateGeomean()
+		}
+		o.Rec.Add(Result{
+			Experiment: "obs",
+			Labels:     map[string]string{"mode": "gate", "workload": "threadring"},
+			Medians: map[string]float64{
+				"off_vs_baseline_geomean": geo,
+				"budget_pct":              obsOverheadGate * 100,
+				"calib_seconds":           calib.Seconds(),
+			},
+		})
+		if geo > 1+obsOverheadGate {
+			fmt.Fprintf(o.Out, "\noverhead gate VIOLATION: off/baseline geomean %.3f over %d rows (budget %.0f%%)\n",
+				geo, ratios, obsOverheadGate*100)
+			panic(fmt.Sprintf("harness: disabled-tracer overhead geomean %.3f exceeds %.0f%% budget", geo, obsOverheadGate*100))
+		}
+		fmt.Fprintf(o.Out, "\noverhead gate: PASS (off/baseline geomean %.3f over %d rows, budget %.0f%%)\n",
+			geo, ratios, obsOverheadGate*100)
+	}
+}

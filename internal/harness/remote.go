@@ -218,6 +218,22 @@ func (o Options) Remote() {
 				}
 			}
 			med := median(ds)
+			// One extra instrumented rep yields round-trip and flush
+			// percentiles for the framed transports (the gob baseline
+			// predates the instrumented write path).
+			var pct map[string]float64
+			if !tr.gob {
+				addr, shutdown, err := remoteServer(cfg, n, tr.gob)
+				if err != nil {
+					panic(err)
+				}
+				pct = obsPercentiles(func() {
+					if _, _, err := tr.run(addr, n, qper); err != nil {
+						panic(err)
+					}
+				}, "remote.roundtrip_ns", "remote.flush_bytes")
+				shutdown()
+			}
 			// Median batch size, like the timings: one outlier rep must
 			// not become the recorded frames/flush.
 			var batch float64
@@ -244,11 +260,11 @@ func (o Options) Remote() {
 					"clients":   strconv.Itoa(n),
 					"config":    cfg.Name(),
 				},
-				Medians: map[string]float64{
+				Medians: mergeMedians(map[string]float64{
 					"seconds":            med.Seconds(),
 					"queries_per_second": qps,
 					"frames_per_flush":   batch,
-				},
+				}, pct),
 			})
 		}
 	}

@@ -127,6 +127,10 @@ func (o Options) Steal() {
 			}
 			mid := medianRun(runs)
 			d, st := mid.d, mid.st
+			// One extra instrumented rep yields the latency percentiles
+			// for the JSON row; the timed reps above stay uninstrumented.
+			pct := obsPercentiles(func() { wl.run(cfg) },
+				"sched.dispatch_wait_ns", "sched.task_wait_ns", "core.query_ns")
 			tb.row(wl.name, strconv.Itoa(workers), Seconds(d),
 				fmt.Sprintf("%d", st.Steals),
 				fmt.Sprintf("%d", st.LocalPushes),
@@ -140,7 +144,7 @@ func (o Options) Steal() {
 					"config":   cfg.Name(),
 					"workers":  strconv.Itoa(workers),
 				},
-				Medians: map[string]float64{"seconds": d.Seconds()},
+				Medians: mergeMedians(map[string]float64{"seconds": d.Seconds()}, pct),
 				Counters: map[string]int64{
 					"steals":          st.Steals,
 					"local_pushes":    st.LocalPushes,

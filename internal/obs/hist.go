@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// numShards is the histogram (and shared-ring) shard count: enough to
+// keep an 8-worker pool plus client goroutines off each other's cache
+// lines, small enough that merging stays trivial. Power of two.
+const numShards = 16
+
+// numBuckets covers every non-negative int64: bucket i counts values v
+// with bits.Len64(v) == i, i.e. v in [2^(i-1), 2^i); bucket 0 holds
+// zero and negatives.
+const numBuckets = 64
+
+// histShard is one shard's counters. Updates are independent atomic
+// adds — observers on different shards never touch the same line (the
+// shard is larger than a cache line by construction).
+type histShard struct {
+	counts [numBuckets]atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Int64
+	max    atomic.Int64
+}
+
+// Hist is a power-of-two-bucket distribution: values land in the
+// bucket of their bit length, so the whole int64 range fits in 64
+// counters and any quantile is recoverable within a factor of two
+// (and exactly at the top, via the tracked max). Observation is two
+// atomic adds and an increment on the caller's shard; Snapshot merges
+// the shards.
+//
+// A Hist is typically obtained from a Registry (get-or-create by
+// name) and observed only under an Enabled check — the disabled path
+// must not pay for the atomics.
+type Hist struct {
+	name   string
+	shards [numShards]histShard
+}
+
+// Name returns the histogram's registry name.
+func (h *Hist) Name() string { return h.name }
+
+// bucketOf maps a value to its bucket index.
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// Observe records v on a shard derived from the caller's stack. Use
+// ObserveShard when a stable shard index (a worker id) is in hand.
+func (h *Hist) Observe(v int64) { h.ObserveShard(stackShard(), v) }
+
+// ObserveShard records v on shard s (wrapped onto the shard count).
+// Scheduler workers pass their id so a worker's observations always
+// hit the same shard.
+func (h *Hist) ObserveShard(s int, v int64) {
+	sh := &h.shards[s&(numShards-1)]
+	sh.counts[bucketOf(v)].Add(1)
+	sh.count.Add(1)
+	sh.sum.Add(v)
+	for {
+		m := sh.max.Load()
+		if v <= m {
+			break
+		}
+		if sh.max.CompareAndSwap(m, v) {
+			break
+		}
+	}
+}
+
+// Reset zeroes every shard. Concurrent observers may land updates
+// across the sweep; the result is a clean-enough epoch boundary for
+// benchmarking, not a linearizable cut.
+func (h *Hist) Reset() {
+	for i := range h.shards {
+		sh := &h.shards[i]
+		for j := range sh.counts {
+			sh.counts[j].Store(0)
+		}
+		sh.count.Store(0)
+		sh.sum.Store(0)
+		sh.max.Store(0)
+	}
+}
+
+// HistSnap is a merged point-in-time view of a Hist.
+type HistSnap struct {
+	Name    string
+	Count   int64
+	Sum     int64
+	Max     int64
+	Buckets [numBuckets]int64
+}
+
+// Snapshot merges all shards. Safe concurrently with observers; the
+// result is a consistent-enough view (each counter is read once,
+// atomically) whose Count may trail in-flight observations.
+func (h *Hist) Snapshot() HistSnap {
+	s := HistSnap{Name: h.name}
+	for i := range h.shards {
+		sh := &h.shards[i]
+		for j := range sh.counts {
+			s.Buckets[j] += sh.counts[j].Load()
+		}
+		s.Count += sh.count.Load()
+		s.Sum += sh.sum.Load()
+		if m := sh.max.Load(); m > s.Max {
+			s.Max = m
+		}
+	}
+	return s
+}
+
+// Mean returns the snapshot's arithmetic mean, 0 when empty.
+func (s *HistSnap) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile returns an upper bound on the q-quantile (0 < q <= 1): the
+// top of the bucket holding the rank-q observation, capped at the
+// observed max. Power-of-two buckets make it exact to within 2×,
+// which is the resolution tail-latency tracking needs.
+func (s *HistSnap) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := int64(q * float64(s.Count))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i, c := range s.Buckets {
+		seen += c
+		if seen >= rank {
+			var hi int64
+			if i == 0 {
+				hi = 0
+			} else {
+				hi = int64(1)<<i - 1
+			}
+			if hi > s.Max {
+				hi = s.Max
+			}
+			return hi
+		}
+	}
+	return s.Max
+}
+
+// P50, P90, and P99 are the tail-latency trio the bench rows report.
+func (s *HistSnap) P50() int64 { return s.Quantile(0.50) }
+func (s *HistSnap) P90() int64 { return s.Quantile(0.90) }
+func (s *HistSnap) P99() int64 { return s.Quantile(0.99) }

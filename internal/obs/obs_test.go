@@ -1,0 +1,255 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestBucketOf(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{1 << 20, 21}, {1<<62 + 1, 63},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestHistSnapshotAndQuantiles(t *testing.T) {
+	h := NewRegistry().Hist("t")
+	// 100 observations: 90 fast (values 1..90), 9 at ~1000, 1 at 50000.
+	for i := int64(1); i <= 90; i++ {
+		h.Observe(i)
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(1000)
+	}
+	h.Observe(50000)
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("Count = %d, want 100", s.Count)
+	}
+	if s.Max != 50000 {
+		t.Fatalf("Max = %d, want 50000", s.Max)
+	}
+	if p := s.P50(); p < 45 || p > 127 {
+		t.Errorf("P50 = %d, want within [45,127] (bucket upper bound of ~50)", p)
+	}
+	if p := s.P99(); p < 1000 || p > 2047 {
+		t.Errorf("P99 = %d, want within [1000,2047]", p)
+	}
+	if q := s.Quantile(1.0); q != 50000 {
+		t.Errorf("Quantile(1.0) = %d, want max 50000", q)
+	}
+	if m := s.Mean(); m < 100 || m > 700 {
+		t.Errorf("Mean = %v out of plausible range", m)
+	}
+	h.Reset()
+	if s := h.Snapshot(); s.Count != 0 || s.Max != 0 || s.Sum != 0 {
+		t.Errorf("after Reset: %+v, want zeroes", s)
+	}
+}
+
+func TestHistEmptyQuantile(t *testing.T) {
+	h := NewRegistry().Hist("empty")
+	s := h.Snapshot()
+	if s.P50() != 0 || s.P99() != 0 || s.Mean() != 0 {
+		t.Errorf("empty hist quantiles non-zero: %+v", s)
+	}
+}
+
+// TestHistConcurrentMerge hammers Observe from many goroutines while a
+// spectator snapshots continuously — the satellite-3 merge race test,
+// run under -race by CI at GOMAXPROCS {1,4}.
+func TestHistConcurrentMerge(t *testing.T) {
+	h := NewRegistry().Hist("race")
+	const writers, perWriter = 8, 5000
+	stop := make(chan struct{})
+	var spect sync.WaitGroup
+	spect.Add(1)
+	go func() {
+		defer spect.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := h.Snapshot()
+			if s.Count < 0 || s.Sum < 0 {
+				t.Error("negative snapshot under concurrency")
+				return
+			}
+			_ = s.P99()
+		}
+	}()
+	var wg sync.WaitGroup
+	for wr := 0; wr < writers; wr++ {
+		wg.Add(1)
+		go func(wr int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				h.ObserveShard(wr, int64(i%997)+1)
+			}
+		}(wr)
+	}
+	wg.Wait()
+	close(stop)
+	spect.Wait()
+	s := h.Snapshot()
+	if s.Count != writers*perWriter {
+		t.Fatalf("Count = %d, want %d", s.Count, writers*perWriter)
+	}
+}
+
+func TestRegistryIdentityAndReset(t *testing.T) {
+	r := NewRegistry()
+	if r.Hist("a") != r.Hist("a") {
+		t.Error("Hist not get-or-create")
+	}
+	if r.Counter("c") != r.Counter("c") {
+		t.Error("Counter not get-or-create")
+	}
+	r.Hist("a").Observe(7)
+	r.Counter("c").Add(3)
+	if n := r.TotalObservations(); n != 1 {
+		t.Errorf("TotalObservations = %d, want 1", n)
+	}
+	if got := r.Counters()["c"]; got != 3 {
+		t.Errorf("counter = %d, want 3", got)
+	}
+	r.Reset()
+	if n := r.TotalObservations(); n != 0 {
+		t.Errorf("TotalObservations after Reset = %d", n)
+	}
+	if got := r.Counters()["c"]; got != 0 {
+		t.Errorf("counter after Reset = %d", got)
+	}
+}
+
+func TestRingEmitAndWrap(t *testing.T) {
+	r := NewRing("test-wrap")
+	defer r.reset()
+	const n = ringSize + 100
+	for i := int64(0); i < n; i++ {
+		r.Emit(KindDispatch, 1, i)
+	}
+	evs := r.snapshot()
+	if len(evs) != ringSize {
+		t.Fatalf("snapshot len = %d, want %d", len(evs), ringSize)
+	}
+	// Oldest-first: the first surviving record is emission n-ringSize.
+	if evs[0].Arg != n-ringSize {
+		t.Errorf("oldest Arg = %d, want %d", evs[0].Arg, n-ringSize)
+	}
+	if evs[len(evs)-1].Arg != n-1 {
+		t.Errorf("newest Arg = %d, want %d", evs[len(evs)-1].Arg, n-1)
+	}
+}
+
+// TestRingConcurrentEmitExport races multi-producer emission against
+// snapshots and the Chrome exporter.
+func TestRingConcurrentEmitExport(t *testing.T) {
+	r := NewRing("test-race")
+	defer r.reset()
+	var emitters, spect sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		emitters.Add(1)
+		go func() {
+			defer emitters.Done()
+			for i := 0; i < 20000; i++ {
+				r.Emit(KindSteal, uint64(i), 1)
+			}
+		}()
+	}
+	spect.Add(1)
+	go func() {
+		defer spect.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = r.snapshot()
+			var buf bytes.Buffer
+			if err := WriteChromeTrace(&buf); err != nil {
+				t.Errorf("WriteChromeTrace: %v", err)
+				return
+			}
+		}
+	}()
+	emitters.Wait()
+	close(stop)
+	spect.Wait()
+}
+
+func TestChromeTraceShape(t *testing.T) {
+	ResetTrace()
+	r := NewRing("test-chrome")
+	defer r.reset()
+	r.Emit(KindDispatch, 42, 1500) // duration kind -> "X"
+	r.Emit(KindFlush, 0, 8192)     // instant kind -> "i"
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	var gotX, gotI, gotM bool
+	for _, ev := range doc.TraceEvents {
+		switch {
+		case ev.Ph == "M":
+			gotM = true
+		case ev.Ph == "X" && ev.Name == KindDispatch.String():
+			gotX = true
+			if ev.Dur < 1.49 || ev.Dur > 1.51 {
+				t.Errorf("X dur = %v us, want 1.5", ev.Dur)
+			}
+		case ev.Ph == "i" && ev.Name == KindFlush.String():
+			gotI = true
+		}
+	}
+	if !gotX || !gotI || !gotM {
+		t.Errorf("missing event shapes: X=%v i=%v M=%v\n%s", gotX, gotI, gotM, buf.String())
+	}
+}
+
+func TestEnableFlag(t *testing.T) {
+	if Enabled() {
+		t.Fatal("recording enabled at test start")
+	}
+	Enable()
+	if !Enabled() {
+		t.Fatal("Enable did not take")
+	}
+	Disable()
+	if Enabled() {
+		t.Fatal("Disable did not take")
+	}
+}
+
+func TestKindNamesComplete(t *testing.T) {
+	for k := KindNone + 1; k < kindMax; k++ {
+		if kindNames[k] == "" {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a named monotonic counter for events that have a count
+// but no distribution (steal attempts, wake elisions). Like histogram
+// observations, Add is only called under an Enabled check.
+type Counter struct {
+	name string
+	v    atomic.Int64
+}
+
+// Name returns the counter's registry name.
+func (c *Counter) Name() string { return c.name }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Registry is the unified metrics namespace: get-or-create histograms
+// and counters by dotted name ("sched.dispatch_wait_ns"). The layers
+// predeclare their instruments as package vars at init, so the hot
+// path holds direct pointers and never consults the map.
+type Registry struct {
+	mu       sync.Mutex
+	hists    map[string]*Hist
+	counters map[string]*Counter
+}
+
+// NewRegistry returns an empty registry. Most code wants Default.
+func NewRegistry() *Registry {
+	return &Registry{
+		hists:    map[string]*Hist{},
+		counters: map[string]*Counter{},
+	}
+}
+
+// def is the process-global registry every layer registers into.
+var def = NewRegistry()
+
+// Default returns the process-global registry.
+func Default() *Registry { return def }
+
+// Hist returns the histogram registered under name, creating it on
+// first use. The same name always yields the same instance.
+func (r *Registry) Hist(name string) *Hist {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = &Hist{name: name}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{name: name}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Snapshot merges every histogram, sorted by name. Safe concurrently
+// with observers.
+func (r *Registry) Snapshot() []HistSnap {
+	r.mu.Lock()
+	hs := make([]*Hist, 0, len(r.hists))
+	for _, h := range r.hists {
+		hs = append(hs, h)
+	}
+	r.mu.Unlock()
+	sort.Slice(hs, func(i, j int) bool { return hs[i].name < hs[j].name })
+	out := make([]HistSnap, len(hs))
+	for i, h := range hs {
+		out[i] = h.Snapshot()
+	}
+	return out
+}
+
+// Counters returns every counter's current value, keyed by name.
+func (r *Registry) Counters() map[string]int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.counters))
+	for name, c := range r.counters {
+		out[name] = c.v.Load()
+	}
+	return out
+}
+
+// TotalObservations sums every histogram's count — the cheap "did
+// anything record?" probe the disabled-path assertions use.
+func (r *Registry) TotalObservations() int64 {
+	var n int64
+	for _, s := range r.Snapshot() {
+		n += s.Count
+	}
+	return n
+}
+
+// Reset zeroes every histogram and counter, keeping the instances (and
+// the pointers instrumented code holds) intact. Epoch boundary for
+// per-experiment measurement, not a linearizable cut.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	hs := make([]*Hist, 0, len(r.hists))
+	for _, h := range r.hists {
+		hs = append(hs, h)
+	}
+	cs := make([]*Counter, 0, len(r.counters))
+	for _, c := range r.counters {
+		cs = append(cs, c)
+	}
+	r.mu.Unlock()
+	for _, h := range hs {
+		h.Reset()
+	}
+	for _, c := range cs {
+		c.v.Store(0)
+	}
+}
+
+// ResetAll resets the default registry and drops every trace ring:
+// the clean-slate call between benchmark phases.
+func ResetAll() {
+	def.Reset()
+	ResetTrace()
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"scoopqs/internal/future"
+	"scoopqs/internal/obs"
 )
 
 // bootstrapCredits is the request window a channel starts with before
@@ -176,7 +177,16 @@ func (rs *RemoteSession) acquireCredit() error {
 		w := rs.creditWait
 		rs.mu.Unlock()
 		rs.m.creditStalls.Add(1)
+		var t0 int64
+		if obs.Enabled() {
+			t0 = obs.Now()
+		}
 		w.Get() //nolint:errcheck // wake-and-recheck; state is re-read
+		if t0 != 0 {
+			d := obs.Now() - t0
+			creditWaitHist.Observe(d)
+			obs.Emit(obs.KindCreditWait, uint64(rs.ch), d)
+		}
 	}
 }
 
@@ -402,6 +412,10 @@ func (rs *RemoteSession) pipelined(fr *frame) (*future.Future, error) {
 	if err := rs.acquireCredit(); err != nil {
 		return nil, err
 	}
+	var t0 int64
+	if obs.Enabled() {
+		t0 = obs.Now()
+	}
 	f := future.New()
 	id, err := rs.register(f)
 	if err != nil {
@@ -414,6 +428,17 @@ func (rs *RemoteSession) pipelined(fr *frame) (*future.Future, error) {
 	}
 	if err := rs.sealRegistration(id, f); err != nil {
 		return nil, err
+	}
+	if t0 != 0 {
+		// Round-trip measured send→resolve; the callback runs on the mux
+		// reader and must stay non-blocking, which Observe/Emit are. The
+		// closure is only allocated while recording.
+		ch := rs.ch
+		f.OnComplete(func(any, error) {
+			d := obs.Now() - t0
+			roundTripHist.Observe(d)
+			obs.Emit(obs.KindRoundTrip, uint64(ch), d)
+		})
 	}
 	return f, nil
 }

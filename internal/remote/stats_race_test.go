@@ -1,0 +1,113 @@
+package remote
+
+import (
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"testing"
+
+	"scoopqs/internal/core"
+	"scoopqs/internal/future"
+)
+
+// TestStatsSnapshotRace hammers Server.Stats and Mux.Stats from
+// spectator goroutines while sessions pipeline a hot workload over
+// one multiplexed connection. The PR 7 audit found every writerStats
+// mutation already under the writer's lock and both Stats methods
+// taking it; this is the -race regression guard that keeps the
+// live-snapshot path that way.
+func TestStatsSnapshotRace(t *testing.T) {
+	for _, procs := range []int{1, 4} {
+		t.Run(fmt.Sprintf("procs%d", procs), func(t *testing.T) {
+			defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
+			rt := core.New(core.ConfigAll.WithWorkers(2))
+			srv := NewServer(rt)
+			const sessions = 4
+			const queries = 300
+			for i := 0; i < sessions; i++ {
+				h := rt.NewHandler(fmt.Sprintf("h%d", i))
+				c := new(int64)
+				srv.Expose(fmt.Sprintf("h%d", i), h, map[string]Proc{
+					"add": func(a []int64) int64 { *c += a[0]; return *c },
+				})
+			}
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			go srv.Serve(ln)
+			defer func() {
+				srv.Close()
+				rt.Shutdown()
+			}()
+
+			mux, err := DialMux("tcp", ln.Addr().String())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer mux.Close()
+
+			stop := make(chan struct{})
+			var spect sync.WaitGroup
+			for s := 0; s < 2; s++ {
+				spect.Add(1)
+				go func() {
+					defer spect.Done()
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						_ = srv.Stats()
+						_ = mux.Stats()
+					}
+				}()
+			}
+
+			var wg sync.WaitGroup
+			errs := make(chan error, sessions)
+			for i := 0; i < sessions; i++ {
+				i := i
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					rs := mux.NewSession()
+					defer rs.Close()
+					var last *future.Future
+					err := rs.Separate(fmt.Sprintf("h%d", i), func(s *Session) error {
+						for q := 0; q < queries; q++ {
+							var err error
+							if last, err = s.QueryAsync("add", 1); err != nil {
+								return err
+							}
+						}
+						return nil
+					})
+					if err != nil {
+						errs <- err
+						return
+					}
+					if err := rs.Flush(); err != nil {
+						errs <- err
+						return
+					}
+					v, err := rs.Await(last)
+					if err == nil && v != int64(queries) {
+						err = fmt.Errorf("counter ended at %d, want %d", v, queries)
+					}
+					errs <- err
+				}()
+			}
+			wg.Wait()
+			close(stop)
+			spect.Wait()
+			for i := 0; i < sessions; i++ {
+				if err := <-errs; err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}

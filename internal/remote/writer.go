@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"scoopqs/internal/future"
+	"scoopqs/internal/obs"
 )
 
 // writerHighWater is the batch size the writer's buffers are pre-grown
@@ -215,7 +216,16 @@ func (cw *connWriter) frame(f *frame) bool {
 		cw.st.Stalls++
 		d := cw.drainFutureLocked()
 		cw.mu.Unlock()
+		var t0 int64
+		if obs.Enabled() {
+			t0 = obs.Now()
+		}
 		d.Get() //nolint:errcheck // wake-and-recheck; state is re-read
+		if t0 != 0 {
+			dur := obs.Now() - t0
+			writerStallHist.Observe(dur)
+			obs.Emit(obs.KindWriterStall, 0, dur)
+		}
 	}
 }
 
@@ -320,6 +330,10 @@ func (cw *connWriter) loop() {
 		cw.mu.Unlock()
 		if d != nil {
 			d.Complete(nil)
+		}
+		if obs.Enabled() {
+			flushHist.Observe(int64(len(batch)))
+			obs.Emit(obs.KindFlush, 0, int64(len(batch)))
 		}
 
 		_, err := cw.w.Write(batch)

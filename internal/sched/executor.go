@@ -3,6 +3,8 @@ package sched
 import (
 	"sync"
 	"sync/atomic"
+
+	"scoopqs/internal/obs"
 )
 
 // Runnable is a unit of resumable work multiplexed onto an Executor's
@@ -34,6 +36,13 @@ type Runnable interface {
 // once.
 type Task struct {
 	r Runnable
+	// readyAt is the obs timestamp of the task's last enqueue, written
+	// by Ready/ReadyLocal only while recording is enabled (see
+	// sched/obs.go). Zero means "not stamped"; the dispatch site's
+	// single-branch check of this plain field is the disabled-path cost
+	// of dispatch-latency tracking. Publication rides the queue the
+	// task travels through, so no atomics are needed.
+	readyAt int64
 }
 
 // NewTask wraps r for scheduling.
@@ -45,6 +54,13 @@ func NewTask(r Runnable) *Task { return &Task{r: r} }
 // capability for ReadyLocal.
 type Worker struct {
 	e *Executor
+	// id is the worker's sequence number within its executor; it picks
+	// the worker's histogram shard and pooled trace ring.
+	id int
+	// ring is the worker's event ring (see internal/obs). Pooled by id,
+	// so it is always non-nil and costs nothing until an event is
+	// emitted into it.
+	ring *obs.Ring
 	// next is the one-slot LIFO fast path (the Go scheduler's runnext):
 	// ReadyLocal parks the hottest task here, and the owner runs it
 	// before consulting its deque. A chain of message handoffs then
@@ -174,7 +190,7 @@ func NewExecutor(n int) *Executor {
 // spawnLocked starts one worker. Caller holds e.mu.
 func (e *Executor) spawnLocked() {
 	e.seq++
-	w := &Worker{e: e, rng: e.seq*0x9E3779B97F4A7C15 | 1}
+	w := &Worker{e: e, id: int(e.seq), ring: obs.WorkerRing(int(e.seq)), rng: e.seq*0x9E3779B97F4A7C15 | 1}
 	e.workers++
 	e.list = append(e.list, w)
 	e.publishListLocked()
@@ -208,6 +224,7 @@ func (e *Executor) publishListLocked() {
 // enqueued at most once until its Step runs (see Task). Ready after
 // Stop drops t.
 func (e *Executor) Ready(t *Task) {
+	stamp(t)
 	e.mu.Lock()
 	if e.stopped {
 		e.mu.Unlock()
@@ -245,6 +262,7 @@ func (e *Executor) ReadyLocal(w *Worker, t *Task) {
 	if e.stopping.Load() {
 		return
 	}
+	stamp(t)
 	e.localPushes.Add(1)
 	if prev := w.next.Swap(t); prev != nil {
 		if !w.dq.push(prev) {
@@ -341,6 +359,9 @@ func (e *Executor) worker(w *Worker) {
 				continue
 			}
 		}
+		if t.readyAt != 0 {
+			w.noteDispatch(t)
+		}
 		t.r.Step(w)
 	}
 }
@@ -405,6 +426,9 @@ func (e *Executor) sweep(w *Worker) *Task {
 	if n == 0 {
 		return nil
 	}
+	if obs.Enabled() {
+		stealAttempts.Add(1)
+	}
 	// xorshift64 victim rotation.
 	w.rng ^= w.rng << 13
 	w.rng ^= w.rng >> 7
@@ -426,6 +450,10 @@ func (e *Executor) sweep(w *Worker) *Task {
 			e.steals.Add(1)
 			if isTask(t) {
 				e.taskSteals.Add(1)
+			}
+			if obs.Enabled() {
+				stealHits.Add(1)
+				w.ring.Emit(obs.KindSteal, uint64(v.id), 1)
 			}
 			if v.dq.nonEmpty() {
 				e.wakeOne() // the victim has more; fan out further
@@ -486,7 +514,16 @@ func (e *Executor) park(w *Worker) (t *Task, retire bool) {
 		return nil, true
 	}
 	e.workerParks.Add(1)
+	var parkedAt int64
+	if obs.Enabled() {
+		parkedAt = obs.Now()
+	}
 	e.cond.Wait()
+	if parkedAt != 0 {
+		d := obs.Now() - parkedAt
+		parkHist.ObserveShard(w.id, d)
+		w.ring.Emit(obs.KindWorkerPark, 0, d)
+	}
 	e.idle.Add(-1)
 	if e.injHead < len(e.injector) {
 		t = e.popInjectorLocked()

@@ -3,6 +3,8 @@ package sched
 import (
 	"sync"
 	"sync/atomic"
+
+	"scoopqs/internal/obs"
 )
 
 // This file is the fork-join layer of the executor: one-shot data-
@@ -99,6 +101,9 @@ func isTask(t *Task) bool {
 func (g *TaskGroup) Spawn(w *Worker, fn func(*Worker)) {
 	g.pending.Add(1)
 	g.e.tasksSpawned.Add(1)
+	if obs.Enabled() {
+		emitOn(w, obs.KindTaskSpawn, 0, 0)
+	}
 	ft := &funcTask{g: g, fn: fn}
 	ft.tok.r = ft
 	g.e.ReadyLocal(w, &ft.tok)
@@ -137,6 +142,14 @@ func (g *TaskGroup) Wait(w *Worker) {
 	e := g.e
 	if w != nil && w.e != e {
 		w = nil
+	}
+	if obs.Enabled() {
+		t0 := obs.Now()
+		defer func() {
+			d := obs.Now() - t0
+			taskWaitHist.Observe(d)
+			emitOn(w, obs.KindTaskJoin, 0, d)
+		}()
 	}
 	var pk *Parker
 	idle := 0
@@ -197,6 +210,7 @@ func (g *TaskGroup) helpOnce(w *Worker) bool {
 				break
 			}
 			if isTask(t) {
+				noteDispatchAny(w, t)
 				t.r.Step(w)
 				return true
 			}
@@ -207,6 +221,7 @@ func (g *TaskGroup) helpOnce(w *Worker) bool {
 	// non-task entries in a loop would spin the FIFO.
 	if t := e.tryInjector(); t != nil {
 		if isTask(t) {
+			noteDispatchAny(w, t)
 			t.r.Step(w)
 			return true
 		}
@@ -237,6 +252,7 @@ func (g *TaskGroup) helpOnce(w *Worker) bool {
 		}
 		if isTask(t) {
 			e.taskSteals.Add(1)
+			noteDispatchAny(w, t)
 			t.r.Step(w)
 			return true
 		}
