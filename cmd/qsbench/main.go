@@ -12,8 +12,9 @@
 //	            generated from it): the paper's tables and figures
 //	            (table1..5, fig16..20), the repo's scheduler and
 //	            transport studies (eve, executor, steal, futures,
-//	            remote, flow), the Cowichan suite on the unified
-//	            scheduler (cowichan), and the roll-up (summary).
+//	            remote, flow, chaos), the Cowichan suite on the
+//	            unified scheduler (cowichan), and the roll-up
+//	            (summary).
 //	-json path  also write machine-readable results (experiment,
 //	            config, medians, counters) for BENCH_*.json trajectory
 //	            files
@@ -22,6 +23,12 @@
 //	            in Perfetto or chrome://tracing)
 //	-baseline path  prior BENCH_*.json the obs experiment gates its
 //	            disabled-tracer overhead against
+//	-flow-baseline path  prior BENCH_*.json the flow and remote
+//	            experiments gate their throughput against (<=5% on a
+//	            comparable host)
+//	-seed N     seed for deterministic fault injection (the chaos
+//	            experiment); recorded in -json metadata so failing
+//	            runs replay exactly
 //	-size      small|paper   problem sizes (paper sizes are large!)
 //	-reps      N             repetitions per measurement (median)
 //	-workers   N             worker/handler count at full width
@@ -58,7 +65,7 @@ import (
 var experimentOrder = []string{
 	"table1", "fig16", "table2", "fig17", "table3",
 	"fig18", "fig19", "table4", "table5", "fig20",
-	"eve", "executor", "steal", "futures", "remote", "flow",
+	"eve", "executor", "steal", "futures", "remote", "flow", "chaos",
 	"cowichan", "obs", "summary",
 }
 
@@ -76,6 +83,7 @@ func experimentTable(o harness.Options) map[string]func() {
 		"futures":  o.Futures,
 		"remote":   o.Remote,
 		"flow":     o.Flow,
+		"chaos":    o.Chaos,
 		"cowichan": o.Cowichan,
 		"obs":      o.Obs,
 		"summary":  o.Summary,
@@ -112,6 +120,8 @@ func main() {
 	jsonPath := flag.String("json", "", "also write machine-readable results (experiment, config, medians, counters) to this path")
 	tracePath := flag.String("trace", "", "record internal/obs events for the whole run and write a Chrome trace_event JSON file here")
 	baseline := flag.String("baseline", "BENCH_PR7_obs.json", "prior BENCH_*.json the obs experiment gates disabled-tracer overhead against")
+	flowBaseline := flag.String("flow-baseline", "BENCH_PR5_flow.json", "prior BENCH_*.json the flow and remote experiments gate throughput against")
+	seed := flag.Int64("seed", 1, "seed for deterministic fault injection (chaos experiment); recorded in -json metadata")
 	flag.Parse()
 
 	// Fail fast if the -json document shape drifted from its canonical
@@ -159,9 +169,11 @@ func main() {
 		fatalf("%v", err)
 	}
 	if *jsonPath != "" {
-		o.Rec = &harness.Recorder{}
+		o.Rec = &harness.Recorder{Seed: *seed}
 	}
 	o.Baseline = *baseline
+	o.FlowBaseline = *flowBaseline
+	o.Seed = *seed
 	if *tracePath != "" {
 		obs.Enable()
 	}

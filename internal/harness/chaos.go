@@ -1,0 +1,379 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"scoopqs/internal/chaos"
+	"scoopqs/internal/core"
+	"scoopqs/internal/future"
+	"scoopqs/internal/remote"
+)
+
+// The chaos experiment's fixed shape: two victim and two survivor
+// logical clients, each with its own handler-owned counter, so every
+// run checks end-to-end correctness (final counter values) next to the
+// fault assertions.
+const (
+	chaosVictims   = 2
+	chaosSurvivors = 2
+	chaosQueries   = 1024 // total, split across the four sessions
+
+	// chaosWriteBudget mirrors internal/remote's default writer budget;
+	// the bounded-memory assertion allows it plus one frame of slack.
+	chaosWriteBudget = 256 << 10
+	// chaosMaxWindow mirrors the adaptive window ceiling: deferred
+	// replies are bounded by window x channels even under faults.
+	chaosMaxWindow = 1024
+
+	chaosIdleTimeout   = 150 * time.Millisecond
+	chaosAwaitTimeout  = 60 * time.Second
+	chaosSettleTimeout = 10 * time.Second
+)
+
+// chaosScenario is one fault profile plus what it must provoke.
+type chaosScenario struct {
+	name    string
+	p       chaos.Profile // transport faults on the victim connection
+	lethal  bool          // the victim connection is expected to die
+	abuse   bool          // raw credit-ignoring flood instead of a mux victim
+	silence bool          // open a block, then go silent (idle-deadline prey)
+}
+
+// chaosScenarios is the sweep -experiment chaos runs, every fault the
+// chaos package can inject plus the two protocol-level misbehaviors.
+var chaosScenarios = []chaosScenario{
+	{name: "baseline"},
+	{name: "latency", p: chaos.Profile{Name: "latency", LatencyMin: 20 * time.Microsecond, LatencyMax: 200 * time.Microsecond}},
+	// StallEvery is small because the batching writer coalesces the
+	// whole pipelined burst into a handful of flushes.
+	{name: "stall", p: chaos.Profile{Name: "stall", StallEvery: 2, StallDur: 2 * time.Millisecond}},
+	{name: "partial", p: chaos.Profile{Name: "partial", ChunkMax: 7}},
+	{name: "truncate", p: chaos.Profile{Name: "truncate", TruncateAfter: 4096}, lethal: true},
+	{name: "reset", p: chaos.Profile{Name: "reset", ResetAfter: 4096}, lethal: true},
+	{name: "abuse", abuse: true},
+	{name: "silence", silence: true},
+}
+
+// chaosOutcome is what one scenario run produced, for the table and
+// the JSON rows.
+type chaosOutcome struct {
+	survivorTime time.Duration
+	stats        remote.ServerStats
+	faults       chaos.Counts
+	failedFuts   int // victim futures that resolved with an error
+}
+
+// chaosHandlerName names the per-session counter handlers.
+func chaosHandlerName(i int) string { return "chaos-counter" + strconv.Itoa(i) }
+
+// chaosServer builds the runtime + server every scenario runs against:
+// one counter handler per session slot, and the abuse scenario's slow
+// handler (1ms per call, so a credit-ignoring flood deterministically
+// outruns any window the server could have extended).
+func chaosServer(cfg core.Config) (*core.Runtime, *remote.Server, net.Listener, error) {
+	rt := core.New(cfg)
+	srv := remote.NewServer(rt)
+	srv.IdleTimeout = chaosIdleTimeout
+	for i := 0; i < chaosVictims+chaosSurvivors; i++ {
+		h := rt.NewHandler(chaosHandlerName(i))
+		c := new(int64)
+		srv.Expose(chaosHandlerName(i), h, map[string]remote.Proc{
+			"add": func(a []int64) int64 { *c += a[0]; return *c },
+		})
+	}
+	srv.Expose("chaos-abuse", rt.NewHandler("chaos-abuse"), map[string]remote.Proc{
+		"hold": func([]int64) int64 { time.Sleep(time.Millisecond); return 0 },
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		rt.Shutdown()
+		return nil, nil, nil, err
+	}
+	go srv.Serve(ln)
+	return rt, srv, ln, nil
+}
+
+// chaosPipeline drives qper pipelined queries through each of the
+// sessions [first, first+n) of mux, one goroutine per session. Every
+// future is awaited (with a deadline — recovery means nothing may hang),
+// and the outcome is the count of futures that resolved with errors.
+// wantClean asserts that everything succeeded and the counters reached
+// qper exactly.
+func chaosPipeline(mux *remote.Mux, first, n, qper int, wantClean bool) (failed int, err error) {
+	type sessionRun struct {
+		futs []*future.Future
+		last *future.Future
+		err  error
+	}
+	runs := make([]sessionRun, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		rs := mux.NewSession()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			runs[i].err = rs.Separate(chaosHandlerName(first+i), func(s *remote.Session) error {
+				for q := 0; q < qper; q++ {
+					f, err := s.QueryAsync("add", 1)
+					if err != nil {
+						return err
+					}
+					runs[i].futs = append(runs[i].futs, f)
+					runs[i].last = f
+				}
+				return nil
+			})
+		}()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		for i := range runs {
+			for _, f := range runs[i].futs {
+				f.Get() //nolint:errcheck // resolution is the assertion; errors counted below
+			}
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(chaosAwaitTimeout):
+		return 0, fmt.Errorf("harness: chaos futures still unresolved after %v (recovery guarantee broken)", chaosAwaitTimeout)
+	}
+
+	for i := range runs {
+		for _, f := range runs[i].futs {
+			if _, ferr := f.Get(); ferr != nil {
+				failed++
+			}
+		}
+		if wantClean {
+			if runs[i].err != nil {
+				return failed, fmt.Errorf("harness: chaos session %d failed: %w", first+i, runs[i].err)
+			}
+			if v, ferr := runs[i].last.Get(); ferr != nil || v.(int64) != int64(qper) {
+				return failed, fmt.Errorf("harness: chaos counter %d ended at %v (err %v), want %d", first+i, v, ferr, qper)
+			}
+		}
+	}
+	return failed, nil
+}
+
+// chaosRun executes one scenario: the faulty victim and a clean
+// survivor connection against one server, then the bounded-memory,
+// recovery, and leak assertions. Violations come back as errors; Chaos
+// panics on them so CI gates on the exit code.
+func chaosRun(cfg core.Config, sc chaosScenario, seed int64) (chaosOutcome, error) {
+	var out chaosOutcome
+	baseGoroutines := runtime.NumGoroutine()
+
+	rt, srv, ln, err := chaosServer(cfg)
+	if err != nil {
+		return out, err
+	}
+	addr := ln.Addr().String()
+
+	// Survivor: an honest connection running its full workload while
+	// the victim misbehaves. It must complete cleanly in every scenario.
+	qper := chaosQueries / (chaosVictims + chaosSurvivors)
+	survErr := make(chan error, 1)
+	survTime := make(chan time.Duration, 1)
+	go func() {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			survErr <- err
+			return
+		}
+		mux := remote.NewMux(conn)
+		defer mux.Close()
+		start := time.Now()
+		_, err = chaosPipeline(mux, chaosVictims, chaosSurvivors, qper, true)
+		survTime <- time.Since(start)
+		survErr <- err
+	}()
+
+	// Victim: the scenario's faulty peer.
+	switch {
+	case sc.abuse:
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return out, err
+		}
+		if _, err := conn.Write(chaos.Flood("chaos-abuse", "hold", 4096)); err != nil {
+			conn.Close()
+			return out, fmt.Errorf("harness: abuse flood write: %w", err)
+		}
+		if err := chaosPoll(func() bool { return srv.Stats().Quarantines >= 1 }); err != nil {
+			conn.Close()
+			return out, fmt.Errorf("harness: flood of 4096 uncredited calls was never quarantined")
+		}
+		conn.Close()
+
+	case sc.silence:
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return out, err
+		}
+		// A BEGIN with no calls: open work, then silence — exactly what
+		// the idle deadline exists for.
+		if _, err := conn.Write(chaos.Flood(chaosHandlerName(0), "add", 0)); err != nil {
+			conn.Close()
+			return out, fmt.Errorf("harness: silence BEGIN write: %w", err)
+		}
+		if err := chaosPoll(func() bool { return srv.Stats().PeerStalls >= 1 }); err != nil {
+			conn.Close()
+			return out, fmt.Errorf("harness: silent mid-block peer was never timed out")
+		}
+		conn.Close()
+
+	default:
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return out, err
+		}
+		wrapped := chaos.Wrap(conn, sc.p, seed)
+		mux := remote.NewMux(wrapped)
+		failed, err := chaosPipeline(mux, 0, chaosVictims, qper, !sc.lethal)
+		if err != nil {
+			mux.Close()
+			return out, err
+		}
+		out.failedFuts = failed
+		if fc, ok := wrapped.(*chaos.Conn); ok {
+			out.faults = fc.Counts()
+		}
+		if sc.lethal {
+			if out.faults.Truncates+out.faults.Resets == 0 {
+				return out, fmt.Errorf("harness: %s scenario never cut the connection", sc.name)
+			}
+			if mux.Err() == nil {
+				return out, fmt.Errorf("harness: victim mux survived a %s", sc.name)
+			}
+			if errors.Is(mux.Err(), remote.ErrClosed) {
+				return out, fmt.Errorf("harness: involuntary %s teardown reported as a clean close", sc.name)
+			}
+		}
+		mux.Close()
+	}
+
+	if err := <-survErr; err != nil {
+		return out, fmt.Errorf("harness: survivor connection in %s scenario: %w", sc.name, err)
+	}
+	out.survivorTime = <-survTime
+	out.stats = srv.Stats()
+
+	// Bounded memory under every fault: the pending batch stays at the
+	// byte budget (plus one frame), and deferred replies stay within
+	// window x channels plus the per-channel grants/block errors.
+	if max := out.stats.MaxBatchBytes; max > chaosWriteBudget+4096 {
+		return out, fmt.Errorf("harness: %s scenario grew the pending batch to %d bytes (budget %d)", sc.name, max, chaosWriteBudget)
+	}
+	channels := chaosVictims + chaosSurvivors + 1
+	if max := out.stats.MaxParkedFrames; max > uint64(channels*chaosMaxWindow+16) {
+		return out, fmt.Errorf("harness: %s scenario parked %d frames (bound %d)", sc.name, max, channels*chaosMaxWindow+16)
+	}
+
+	srv.Close()
+	rt.Shutdown()
+
+	// Clean recovery: everything the run spawned — muxes, server conns,
+	// pool workers — is gone. A leaked goroutine here is a wedged reader
+	// or an unreleased handler.
+	deadline := time.Now().Add(chaosSettleTimeout)
+	for runtime.NumGoroutine() > baseGoroutines+2 {
+		if time.Now().After(deadline) {
+			return out, fmt.Errorf("harness: %s scenario leaked goroutines: %d now vs %d before", sc.name, runtime.NumGoroutine(), baseGoroutines)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return out, nil
+}
+
+// chaosPoll waits (bounded) for a server-side counter to move.
+func chaosPoll(cond func() bool) error {
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("harness: chaos condition never held")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return nil
+}
+
+// Chaos runs the remote path through the fault-injection sweep: every
+// chaos profile (seeded from -seed, so failures replay), the
+// credit-abusing flood, and the silent mid-block peer, each next to an
+// honest survivor connection, at pool widths 1 and 4. Each run asserts
+// the robustness contract — server memory stays bounded, every victim
+// future resolves (with terminal errors when the connection died),
+// survivors complete with exact counter values, quarantine/idle
+// enforcement fires, and nothing leaks goroutines. Any violation
+// panics, so CI gates on the exit code. Not a paper experiment; it
+// hardens this repo's remote subsystem (see README "Fault tolerance").
+func (o Options) Chaos() {
+	seed := o.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	section(o.Out, "Chaos: remote-path fault injection",
+		fmt.Sprintf("%d fault scenarios x pool widths {1,4}, seed %d: a faulty victim\nconnection (injected latency, stalls, partial writes, truncation,\nresets, credit abuse, mid-block silence) races an honest survivor\nconnection on one server (adaptive windows, %v idle deadline).\nAsserted per run: bounded batch/parked memory, every future\nresolves, survivors finish exactly, offenders are quarantined or\ntimed out, and no goroutine outlives its run.", len(chaosScenarios), seed, chaosIdleTimeout))
+
+	tb := newTable(o.Out)
+	tb.row("Scenario", "pool", "surv(s)", "surv q/s", "failedFuts", "quar", "stalls", "resize", "faults")
+	for _, pool := range []int{1, 4} {
+		cfg := core.ConfigAll.WithWorkers(pool)
+		for i, sc := range chaosScenarios {
+			out, err := chaosRun(cfg, sc, seed+int64(i))
+			if err != nil {
+				panic(err)
+			}
+			qper := chaosQueries / (chaosVictims + chaosSurvivors)
+			qps := float64(qper*chaosSurvivors) / out.survivorTime.Seconds()
+			injected := out.faults.Delays + out.faults.Stalls + out.faults.Chunks +
+				out.faults.Truncates + out.faults.Resets
+			tb.row(sc.name, strconv.Itoa(pool), Seconds(out.survivorTime),
+				fmt.Sprintf("%.0f", qps),
+				strconv.Itoa(out.failedFuts),
+				strconv.FormatUint(out.stats.Quarantines, 10),
+				strconv.FormatUint(out.stats.PeerStalls, 10),
+				strconv.FormatUint(out.stats.WindowResizes, 10),
+				strconv.FormatUint(injected, 10))
+			o.Rec.Add(Result{
+				Experiment: "chaos",
+				Labels: map[string]string{
+					"scenario": sc.name,
+					"config":   cfg.Name(),
+					"workers":  strconv.Itoa(pool),
+					"seed":     strconv.FormatInt(seed+int64(i), 10),
+				},
+				Medians: map[string]float64{
+					"survivor_seconds":            out.survivorTime.Seconds(),
+					"survivor_queries_per_second": qps,
+				},
+				Counters: map[string]int64{
+					"failed_futures":     int64(out.failedFuts),
+					"quarantines":        int64(out.stats.Quarantines),
+					"peer_stalls":        int64(out.stats.PeerStalls),
+					"window_resizes":     int64(out.stats.WindowResizes),
+					"max_batch_bytes":    int64(out.stats.MaxBatchBytes),
+					"max_parked_frames":  int64(out.stats.MaxParkedFrames),
+					"injected_delays":    int64(out.faults.Delays),
+					"injected_stalls":    int64(out.faults.Stalls),
+					"injected_chunks":    int64(out.faults.Chunks),
+					"injected_truncates": int64(out.faults.Truncates),
+					"injected_resets":    int64(out.faults.Resets),
+				},
+			})
+		}
+	}
+	tb.flush()
+}

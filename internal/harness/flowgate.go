@@ -1,0 +1,124 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+)
+
+// flowThroughputGate is the remote-path performance budget: with
+// adaptive credit windows on by default, the flow and remote
+// experiments' throughput must stay within 5% of the committed
+// baseline rows (-flow-baseline) on a comparable host.
+const flowThroughputGate = 0.05
+
+// benchQPS returns a baseline row's queries_per_second median, matched
+// by experiment name and a label subset.
+func (b *benchBaseline) benchQPS(experiment string, labels map[string]string) (float64, bool) {
+	if b == nil {
+		return 0, false
+	}
+outer:
+	for _, r := range b.file.Results {
+		if r.Experiment != experiment {
+			continue
+		}
+		for k, v := range labels {
+			if r.Labels[k] != v {
+				continue outer
+			}
+		}
+		if q, ok := r.Medians["queries_per_second"]; ok && q > 0 {
+			return q, true
+		}
+	}
+	return 0, false
+}
+
+// gateRow is one gated throughput row: a display label, the label
+// subset selecting its baseline row, the best throughput observed so
+// far, and a closure measuring one more repetition.
+type gateRow struct {
+	label string
+	want  map[string]string
+	best  float64
+	again func() float64
+}
+
+// throughputGate enforces the 5% budget for an experiment's rows
+// against the -flow-baseline trajectory file. Like the obs overhead
+// gate, throughput parity is a lower-bound property — if any
+// repetition reaches the baseline, the code path has not regressed,
+// while a real regression is slow in every window — so the gate
+// compares the geometric mean of per-row baseline/best ratios and, on
+// a violation, re-measures up to twice (folding per-row maxima)
+// before failing: on a small shared host a single sweep's scatter
+// exceeds the budget. Violation panics so CI can gate on the exit
+// code; a missing or incomparable baseline skips, loudly.
+func (o Options) throughputGate(experiment string, defaultSizes bool, rows []gateRow) {
+	baseline := readBenchBaseline(o.FlowBaseline)
+	switch {
+	case baseline == nil:
+		fmt.Fprintf(o.Out, "\nthroughput gate: skipped (baseline %q not readable)\n", o.FlowBaseline)
+		return
+	case !baseline.comparable:
+		fmt.Fprintf(o.Out, "\nthroughput gate: skipped (baseline host %s/%d CPUs, this host %s/%d)\n",
+			baseline.file.GoVersion, baseline.file.NumCPU, runtime.Version(), runtime.NumCPU())
+		return
+	case !defaultSizes:
+		fmt.Fprintln(o.Out, "\nthroughput gate: skipped (non-default workload sizes)")
+		return
+	}
+	type armedRow struct {
+		gateRow
+		base float64
+	}
+	var armed []armedRow
+	for _, r := range rows {
+		if base, ok := baseline.benchQPS(experiment, r.want); ok {
+			armed = append(armed, armedRow{gateRow: r, base: base})
+		}
+	}
+	if len(armed) == 0 {
+		fmt.Fprintf(o.Out, "\nthroughput gate: skipped (no %s baseline rows in %q)\n", experiment, o.FlowBaseline)
+		return
+	}
+
+	geomean := func() float64 {
+		var logSum float64
+		for _, r := range armed {
+			logSum += math.Log(r.base / r.best)
+		}
+		return math.Exp(logSum / float64(len(armed)))
+	}
+	geo := geomean()
+	for round := 1; geo > 1+flowThroughputGate && round <= 2; round++ {
+		fmt.Fprintf(o.Out, "\nthroughput gate: geomean %.3f over budget, re-measuring (round %d/2)\n", geo, round)
+		for i := range armed {
+			if q := armed[i].again(); q > armed[i].best {
+				armed[i].best = q
+			}
+		}
+		geo = geomean()
+	}
+	o.Rec.Add(Result{
+		Experiment: experiment,
+		Labels:     map[string]string{"mode": "gate"},
+		Medians: map[string]float64{
+			"baseline_vs_best_geomean": geo,
+			"budget_pct":               flowThroughputGate * 100,
+		},
+	})
+	if geo > 1+flowThroughputGate {
+		for _, r := range armed {
+			fmt.Fprintf(o.Out, "throughput gate row %s: best %.0f q/s vs baseline %.0f (%.3f)\n",
+				r.label, r.best, r.base, r.base/r.best)
+		}
+		fmt.Fprintf(o.Out, "\nthroughput gate VIOLATION: baseline/best geomean %.3f over %d rows (budget %.0f%%)\n",
+			geo, len(armed), flowThroughputGate*100)
+		panic(fmt.Sprintf("harness: %s throughput geomean %.3f exceeds %.0f%% budget vs %s",
+			experiment, geo, flowThroughputGate*100, o.FlowBaseline))
+	}
+	fmt.Fprintf(o.Out, "\nthroughput gate: PASS (baseline/best geomean %.3f over %d rows, budget %.0f%%)\n",
+		geo, len(armed), flowThroughputGate*100)
+}

@@ -61,6 +61,14 @@ type Options struct {
 	// Baseline is the prior BENCH_*.json trajectory file the Obs
 	// experiment gates its disabled-tracer overhead against.
 	Baseline string
+	// FlowBaseline is the prior BENCH_*.json trajectory file the Flow
+	// and Remote experiments gate their throughput against (<=5%
+	// regression on a comparable host).
+	FlowBaseline string
+	// Seed drives every deterministic randomized component (the chaos
+	// experiment's fault injection); it is recorded in -json metadata so
+	// a failing run replays exactly.
+	Seed int64
 }
 
 // Defaults returns laptop-scale options writing to w.
@@ -86,6 +94,7 @@ func Defaults(w io.Writer) Options {
 		FutRounds:     50,
 		FutQueries:    5000,
 		RemoteQueries: 16384,
+		Seed:          1,
 	}
 }
 

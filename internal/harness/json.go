@@ -25,6 +25,9 @@ type Result struct {
 // valid and records nothing, so experiments call Add unconditionally.
 type Recorder struct {
 	Results []Result
+	// Seed is the run's -seed value, stamped into the file metadata so
+	// seeded experiments (chaos) replay from the artifact alone.
+	Seed int64
 }
 
 // Add appends one result row. Safe on a nil receiver.
@@ -55,6 +58,7 @@ type benchFile struct {
 	GitSHA    string   `json:"git_sha,omitempty"`
 	NumCPU    int      `json:"num_cpu"`
 	GOMAXPROC int      `json:"gomaxprocs"`
+	Seed      int64    `json:"seed"`
 	Results   []Result `json:"results"`
 }
 
@@ -63,7 +67,7 @@ type benchFile struct {
 // (the same discipline as qsbench's experiment-list drift check).
 var benchFileKeys = []string{
 	"schema", "generated", "go_version", "goos", "goarch", "host",
-	"git_sha", "num_cpu", "gomaxprocs", "results",
+	"git_sha", "num_cpu", "gomaxprocs", "seed", "results",
 }
 
 // resultKeys is the canonical key set of one Result row.
@@ -153,6 +157,7 @@ func (r *Recorder) WriteFile(path string) error {
 		GitSHA:    gitSHA(),
 		NumCPU:    runtime.NumCPU(),
 		GOMAXPROC: runtime.GOMAXPROCS(0),
+		Seed:      r.Seed,
 		Results:   r.Results,
 	}
 	data, err := json.MarshalIndent(f, "", "  ")

@@ -31,10 +31,15 @@ const (
 	KindSync         // span: sync round-trip end-to-end (arg = ns, id = handler)
 
 	// internal/remote
-	KindFlush       // instant: one conn.Write (arg = batch bytes)
-	KindWriterStall // span: producer parked at the byte budget (arg = ns)
-	KindCreditWait  // span: admission parked at zero credits (arg = ns, id = channel)
-	KindRoundTrip   // span: pipelined request→reply (arg = ns, id = channel)
+	KindFlush        // instant: one conn.Write (arg = batch bytes)
+	KindWriterStall  // span: producer parked at the byte budget (arg = ns)
+	KindCreditWait   // span: admission parked at zero credits (arg = ns, id = channel)
+	KindRoundTrip    // span: pipelined request→reply (arg = ns, id = channel)
+	KindWindowResize // instant: adaptive credit-window retarget (arg = new window, id = channel)
+
+	// internal/chaos
+	KindChaosFault // instant: injected fault (arg = faultKind code, id = conn)
+	KindChaosDelay // span: injected latency (arg = ns, id = conn)
 
 	kindMax
 )
@@ -57,6 +62,9 @@ var kindNames = [kindMax]string{
 	KindWriterStall:  "remote.writer_stall",
 	KindCreditWait:   "remote.credit_wait",
 	KindRoundTrip:    "remote.roundtrip",
+	KindWindowResize: "remote.window_resize",
+	KindChaosFault:   "chaos.fault",
+	KindChaosDelay:   "chaos.delay",
 }
 
 // kindDur marks kinds whose arg is a duration in nanoseconds; they
@@ -74,6 +82,7 @@ var kindDur = [kindMax]bool{
 	KindWriterStall: true,
 	KindCreditWait:  true,
 	KindRoundTrip:   true,
+	KindChaosDelay:  true,
 }
 
 // String returns the event name used in exported traces.

@@ -123,11 +123,11 @@ func (rs *RemoteSession) Close() error {
 	rs.creditWait = nil
 	rs.mu.Unlock()
 	if w != nil {
-		w.Fail(errClosed) // release admissions parked on this channel
+		w.Fail(ErrClosed) // release admissions parked on this channel
 	}
 	rs.m.drop(rs.ch)
 	rs.m.w.frame(&frame{kind: fClose, ch: rs.ch})
-	rs.failPending(errClosed)
+	rs.failPending(ErrClosed)
 	return nil
 }
 
@@ -143,7 +143,7 @@ func (rs *RemoteSession) termErr() error {
 	if err := rs.m.Err(); err != nil {
 		return err
 	}
-	return errClosed
+	return ErrClosed
 }
 
 // send writes one frame through the mux's batching writer, parking at

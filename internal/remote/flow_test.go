@@ -709,7 +709,7 @@ func TestPoisonResendsAfterDrain(t *testing.T) {
 	cw := newConnWriter(sv, budget, nil)
 	defer cw.kill()
 	defer sv.Close()
-	c := &serverConn{s: srv, cw: cw, chans: map[uint32]*svChan{}, window: 1024, grantBatch: 128}
+	c := &serverConn{s: srv, cw: cw, chans: map[uint32]*svChan{}, window: 1024}
 
 	cli.SetReadDeadline(time.Now().Add(20 * time.Second)) //nolint:errcheck
 	fr := newFrameReader(cli)
@@ -752,7 +752,7 @@ func TestPoisonResendsAfterDrain(t *testing.T) {
 	// Drain: the queued poison flushes.
 	readUntilPoison("nonesuchA")
 	drainDeadline := time.Now().Add(10 * time.Second)
-	for cw.drainedParked() == 0 {
+	for cw.drainedParked(1) == 0 {
 		if time.Now().After(drainDeadline) {
 			t.Fatal("parked poison never drained")
 		}
@@ -778,57 +778,135 @@ func TestPoisonResendsAfterDrain(t *testing.T) {
 	readUntilPoison("nonesuchB")
 }
 
-// TestCreditOverrunDropsConnection pins the server-side enforcement: a
-// client that ignores credits and floods past the window is a protocol
-// violation and loses the connection — the bound holds even against a
-// misbehaving peer. The handler is gated shut so completions cannot
-// race the flood and mask the overrun.
-func TestCreditOverrunDropsConnection(t *testing.T) {
-	rt := core.New(core.ConfigAll)
-	h := rt.NewHandler("gate")
-	gate := make(chan struct{})
-	srv := NewServer(rt)
-	const window = 128
-	srv.Window = window
-	srv.Expose("gate", h, map[string]Proc{
-		"tick": func([]int64) int64 { <-gate; return 0 },
-	})
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	go srv.Serve(ln)
-	defer func() {
-		srv.Close()
-		rt.Shutdown()
-	}()
-	// Opened before the teardown above runs (defers are LIFO) so the
-	// flood's logged calls can drain and Shutdown completes.
-	defer close(gate)
+// TestCreditOverrunQuarantinesChannel pins the server-side enforcement:
+// a raw-frame peer that ignores CREDIT and floods past the window gets
+// its channel quarantined — one block-level ERROR naming the overrun,
+// then silence on that channel — while the connection itself stays up
+// and honest channels (a sibling channel on the same connection and a
+// well-behaved Mux on a second connection) keep completing. The gated
+// handler keeps completions from racing the flood and masking the
+// overrun.
+func TestCreditOverrunQuarantinesChannel(t *testing.T) {
+	for _, mode := range flowModes {
+		t.Run(mode.name, func(t *testing.T) {
+			rt := core.New(mode.cfg)
+			gate := make(chan struct{})
+			srv := NewServer(rt)
+			const window = 128
+			srv.Window = window
+			srv.Expose("gate", rt.NewHandler("gate"), map[string]Proc{
+				"tick": func([]int64) int64 { <-gate; return 0 },
+			})
+			srv.Expose("calc", rt.NewHandler("calc"), map[string]Proc{
+				"add": func(a []int64) int64 { return a[0] + a[1] },
+			})
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			go srv.Serve(ln)
+			defer func() {
+				srv.Close()
+				rt.Shutdown()
+			}()
+			// Opened before the teardown above runs (defers are LIFO) so
+			// the flood's logged calls can drain and Shutdown completes.
+			var releaseOnce sync.Once
+			release := func() { releaseOnce.Do(func() { close(gate) }) }
+			defer release()
 
-	conn, err := net.Dial("tcp", ln.Addr().String())
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer conn.Close()
+			conn, err := net.Dial("tcp", ln.Addr().String())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer conn.Close()
+			conn.SetDeadline(time.Now().Add(20 * time.Second)) //nolint:errcheck
 
-	var buf []byte
-	buf = appendFrame(buf, &frame{kind: fBegin, ch: 1, name: "gate"})
-	for i := 0; i < window+bootstrapCredits; i++ {
-		buf = appendFrame(buf, &frame{kind: fCall, ch: 1, name: "tick"})
-	}
-	conn.SetDeadline(time.Now().Add(20 * time.Second)) //nolint:errcheck
-	if _, err := conn.Write(buf); err != nil {
-		// The server may drop the connection while we are still
-		// writing the flood; that is the expected enforcement.
-		return
-	}
-	// Drain until the server hangs up on us; an honest client would
-	// have parked long before this read loop saw EOF.
-	discard := make([]byte, 4096)
-	for {
-		if _, err := conn.Read(discard); err != nil {
-			return // connection dropped: enforcement worked
-		}
+			var buf []byte
+			buf = appendFrame(buf, &frame{kind: fBegin, ch: 1, name: "gate"})
+			for i := 0; i < window+bootstrapCredits; i++ {
+				buf = appendFrame(buf, &frame{kind: fCall, ch: 1, name: "tick"})
+			}
+			if _, err := conn.Write(buf); err != nil {
+				t.Fatalf("flood write failed (connection must survive an overrun): %v", err)
+			}
+
+			// The server's verdict arrives in-band: one id-0 ERROR on the
+			// abused channel naming the overrun. CREDIT advertisements may
+			// precede it.
+			fr := newFrameReader(conn)
+			var f frame
+			for {
+				if err := fr.readFrame(&f); err != nil {
+					t.Fatalf("reading quarantine verdict: %v", err)
+				}
+				if f.kind == fCredit {
+					continue
+				}
+				break
+			}
+			if f.kind != fError || f.ch != 1 || f.id != 0 {
+				t.Fatalf("expected block-level ERROR on channel 1, got kind=0x%02x ch=%d id=%d", byte(f.kind), f.ch, f.id)
+			}
+			if !strings.Contains(f.name, "credit window overrun") {
+				t.Fatalf("quarantine error %q does not name the overrun", f.name)
+			}
+			if got := srv.Stats().Quarantines; got != 1 {
+				t.Fatalf("Quarantines = %d, want 1", got)
+			}
+
+			// With one worker the gated flood calls monopolize the pool, so
+			// no other handler can run until the gate opens — release it
+			// now; quarantine is sticky, so the channel stays condemned.
+			// With four workers, keep the gate shut: the honest checks below
+			// then run while the abuse is still in flight.
+			if mode.name == "pooled1" {
+				release()
+			}
+
+			// The connection survives: a fresh, honest channel on the same
+			// connection still gets a window and its replies.
+			buf = buf[:0]
+			buf = appendFrame(buf, &frame{kind: fBegin, ch: 2, name: "calc"})
+			buf = appendFrame(buf, &frame{kind: fQuery, ch: 2, id: 1, name: "add", args: []int64{20, 22}})
+			buf = appendFrame(buf, &frame{kind: fEnd, ch: 2})
+			if _, err := conn.Write(buf); err != nil {
+				t.Fatalf("sibling channel write failed: %v", err)
+			}
+			for {
+				if err := fr.readFrame(&f); err != nil {
+					t.Fatalf("reading sibling channel reply: %v", err)
+				}
+				if f.kind == fCredit || (f.kind == fError && f.ch == 1) {
+					continue
+				}
+				break
+			}
+			if f.kind != fReply || f.ch != 2 || f.id != 1 || f.val != 42 {
+				t.Fatalf("sibling channel: expected REPLY ch=2 id=1 val=42, got kind=0x%02x ch=%d id=%d val=%d", byte(f.kind), f.ch, f.id, f.val)
+			}
+
+			// And a well-behaved Mux on a second connection is untouched.
+			conn2, err := net.Dial("tcp", ln.Addr().String())
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := NewMux(conn2)
+			rs := m.NewSession()
+			err = rs.Separate("calc", func(s *Session) error {
+				v, err := s.Query("add", 1, 2)
+				if err != nil {
+					return err
+				}
+				if v != 3 {
+					return fmt.Errorf("add(1,2) = %d", v)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("honest mux alongside quarantine: %v", err)
+			}
+			m.Close()
+		})
 	}
 }

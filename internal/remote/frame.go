@@ -37,12 +37,35 @@
 // with a CREDIT frame when the channel first appears, consumed one
 // credit per logged request, replenished in batches as requests
 // complete — so the server's deferred replies are bounded by
-// window × channels even under a peer that stopped reading, and a
-// channel overrunning its window is a connection-fatal protocol
-// violation. The client-side consequence: Call, QueryAsync, Query,
-// and Sync can park the calling goroutine (at a zero window, or at
-// the byte budget), so they must not be used inside Future.OnComplete
-// callbacks, which run on the mux's reader goroutine.
+// window × channels even under a peer that stopped reading. Windows
+// are adaptive by default (Server.Window left zero): each channel's
+// window tracks an EWMA of its drain rate with AIMD dynamics — grown
+// additively while the channel keeps its writer fed, halved when its
+// replies congest the connection's writer — so a fast consumer earns
+// a deep pipeline while a slow one is throttled toward the minimum,
+// keeping the byte budget fair across channels. A channel that
+// overruns its window is quarantined, not fatal: the server releases
+// its handler, reports ErrCreditOverrun on the channel, and drops its
+// subsequent frames, while the connection and its other channels keep
+// working. Idle peers are handled the same way at connection scope:
+// with Server.IdleTimeout set, a peer holding a block open with
+// nothing in flight is torn down (ErrPeerStalled) instead of pinning
+// server state forever.
+//
+// Failures surface through typed, errors.Is-matchable sentinels.
+// Terminal for the connection or channel: ErrClosed (deliberate local
+// Close — the one "failure" that is clean), ErrProtocol (the peer
+// broke the framing contract), ErrCreditOverrun, ErrPeerStalled. A
+// bare transport error (connection reset, unexpected EOF) wraps none
+// of them, which is how callers distinguish "the operator closed
+// this" from "the network ate it": only the latter is worth a
+// reconnect-and-retry.
+//
+// The client-side consequence of the bounded write path: Call,
+// QueryAsync, Query, and Sync can park the calling goroutine (at a
+// zero window, or at the byte budget), so they must not be used
+// inside Future.OnComplete callbacks, which run on the mux's reader
+// goroutine.
 //
 // # Wire format
 //
@@ -185,6 +208,7 @@ type frameReader struct {
 	r      *bufio.Reader
 	names  map[string]string
 	strbuf []byte
+	mid    bool // the last readFrame consumed bytes before failing
 }
 
 func newFrameReader(r io.Reader) *frameReader {
@@ -198,10 +222,12 @@ func newFrameReader(r io.Reader) *frameReader {
 // error (including a malformed frame) is terminal for the stream: the
 // reader's position is undefined afterwards.
 func (fr *frameReader) readFrame(f *frame) error {
+	fr.mid = false
 	k, err := fr.r.ReadByte()
 	if err != nil {
 		return err
 	}
+	fr.mid = true
 	f.kind = frameKind(k)
 	ch, err := binary.ReadUvarint(fr.r)
 	if err != nil {
@@ -297,6 +323,12 @@ func (fr *frameReader) readArgs(f *frame) error {
 	}
 	return nil
 }
+
+// atBoundary reports whether the reader is positioned between frames:
+// the last readFrame error (if any) struck before the frame's first
+// byte was consumed, so the stream is still in sync and a retryable
+// error (a read deadline on a quiet connection) may simply read again.
+func (fr *frameReader) atBoundary() bool { return !fr.mid }
 
 // unexpectedEOF converts a mid-frame EOF into io.ErrUnexpectedEOF so a
 // stream truncated inside a frame is distinguishable from a clean close

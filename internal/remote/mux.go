@@ -1,7 +1,6 @@
 package remote
 
 import (
-	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -15,10 +14,6 @@ import (
 // stopped reading would otherwise leave the writer wedged in Write —
 // and Close waiting on it — forever.
 const closeFlushTimeout = 5 * time.Second
-
-// errClosed is the terminal error of a deliberately closed Mux or
-// RemoteSession.
-var errClosed = errors.New("remote: connection closed")
 
 // Mux multiplexes many logical clients onto one connection. It owns
 // the connection's two goroutines — a reader that demultiplexes
@@ -139,7 +134,7 @@ func (m *Mux) Close() error {
 		m.mu.Unlock()
 		return nil
 	}
-	m.err = errClosed
+	m.err = ErrClosed
 	chans := m.snapshotLocked()
 	m.mu.Unlock()
 
@@ -147,7 +142,7 @@ func (m *Mux) Close() error {
 	m.w.close()                                                // best-effort flush of queued ENDs/CLOSEs
 	err := m.conn.Close()
 	for _, rs := range chans {
-		rs.failPending(errClosed)
+		rs.failPending(ErrClosed)
 	}
 	<-m.readerDone
 	return err
@@ -215,7 +210,7 @@ func (m *Mux) readLoop() {
 				// A zero or absurd grant is a protocol violation, not
 				// arithmetic input: applied blindly, a huge count would
 				// go negative in int64 and park every admission forever.
-				m.fail(fmt.Errorf("remote: credit grant of %d outside (0, %d]", f.id, uint64(maxCreditGrant)))
+				m.fail(fmt.Errorf("remote: credit grant of %d outside (0, %d]: %w", f.id, uint64(maxCreditGrant), ErrProtocol))
 				return
 			}
 			m.mu.Lock()
@@ -226,7 +221,7 @@ func (m *Mux) readLoop() {
 			}
 			rs.addCredits(int64(f.id))
 		default:
-			m.fail(fmt.Errorf("remote: unexpected frame kind 0x%02x from server", byte(f.kind)))
+			m.fail(fmt.Errorf("remote: unexpected frame kind 0x%02x from server: %w", byte(f.kind), ErrProtocol))
 			return
 		}
 	}

@@ -18,4 +18,8 @@ var (
 	// roundTripHist is a pipelined request's send→reply latency,
 	// observed at the client as its future resolves.
 	roundTripHist = obs.Default().Hist("remote.roundtrip_ns")
+	// windowHist is the adaptive credit-window target after each
+	// resize: its spread shows how far the controller moved windows
+	// from their initial size over a run.
+	windowHist = obs.Default().Hist("remote.window")
 )

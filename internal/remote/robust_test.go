@@ -1,0 +1,286 @@
+package remote
+
+import (
+	"errors"
+	"io"
+	"net"
+	"os"
+	"testing"
+	"time"
+
+	"scoopqs/internal/core"
+	"scoopqs/internal/future"
+)
+
+// queryAsyncPending opens a block on mux and leaves one pipelined query
+// in flight, returning its future. The peer never replies, so the
+// future resolves only through the mux's teardown path under test.
+func queryAsyncPending(t *testing.T, m *Mux) *future.Future {
+	t.Helper()
+	rs := m.NewSession()
+	var fut *future.Future
+	err := rs.Separate("h", func(s *Session) error {
+		f, err := s.QueryAsync("q", 1)
+		fut = f
+		return err
+	})
+	if err != nil {
+		t.Fatalf("opening the pending block: %v", err)
+	}
+	return fut
+}
+
+// TestTerminalErrorsDistinguishable pins the typed-error contract: the
+// three ways a mux dies — deliberate Close, the peer vanishing, and a
+// protocol violation — fail pending futures with errors a caller can
+// tell apart with errors.Is, so retry policy can key on which sentinel
+// (if any) the failure wraps.
+func TestTerminalErrorsDistinguishable(t *testing.T) {
+	t.Run("close", func(t *testing.T) {
+		cli, peer := net.Pipe()
+		go io.Copy(io.Discard, peer) //nolint:errcheck // drain until the mux closes
+		m := NewMux(cli)
+		fut := queryAsyncPending(t, m)
+		m.Close()
+		_, err := fut.Get()
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("after Close: %v does not wrap ErrClosed", err)
+		}
+		if !errors.Is(m.Err(), ErrClosed) {
+			t.Fatalf("Err() after Close: %v", m.Err())
+		}
+	})
+
+	t.Run("peer vanishes", func(t *testing.T) {
+		cli, peer := net.Pipe()
+		go io.Copy(io.Discard, peer) //nolint:errcheck
+		m := NewMux(cli)
+		fut := queryAsyncPending(t, m)
+		peer.Close() // the connection dies underneath the mux
+		_, err := fut.Get()
+		if err == nil {
+			t.Fatal("future resolved cleanly on a dead connection")
+		}
+		if errors.Is(err, ErrClosed) {
+			t.Fatalf("involuntary teardown %v must not look like a clean Close", err)
+		}
+		if errors.Is(err, ErrProtocol) {
+			t.Fatalf("connection loss %v must not look like a protocol violation", err)
+		}
+		m.Close()
+	})
+
+	t.Run("protocol violation", func(t *testing.T) {
+		cli, peer := net.Pipe()
+		go io.Copy(io.Discard, peer) //nolint:errcheck
+		m := NewMux(cli)
+		fut := queryAsyncPending(t, m)
+		// A server has no business sending BEGIN; the mux must diagnose
+		// a violation, not a lost connection.
+		if _, err := peer.Write(appendFrame(nil, &frame{kind: fBegin, ch: 1, name: "x"})); err != nil {
+			t.Fatal(err)
+		}
+		_, err := fut.Get()
+		if !errors.Is(err, ErrProtocol) {
+			t.Fatalf("after a bogus frame: %v does not wrap ErrProtocol", err)
+		}
+		if errors.Is(err, ErrClosed) {
+			t.Fatalf("violation %v must not look like a clean Close", err)
+		}
+		m.Close()
+	})
+}
+
+// adaptiveTestConn builds the minimal serverConn the window controller
+// needs: a writer over a drained pipe and a stats-only Server. The
+// returned channel starts at the adaptive initial window, uncongested.
+func adaptiveTestConn(t *testing.T) (*serverConn, *svChan, func()) {
+	t.Helper()
+	cli, peer := net.Pipe()
+	go io.Copy(io.Discard, peer) //nolint:errcheck
+	cw := newConnWriter(cli, 0, nil)
+	c := &serverConn{s: &Server{}, cw: cw, chans: map[uint32]*svChan{}, adaptive: true}
+	sc := &svChan{target: adaptiveInitWindow, lastAdjust: time.Now(), lastParked: cw.parkedTotal()}
+	sc.limit.Store(adaptiveInitWindow)
+	return c, sc, func() {
+		cw.close()
+		cli.Close()
+		peer.Close()
+	}
+}
+
+// TestAdaptiveWindowGrows pins the additive-increase path and the
+// grow-by-granting mechanism: with a hot drain-rate estimate and no
+// congestion, one controller run raises the target by one step and the
+// returned grant carries the extra allowance on top of the batch's
+// completions, so limit tracks exactly what the client was extended.
+func TestAdaptiveWindowGrows(t *testing.T) {
+	c, sc, done := adaptiveTestConn(t)
+	defer done()
+	sc.ewmaRate = 1e6 // far above any target: the ceiling never binds
+	sc.lastAdjust = time.Now().Add(-time.Second)
+
+	const n = 64 // completions in this grant batch
+	grant := c.adjustWindow(sc, 1, n)
+	wantTarget := int64(adaptiveInitWindow + adaptiveAIStep)
+	if sc.target != wantTarget {
+		t.Fatalf("target = %d, want %d", sc.target, wantTarget)
+	}
+	if got := sc.limit.Load(); got != wantTarget {
+		t.Fatalf("limit = %d, want %d", got, wantTarget)
+	}
+	if want := int64(n + adaptiveAIStep); grant != want {
+		t.Fatalf("grant = %d, want %d (completions + growth)", grant, want)
+	}
+	if got := c.s.windowResizes.Load(); got != 1 {
+		t.Fatalf("windowResizes = %d, want 1", got)
+	}
+}
+
+// TestAdaptiveWindowBacksOff pins the multiplicative-decrease path and
+// the shrink-by-withholding mechanism: congestion (the writer's parked
+// counter advanced since the last decision) halves the target, and the
+// shrink is realized by withholding replenishment — never more than the
+// batch carries — so the enforced limit only ever drops by credits that
+// were genuinely not re-extended.
+func TestAdaptiveWindowBacksOff(t *testing.T) {
+	c, sc, done := adaptiveTestConn(t)
+	defer done()
+	sc.lastParked = sc.lastParked + 7 // pretend frames parked since last run
+
+	const n = 16 // fewer completions than the halving wants to withhold
+	grant := c.adjustWindow(sc, 1, n)
+	wantTarget := int64(adaptiveInitWindow / 2)
+	if sc.target != wantTarget {
+		t.Fatalf("target = %d, want %d", sc.target, wantTarget)
+	}
+	if grant != 0 {
+		t.Fatalf("grant = %d, want 0 (whole batch withheld)", grant)
+	}
+	// The limit fell by exactly the withheld batch, not to the target:
+	// the remaining shrink happens over future batches.
+	if got, want := sc.limit.Load(), int64(adaptiveInitWindow-n); got != want {
+		t.Fatalf("limit = %d, want %d", got, want)
+	}
+
+	// Sustained congestion drives the target to the floor and no lower;
+	// the limit follows batch by batch and grants never go negative.
+	for i := 0; i < 64; i++ {
+		sc.lastParked += 3
+		if g := c.adjustWindow(sc, 1, n); g < 0 {
+			t.Fatalf("negative grant %d on iteration %d", g, i)
+		}
+	}
+	if sc.target != adaptiveMinWindow {
+		t.Fatalf("floored target = %d, want %d", sc.target, int64(adaptiveMinWindow))
+	}
+	if got := sc.limit.Load(); got < adaptiveMinWindow {
+		t.Fatalf("limit %d fell below the enforceable floor %d", got, int64(adaptiveMinWindow))
+	}
+}
+
+// TestAdaptiveWindowCapped pins the growth ceiling: however hot the
+// drain rate, the target saturates at the legacy fixed window, so the
+// adaptive deferred-reply bound never exceeds the static one.
+func TestAdaptiveWindowCapped(t *testing.T) {
+	c, sc, done := adaptiveTestConn(t)
+	defer done()
+	for i := 0; i < 64; i++ {
+		sc.ewmaRate = 1e9 // keep the estimate hot across the decay of each run
+		sc.lastAdjust = time.Now().Add(-time.Second)
+		c.adjustWindow(sc, 1, 64)
+	}
+	if sc.target != adaptiveMaxWindow {
+		t.Fatalf("saturated target = %d, want %d", sc.target, int64(adaptiveMaxWindow))
+	}
+	if got := sc.limit.Load(); got != adaptiveMaxWindow {
+		t.Fatalf("saturated limit = %d, want %d", got, int64(adaptiveMaxWindow))
+	}
+}
+
+// TestIdleTimeoutTearsDownStalledPeer pins the idle-deadline policy: a
+// peer that goes silent with a block open is torn down (counted as a
+// peer stall) and its handler freed, while a quiet connection with no
+// open work is never timed out and still answers when it finally
+// speaks.
+func TestIdleTimeoutTearsDownStalledPeer(t *testing.T) {
+	rt := core.New(core.ConfigAll)
+	srv := NewServer(rt)
+	srv.IdleTimeout = 100 * time.Millisecond
+	srv.Expose("calc", rt.NewHandler("calc"), map[string]Proc{
+		"add": func(a []int64) int64 { return a[0] + a[1] },
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer func() {
+		srv.Close()
+		rt.Shutdown()
+	}()
+
+	// The quiet connection first: dialed, then silent. No open work, so
+	// the deadline must never fire for it.
+	quiet, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer quiet.Close()
+
+	// The stalled peer: opens a block, then goes silent mid-activity.
+	stalled, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stalled.Close()
+	if _, err := stalled.Write(appendFrame(nil, &frame{kind: fBegin, ch: 1, name: "calc"})); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.Stats().PeerStalls == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("idle deadline never fired for the stalled peer")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// The teardown reaches the wire: past the server's initial CREDIT
+	// advertisement, the stalled peer's stream ends. io.Copy returns nil
+	// on EOF; only a still-open connection trips the read deadline.
+	stalled.SetReadDeadline(time.Now().Add(5 * time.Second)) //nolint:errcheck
+	if _, err := io.Copy(io.Discard, stalled); err != nil && !errors.Is(err, net.ErrClosed) {
+		if errors.Is(err, os.ErrDeadlineExceeded) {
+			t.Fatal("stalled peer's connection still alive after the idle deadline")
+		}
+		// A reset instead of a clean FIN is also a teardown.
+	}
+
+	// Several idle windows later, the quiet connection is still welcome.
+	time.Sleep(3 * srv.IdleTimeout)
+	var buf []byte
+	buf = appendFrame(buf, &frame{kind: fBegin, ch: 1, name: "calc"})
+	buf = appendFrame(buf, &frame{kind: fQuery, ch: 1, id: 1, name: "add", args: []int64{2, 3}})
+	buf = appendFrame(buf, &frame{kind: fEnd, ch: 1})
+	if _, err := quiet.Write(buf); err != nil {
+		t.Fatalf("quiet connection was torn down: %v", err)
+	}
+	quiet.SetReadDeadline(time.Now().Add(10 * time.Second)) //nolint:errcheck
+	fr := newFrameReader(quiet)
+	var f frame
+	for {
+		if err := fr.readFrame(&f); err != nil {
+			t.Fatalf("quiet connection reply: %v", err)
+		}
+		if f.kind == fCredit {
+			continue
+		}
+		break
+	}
+	if f.kind != fReply || f.id != 1 || f.val != 5 {
+		t.Fatalf("quiet connection: expected REPLY id=1 val=5, got kind=0x%02x id=%d val=%d", byte(f.kind), f.id, f.val)
+	}
+	if got := srv.Stats().PeerStalls; got != 1 {
+		t.Fatalf("PeerStalls = %d, want 1", got)
+	}
+}

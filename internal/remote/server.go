@@ -1,21 +1,25 @@
 package remote
 
 import (
+	"errors"
 	"fmt"
 	"net"
+	"os"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"scoopqs/internal/core"
 )
 
-// defaultCreditWindow is the per-channel request window a Server
-// advertises when Server.Window is zero: the maximum number of
-// requests (CALL/QUERY/SYNC) a channel may have admitted but not yet
-// completed. It bounds the server's deferred replies per channel — and
-// with them the whole write path's memory — while staying far above
-// the batching writer's typical flush size, so a pipelining client
-// never notices it on a healthy connection.
+// defaultCreditWindow is the ceiling of the per-channel request
+// window: the maximum number of requests (CALL/QUERY/SYNC) a channel
+// may have admitted but not yet completed. It bounds the server's
+// deferred replies per channel — and with them the whole write path's
+// memory — while staying far above the batching writer's typical flush
+// size, so a pipelining client never notices it on a healthy
+// connection. In adaptive mode (Server.Window == 0) it caps window
+// growth; a fixed Server.Window > 0 is used as-is.
 const defaultCreditWindow = 1024
 
 // Proc is a named procedure bound to handler-owned state. It runs under
@@ -40,20 +44,25 @@ type Proc func(args []int64) int64
 // capped at WriteBudget bytes; replies that do not fit are deferred
 // inside the writer until the batch drains, and the deferred backlog
 // is in turn bounded by the per-channel credit window: the server
-// advertises Window credits when a channel first appears, each
-// admitted request consumes one, and completions replenish them in
-// batches — so a stalled or slow peer caps this server's memory at
+// advertises credits when a channel first appears, each admitted
+// request consumes one, and completions replenish them in batches — so
+// a stalled or slow peer caps this server's memory at
 // budget + window×channels reply frames instead of growing without
-// limit. A channel that overruns its window (a client ignoring
-// credits) is a protocol violation and drops the connection.
+// limit. Windows are adaptive by default (sized per channel from the
+// observed drain rate with AIMD backoff on congestion, capped at
+// defaultCreditWindow — see adaptive.go); a positive Window pins the
+// legacy fixed window instead. A channel that overruns its window (a
+// client ignoring credits) is quarantined: its handler is released,
+// its frames are dropped, and the connection's other channels carry
+// on untouched.
 type Server struct {
 	rt *core.Runtime
 
-	// Window is the per-channel credit window to advertise; 0 selects
-	// defaultCreditWindow. Values below the client bootstrap
-	// (bootstrapCredits) are effectively raised to it, since a client
-	// starts with that many credits before any advertisement arrives.
-	// Set before Serve.
+	// Window pins a fixed per-channel credit window; 0 (the default)
+	// selects adaptive windows sized from each channel's drain rate.
+	// Fixed values below the client bootstrap (bootstrapCredits) are
+	// effectively raised to it, since a client starts with that many
+	// credits before any advertisement arrives. Set before Serve.
 	Window int
 
 	// WriteBudget is the byte cap on each connection writer's pending
@@ -61,6 +70,15 @@ type Server struct {
 	// pre-flow-control behavior, kept for baseline measurement only).
 	// Set before Serve.
 	WriteBudget int
+
+	// IdleTimeout, when positive, arms a read deadline on every
+	// connection with a channel holding a reservation hostage — a block
+	// open with no requests in flight, where the peer owes the next
+	// frame: a peer silent in that state for longer is torn down with
+	// ErrPeerStalled, releasing its handlers. Quiet connections with no
+	// open blocks, and peers merely waiting for their replies, are
+	// never timed out. Set before Serve.
+	IdleTimeout time.Duration
 
 	mu       sync.Mutex
 	handlers map[string]*core.Handler
@@ -72,6 +90,10 @@ type Server struct {
 	closed   bool
 
 	creditsGranted atomic.Uint64
+	windowResizes  atomic.Uint64
+	quarantines    atomic.Uint64
+	peerStalls     atomic.Uint64
+	violations     atomic.Uint64
 
 	wg sync.WaitGroup
 }
@@ -113,6 +135,11 @@ type ServerStats struct {
 	MaxBatchBytes   uint64 // peak pending batch across connections (≤ budget + one frame)
 	MaxParkedFrames uint64 // peak deferred backlog: ≤ window×channels replies, plus pending grants and ≤1 block error per channel
 	CreditsGranted  uint64 // request credits advertised + replenished
+
+	WindowResizes      uint64 // adaptive window target changes (see adaptive.go)
+	Quarantines        uint64 // channels quarantined for overrunning their credit window
+	PeerStalls         uint64 // connections torn down by the idle deadline (ErrPeerStalled)
+	ProtocolViolations uint64 // connections dropped for unrecoverable protocol violations
 }
 
 // Stats reports the server's aggregated write-path and flow-control
@@ -125,21 +152,26 @@ func (s *Server) Stats() ServerStats {
 	}
 	s.mu.Unlock()
 	return ServerStats{
-		Frames:          agg.Frames,
-		Flushes:         agg.Flushes,
-		Dropped:         agg.Dropped,
-		FramesParked:    agg.Parked,
-		MaxBatchBytes:   agg.MaxBatchBytes,
-		MaxParkedFrames: agg.MaxParkedFrames,
-		CreditsGranted:  s.creditsGranted.Load(),
+		Frames:             agg.Frames,
+		Flushes:            agg.Flushes,
+		Dropped:            agg.Dropped,
+		FramesParked:       agg.Parked,
+		MaxBatchBytes:      agg.MaxBatchBytes,
+		MaxParkedFrames:    agg.MaxParkedFrames,
+		CreditsGranted:     s.creditsGranted.Load(),
+		WindowResizes:      s.windowResizes.Load(),
+		Quarantines:        s.quarantines.Load(),
+		PeerStalls:         s.peerStalls.Load(),
+		ProtocolViolations: s.violations.Load(),
 	}
 }
 
-// window returns the effective per-channel credit window.
-func (s *Server) window() int64 {
+// fixedWindow returns the pinned per-channel credit window, or 0 when
+// windows are adaptive (Server.Window == 0).
+func (s *Server) fixedWindow() int64 {
 	w := int64(s.Window)
 	if w <= 0 {
-		w = defaultCreditWindow
+		return 0
 	}
 	if w < bootstrapCredits {
 		// The client starts with bootstrapCredits before any
@@ -212,6 +244,25 @@ type svChan struct {
 	outstanding atomic.Int64
 	pendGrant   atomic.Int64
 
+	// limit is the enforced credit window: the allowance actually
+	// extended to the client (bootstrap + grants − withheld). Fixed
+	// mode sets it once; adaptive mode moves it toward target at grant
+	// batches. Read by the reader's admission check, written under amu.
+	limit atomic.Int64
+
+	// quarantined marks a channel that overran its window: its frames
+	// are dropped without reply or credit (set by the reader, read by
+	// completion callbacks).
+	quarantined atomic.Bool
+
+	// Adaptive-controller state, all under amu (the controller runs on
+	// whichever goroutine crosses a grant-batch boundary).
+	amu        sync.Mutex
+	target     int64     // where the controller wants the window
+	ewmaRate   float64   // drain-rate estimate, completions/sec
+	lastAdjust time.Time // previous controller run
+	lastParked uint64    // writer's cumulative parked count then
+
 	// errmsg poisons an open block whose BEGIN or CALL failed (unknown
 	// handler/procedure, reservation after shutdown): CALLs are
 	// dropped, queries and syncs reply with the error, END clears it.
@@ -237,11 +288,30 @@ func (sc *svChan) open() bool { return sc.sess != nil || sc.errmsg != "" }
 // serverConn is the per-connection demultiplexer state shared by the
 // reader and the completion callbacks it arms.
 type serverConn struct {
-	s          *Server
-	cw         *connWriter
-	chans      map[uint32]*svChan
-	window     int64 // per-channel credit window (enforced)
-	grantBatch int64 // completions coalesced per CREDIT frame
+	s        *Server
+	cw       *connWriter
+	chans    map[uint32]*svChan
+	window   int64 // fixed per-channel credit window; 0 = adaptive
+	adaptive bool
+}
+
+// newChan initializes the server end of a fresh channel and advertises
+// its initial credit window (topping the client up from its bootstrap).
+func (c *serverConn) newChan(ch uint32) *svChan {
+	sc := &svChan{cl: c.s.rt.NewClient()}
+	window := c.window
+	if c.adaptive {
+		window = adaptiveInitWindow
+		sc.target = window
+		sc.lastAdjust = time.Now()
+		sc.lastParked = c.cw.parkedTotal()
+	}
+	sc.limit.Store(window)
+	c.chans[ch] = sc
+	if n := window - bootstrapCredits; n > 0 {
+		c.grant(ch, n)
+	}
+	return sc
 }
 
 // serveConn demultiplexes one connection's frames onto local sessions.
@@ -253,12 +323,8 @@ func (s *Server) serveConn(conn net.Conn) {
 	s.mu.Lock()
 	s.writers[cw] = struct{}{}
 	s.mu.Unlock()
-	window := s.window()
-	grantBatch := window / 8
-	if grantBatch < 1 {
-		grantBatch = 1
-	}
-	c := &serverConn{s: s, cw: cw, chans: map[uint32]*svChan{}, window: window, grantBatch: grantBatch}
+	window := s.fixedWindow()
+	c := &serverConn{s: s, cw: cw, chans: map[uint32]*svChan{}, window: window, adaptive: window == 0}
 	fr := newFrameReader(conn)
 	defer func() {
 		// Client vanished (or Close tore the conn down): END every open
@@ -277,15 +343,55 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 	}()
 
+	idle := s.IdleTimeout
 	var f frame
 	for {
+		if idle > 0 {
+			// Only a busy connection (open blocks or admitted requests)
+			// is held to the deadline: an idle peer with nothing
+			// reserved costs nothing and may stay connected forever.
+			if c.busy() {
+				conn.SetReadDeadline(time.Now().Add(idle)) //nolint:errcheck // enforcement is best effort
+			} else {
+				conn.SetReadDeadline(time.Time{}) //nolint:errcheck
+			}
+		}
 		if err := fr.readFrame(&f); err != nil {
+			if idle > 0 && errors.Is(err, os.ErrDeadlineExceeded) {
+				if fr.atBoundary() && !c.busy() {
+					// The deadline was armed while busy, but the work
+					// drained before it fired and no frame bytes were
+					// consumed: the stream is still in sync, keep going.
+					continue
+				}
+				s.peerStalls.Add(1) // ErrPeerStalled: silent mid-activity
+			}
 			return // connection torn down (or stream corrupt): one path
 		}
 		if !c.handleFrame(&f) {
-			return // protocol violation: drop the connection
+			s.violations.Add(1)
+			return // unrecoverable protocol violation: drop the connection
 		}
 	}
+}
+
+// busy reports whether a silent peer is holding work hostage: a
+// channel inside a block with nothing in flight, where the peer owes
+// the next frame (more requests, or the END releasing the handler).
+// Channels with outstanding requests do NOT count — a pipelining
+// client legitimately goes write-silent while its replies execute, and
+// the ball is in this server's court until they complete. Quarantined
+// channels don't count either: their handler is already released.
+func (c *serverConn) busy() bool {
+	for _, sc := range c.chans {
+		if sc.quarantined.Load() {
+			continue
+		}
+		if sc.open() && sc.outstanding.Load() == 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // reply ships a REPLY/ERROR for (ch, id) through the batching writer,
@@ -310,7 +416,7 @@ func (c *serverConn) reply(ch uint32, id uint64, v int64, err error) {
 // provably still queued, never because of unrelated later congestion.
 func (c *serverConn) poison(sc *svChan, ch uint32, msg string) {
 	sc.errmsg = msg
-	if sc.poisonSeq != 0 && c.cw.drainedParked() < sc.poisonSeq {
+	if sc.poisonSeq != 0 && c.cw.drainedParked(ch) < sc.poisonSeq {
 		return // this channel's previous block error is still queued
 	}
 	f := frame{kind: fError, ch: ch, id: 0, name: msg}
@@ -325,43 +431,81 @@ func (c *serverConn) grant(ch uint32, n int64) {
 }
 
 // admit charges one unit of the channel's credit window for a received
-// request. It reports false when the client overran its window — a
-// protocol violation (the client-side admission gate cannot overrun),
-// and the bound that keeps deferred replies finite.
+// request. It reports false when the client overran its window — only
+// possible for a peer ignoring CREDIT frames (the client-side
+// admission gate cannot overrun) — which is the bound that keeps
+// deferred replies finite.
 func (c *serverConn) admit(sc *svChan) bool {
-	return sc.outstanding.Add(1) <= c.window
+	return sc.outstanding.Add(1) <= sc.limit.Load()
+}
+
+// quarantine cuts off a channel that overran its credit window without
+// dropping the connection: the handler is released (the offender
+// cannot hold a reservation hostage), one id-0 ERROR tells the peer
+// why, and from here on the channel's frames are dropped without
+// reply, credit, or replenishment — a peer that proved it ignores the
+// window gets no further ability to consume writer memory. Honest
+// channels on the same connection are untouched. Runs on the reader.
+func (c *serverConn) quarantine(sc *svChan, ch uint32) {
+	sc.quarantined.Store(true)
+	if sc.release != nil {
+		sc.release()
+	}
+	sc.sess, sc.release, sc.procs, sc.errmsg = nil, nil, nil, ""
+	c.s.quarantines.Add(1)
+	c.cw.frameDeferred(&frame{kind: fError, ch: ch, id: 0, name: ErrCreditOverrun.Error()})
 }
 
 // credit returns one unit of the channel's window after a request
 // completed (executed, replied, or dropped by a poisoned block) and
-// replenishes the client in grantBatch-sized CREDIT frames. Runs on
-// the reader or on handler/pool goroutines; never blocks.
+// replenishes the client in CREDIT frames of limit/8 completions; in
+// adaptive mode each replenishment is also the window controller's
+// decision point (see adaptive.go). Runs on the reader or on
+// handler/pool goroutines; never blocks.
 func (c *serverConn) credit(sc *svChan, ch uint32) {
 	sc.outstanding.Add(-1)
-	if sc.pendGrant.Add(1) < c.grantBatch {
+	if sc.quarantined.Load() {
+		return // no replenishment for a quarantined channel
+	}
+	batch := sc.limit.Load() / 8
+	if batch < 1 {
+		batch = 1
+	}
+	if sc.pendGrant.Add(1) < batch {
 		return
 	}
-	if n := sc.pendGrant.Swap(0); n > 0 {
+	n := sc.pendGrant.Swap(0)
+	if n <= 0 {
+		return
+	}
+	if c.adaptive {
+		n = c.adjustWindow(sc, ch, n)
+	}
+	if n > 0 {
 		c.grant(ch, n)
 	}
 }
 
-// handleFrame processes one client frame. It reports false on protocol
-// violations, which are connection-fatal: the framing layer has no way
-// to resynchronize with a client whose channel state diverged.
+// handleFrame processes one client frame. It reports false on
+// unrecoverable protocol violations, which are connection-fatal: the
+// framing layer has no way to resynchronize with a client whose
+// channel state diverged. The recoverable violation — a credit-window
+// overrun, where the stream is still well-formed — quarantines the
+// offending channel instead (see quarantine).
 func (c *serverConn) handleFrame(f *frame) bool {
 	s := c.s
 	sc := c.chans[f.ch]
+	if sc != nil && sc.quarantined.Load() {
+		// A quarantined channel is a black hole: every frame —
+		// including CLOSE, so the entry survives as a tombstone and
+		// the channel id cannot be resurrected fresh — is dropped
+		// without reply or credit.
+		return true
+	}
 	switch f.kind {
 	case fBegin:
 		if sc == nil {
-			sc = &svChan{cl: s.rt.NewClient()}
-			c.chans[f.ch] = sc
-			// Advertise the window: top the channel up from the client
-			// bootstrap to the full credit window.
-			if n := c.window - bootstrapCredits; n > 0 {
-				c.grant(f.ch, n)
-			}
+			sc = c.newChan(f.ch)
 		}
 		if sc.open() {
 			return false // BEGIN inside an open block
@@ -406,7 +550,8 @@ func (c *serverConn) handleFrame(f *frame) bool {
 			return false // CALL outside a block
 		}
 		if !c.admit(sc) {
-			return false // client overran its credit window
+			c.quarantine(sc, f.ch) // client overran its credit window
+			return true
 		}
 		if sc.errmsg != "" {
 			c.credit(sc, f.ch) // dropped, like a local poisoned session
@@ -432,7 +577,8 @@ func (c *serverConn) handleFrame(f *frame) bool {
 			return false // QUERY outside a block
 		}
 		if !c.admit(sc) {
-			return false // client overran its credit window
+			c.quarantine(sc, f.ch) // client overran its credit window
+			return true
 		}
 		if sc.errmsg != "" {
 			c.reply(f.ch, f.id, 0, fmt.Errorf("%s", sc.errmsg))
@@ -468,7 +614,8 @@ func (c *serverConn) handleFrame(f *frame) bool {
 			return false // SYNC outside a block
 		}
 		if !c.admit(sc) {
-			return false // client overran its credit window
+			c.quarantine(sc, f.ch) // client overran its credit window
+			return true
 		}
 		if sc.errmsg != "" {
 			c.reply(f.ch, f.id, 0, fmt.Errorf("%s", sc.errmsg))

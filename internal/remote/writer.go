@@ -71,11 +71,17 @@ func (s *writerStats) fold(o writerStats) {
 //     retries. Producers never touch the socket; they wait on memory
 //     pressure only.
 //   - frameDeferred (non-blocking, server side): the frame is moved to
-//     a parked queue and appended once the batch drains. The caller —
-//     a completion callback on the reader or a pool worker — never
-//     blocks, which the demux path requires. Parked frames are bounded
-//     by the credit window (one reply per admitted request), not by
-//     this writer.
+//     a per-channel parked queue and appended once the batch drains.
+//     The caller — a completion callback on the reader or a pool
+//     worker — never blocks, which the demux path requires. Parked
+//     frames are bounded by the credit window (one reply per admitted
+//     request), not by this writer.
+//
+// Deferred frames drain with cross-channel fairness: each channel
+// keeps its own FIFO (so a channel's reply still precedes its credit
+// replenishment) and the refill round-robins one frame per channel, so
+// one hot channel's backlog cannot starve its siblings' replies at the
+// byte budget.
 type connWriter struct {
 	w     io.Writer
 	onErr func(error) // called once, off the lock, when a write fails
@@ -83,21 +89,36 @@ type connWriter struct {
 	budget   int // soft byte cap on buf; 0 = unbounded
 	lowWater int // drain threshold waking stalled producers
 
-	mu            sync.Mutex
-	cond          *sync.Cond
-	buf           []byte  // batch being filled by producers
-	bufN          int     // frames in buf
-	spare         []byte  // previous batch, being written / ready for reuse
-	parked        []frame // frames deferred past the budget (FIFO)
-	parkedHead    int     // consumed prefix of parked (amortized-O(1) pops)
-	parkedDrained uint64  // deferred frames that have left the queue (flushed or discarded)
-	drain         *future.Future
-	closed        bool
-	err           error
-	st            writerStats
+	mu        sync.Mutex
+	cond      *sync.Cond
+	buf       []byte // batch being filled by producers
+	bufN      int    // frames in buf
+	spare     []byte // previous batch, being written / ready for reuse
+	parked    map[uint32]*chanQueue
+	parkedLen int      // deferred frames across all channels
+	rr        []uint32 // round-robin rotation of channels with queued frames
+	rrHead    int      // consumed prefix of rr (amortized-O(1) pops)
+	drain     *future.Future
+	closed    bool
+	err       error
+	st        writerStats
 
 	done chan struct{}
 }
+
+// chanQueue is one channel's deferred-frame FIFO plus its park/drain
+// sequence counters. The counters outlive the frames — an entry stays
+// in the map until the writer dies — because coalescing decisions
+// (the server's block errors) compare them after the queue emptied.
+type chanQueue struct {
+	frames  []frame
+	head    int    // consumed prefix of frames (amortized-O(1) pops)
+	issued  uint64 // frames ever parked on this channel
+	drained uint64 // of those, how many left the queue (flushed or discarded)
+}
+
+// len is the channel's queued-frame count.
+func (q *chanQueue) len() int { return len(q.frames) - q.head }
 
 // newConnWriter starts a writer for w with the given byte budget
 // (0 selects defaultWriteBudget, negative disables the budget — the
@@ -119,6 +140,7 @@ func newConnWriter(w io.Writer, budget int, onErr func(error)) *connWriter {
 		lowWater: budget / 2,
 		buf:      make([]byte, 0, writerHighWater),
 		spare:    make([]byte, 0, writerHighWater),
+		parked:   map[uint32]*chanQueue{},
 		done:     make(chan struct{}),
 	}
 	cw.cond = sync.NewCond(&cw.mu)
@@ -132,22 +154,29 @@ func (cw *connWriter) overBudgetLocked() bool {
 	return cw.budget > 0 && len(cw.buf) >= cw.budget
 }
 
-// parkedLenLocked is the number of deferred frames awaiting a drain;
-// cw.mu must be held.
-func (cw *connWriter) parkedLenLocked() int {
-	return len(cw.parked) - cw.parkedHead
-}
-
-// drainedParked reports how many deferred frames have left the parked
-// queue (flushed onto a batch, or discarded by teardown). Compared
-// against the sequence number frameDeferred returns, it tells a
-// producer whether an earlier deferred frame is still queued — which
+// drainedParked reports how many of ch's deferred frames have left its
+// parked queue (flushed onto a batch, or discarded by teardown).
+// Compared against the sequence number frameDeferred returns, it tells
+// a producer whether an earlier deferred frame is still queued — which
 // is what lets optional frames (the server's coalesced block errors)
 // be skipped only while a predecessor genuinely still covers them.
-func (cw *connWriter) drainedParked() uint64 {
+func (cw *connWriter) drainedParked(ch uint32) uint64 {
 	cw.mu.Lock()
 	defer cw.mu.Unlock()
-	return cw.parkedDrained
+	if q := cw.parked[ch]; q != nil {
+		return q.drained
+	}
+	return 0
+}
+
+// parkedTotal is the cumulative count of frames ever deferred past the
+// budget — a monotone congestion signal: the count advancing between
+// two reads means the write path pushed past its byte budget in the
+// interval. The adaptive window controller keys its backoff on it.
+func (cw *connWriter) parkedTotal() uint64 {
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	return cw.st.Parked
 }
 
 // appendLocked encodes f onto the current batch; cw.mu must be held.
@@ -235,17 +264,19 @@ func (cw *connWriter) frame(f *frame) bool {
 // the server's reader-driven demux side (completion callbacks run on
 // the reader or a pool worker). ok is false when the writer is dead.
 // parkedSeq is zero when the frame went straight onto the batch, else
-// the frame's 1-based position in the total deferred sequence: the
-// frame has left the queue once drainedParked() reaches it. FIFO order
-// between deferred frames is preserved: once anything is parked, later
-// frames park behind it.
+// the frame's 1-based position in its channel's deferred sequence: the
+// frame has left the queue once drainedParked(f.ch) reaches it. FIFO
+// order within a channel is preserved (once a channel has anything
+// parked, its later frames park behind it — and once anything at all
+// is parked, every later frame parks, keeping the backlog honest);
+// across channels the refill round-robins.
 func (cw *connWriter) frameDeferred(f *frame) (ok bool, parkedSeq uint64) {
 	cw.mu.Lock()
 	if cw.closed {
 		cw.mu.Unlock()
 		return false, 0
 	}
-	if cw.parkedLenLocked() == 0 && !cw.overBudgetLocked() {
+	if cw.parkedLen == 0 && !cw.overBudgetLocked() {
 		wasEmpty := cw.appendLocked(f)
 		cw.mu.Unlock()
 		if wasEmpty {
@@ -259,13 +290,23 @@ func (cw *connWriter) frameDeferred(f *frame) (ok bool, parkedSeq uint64) {
 	if len(f.args) > 0 {
 		pf.args = append([]int64(nil), f.args...)
 	}
-	cw.parked = append(cw.parked, pf)
+	q := cw.parked[f.ch]
+	if q == nil {
+		q = &chanQueue{}
+		cw.parked[f.ch] = q
+	}
+	if q.len() == 0 {
+		cw.rr = append(cw.rr, f.ch)
+	}
+	q.frames = append(q.frames, pf)
+	q.issued++
+	cw.parkedLen++
 	cw.st.Frames++
 	cw.st.Parked++
-	if n := uint64(cw.parkedLenLocked()); n > cw.st.MaxParkedFrames {
+	if n := uint64(cw.parkedLen); n > cw.st.MaxParkedFrames {
 		cw.st.MaxParkedFrames = n
 	}
-	seq := cw.st.Parked
+	seq := q.issued
 	cw.mu.Unlock()
 	// No signal needed: parked is only reachable with a full (hence
 	// non-empty) batch, so the writer goroutine is already committed
@@ -273,31 +314,55 @@ func (cw *connWriter) frameDeferred(f *frame) (ok bool, parkedSeq uint64) {
 	return true, seq
 }
 
-// refillLocked moves parked frames onto the batch up to the budget;
-// cw.mu must be held. Pops advance a head cursor instead of shifting
-// the slice, so draining a large deferred backlog stays linear; the
-// consumed prefix is compacted away once it dominates the array.
+// refillLocked moves parked frames onto the batch up to the budget,
+// one frame per channel per rotation so every backlogged channel makes
+// progress; cw.mu must be held. Pops advance head cursors instead of
+// shifting slices, so draining a large deferred backlog stays linear;
+// consumed prefixes are compacted away once they dominate their array.
 func (cw *connWriter) refillLocked() {
-	for cw.parkedHead < len(cw.parked) && !cw.overBudgetLocked() {
-		cw.appendLocked(&cw.parked[cw.parkedHead])
+	for cw.parkedLen > 0 && !cw.overBudgetLocked() {
+		ch := cw.rr[cw.rrHead]
+		cw.rr[cw.rrHead] = 0
+		cw.rrHead++
+		q := cw.parked[ch]
+		cw.appendLocked(&q.frames[q.head])
 		cw.st.Frames-- // appendLocked recounts; the frame was counted when parked
-		cw.parked[cw.parkedHead] = frame{}
-		cw.parkedHead++
-		cw.parkedDrained++
+		q.frames[q.head] = frame{}
+		q.head++
+		q.drained++
+		cw.parkedLen--
+		if q.head == len(q.frames) {
+			q.frames = q.frames[:0]
+			q.head = 0
+			if cap(q.frames) > 4096 {
+				q.frames = nil // one burst must not pin the queue's array
+			}
+		} else {
+			cw.rr = append(cw.rr, ch) // still backlogged: back of the rotation
+		}
 	}
 	switch {
-	case cw.parkedHead == len(cw.parked):
-		cw.parked = cw.parked[:0]
-		cw.parkedHead = 0
-		if cap(cw.parked) > 4096 {
-			cw.parked = nil // one burst must not pin the queue's array
-		}
-	case cw.parkedHead > 64 && cw.parkedHead > len(cw.parked)/2:
-		n := copy(cw.parked, cw.parked[cw.parkedHead:])
-		clear(cw.parked[n:])
-		cw.parked = cw.parked[:n]
-		cw.parkedHead = 0
+	case cw.rrHead == len(cw.rr):
+		cw.rr = cw.rr[:0]
+		cw.rrHead = 0
+	case cw.rrHead > 64 && cw.rrHead > len(cw.rr)/2:
+		n := copy(cw.rr, cw.rr[cw.rrHead:])
+		cw.rr = cw.rr[:n]
+		cw.rrHead = 0
 	}
+}
+
+// discardParkedLocked empties every channel's deferred queue (counting
+// the frames drained), for the teardown paths; cw.mu must be held. The
+// queue entries themselves stay in the map: their counters answer
+// late drainedParked calls.
+func (cw *connWriter) discardParkedLocked() {
+	for _, q := range cw.parked {
+		q.drained += uint64(q.len())
+		q.frames, q.head = nil, 0
+	}
+	cw.parkedLen = 0
+	cw.rr, cw.rrHead = nil, 0
 }
 
 // stats returns a snapshot of the writer's counters.
@@ -311,10 +376,10 @@ func (cw *connWriter) loop() {
 	defer close(cw.done)
 	cw.mu.Lock()
 	for {
-		for len(cw.buf) == 0 && cw.parkedLenLocked() == 0 && !cw.closed {
+		for len(cw.buf) == 0 && cw.parkedLen == 0 && !cw.closed {
 			cw.cond.Wait()
 		}
-		if len(cw.buf) == 0 && cw.parkedLenLocked() == 0 {
+		if len(cw.buf) == 0 && cw.parkedLen == 0 {
 			cw.mu.Unlock()
 			return // closed and drained
 		}
@@ -350,13 +415,12 @@ func (cw *connWriter) loop() {
 			cw.closed = true
 			// Everything accepted but undelivered is lost: the batch
 			// that failed mid-write, frames appended since it started,
-			// and the parked queue. Count them — frame()/frameDeferred
+			// and the parked queues. Count them — frame()/frameDeferred
 			// already told their producers "accepted".
-			cw.st.Dropped += uint64(batchN + cw.bufN + cw.parkedLenLocked())
-			cw.parkedDrained += uint64(cw.parkedLenLocked())
+			cw.st.Dropped += uint64(batchN + cw.bufN + cw.parkedLen)
+			cw.discardParkedLocked()
 			cw.buf = cw.buf[:0]
 			cw.bufN = 0
-			cw.parked, cw.parkedHead = nil, 0
 			cw.spare = batch[:0]
 			d := cw.takeDrainersLocked()
 			cw.mu.Unlock()
@@ -399,11 +463,10 @@ func (cw *connWriter) close() {
 func (cw *connWriter) kill() {
 	cw.mu.Lock()
 	cw.closed = true
-	cw.st.Dropped += uint64(cw.bufN + cw.parkedLenLocked())
-	cw.parkedDrained += uint64(cw.parkedLenLocked())
+	cw.st.Dropped += uint64(cw.bufN + cw.parkedLen)
+	cw.discardParkedLocked()
 	cw.buf = cw.buf[:0]
 	cw.bufN = 0
-	cw.parked, cw.parkedHead = nil, 0
 	d := cw.takeDrainersLocked()
 	cw.mu.Unlock()
 	if d != nil {
