@@ -4,6 +4,13 @@
 // that single-object locking cannot give you.
 //
 // Run with: go run ./examples/bank
+//
+// The service-scale version of this program — a million accounts
+// sharded over 64 handlers, driven over the wire through the
+// zero-copy bytes-payload transport, with the same conservation
+// invariant checked after every run — is
+// `go run ./cmd/qsbench -experiment bank` (see internal/harness/bank.go
+// and README "Bytes payloads").
 package main
 
 import (

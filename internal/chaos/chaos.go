@@ -1,10 +1,10 @@
 // Package chaos injects deterministic transport faults under the
 // remote protocol, for tests and for qsbench -experiment chaos. A
 // Profile describes what goes wrong — added latency, periodic
-// mid-stream stalls, partial (chunked) writes, byte-exact truncation,
-// abrupt resets — and Wrap applies it to any net.Conn. Everything is
-// driven by a seeded PRNG per direction, so a failing run replays
-// exactly from its seed.
+// mid-stream stalls, partial (chunked) writes and reads, byte-exact
+// truncation on either direction, abrupt resets — and Wrap applies it
+// to any net.Conn. Everything is driven by a seeded PRNG per
+// direction, so a failing run replays exactly from its seed.
 //
 // The package deliberately does not import internal/remote: it sits
 // below the protocol (wrapping the transport) and beside it (Flood
@@ -70,12 +70,28 @@ type Profile struct {
 	// Write that would take the stream past the threshold delivers
 	// nothing, closes the conn, and returns ErrInjectedReset.
 	ResetAfter int64
+
+	// ReadLatencyMin/ReadLatencyMax delay each Read by a uniform random
+	// duration — a peer whose replies dribble in late. Armed when
+	// ReadLatencyMax > 0.
+	ReadLatencyMin, ReadLatencyMax time.Duration
+
+	// ReadChunkMax caps each Read at a random sliver of at most that
+	// many bytes, so frames reassemble from arbitrary fragments on the
+	// receiving side (the read-path mirror of ChunkMax).
+	ReadChunkMax int
+
+	// ReadTruncateAfter cuts the connection after exactly that many
+	// bytes have been read: the stream dies mid-frame from the reader's
+	// point of view, and the conn is closed so the peer notices too.
+	ReadTruncateAfter int64
 }
 
 // active reports whether the profile injects anything at all.
 func (p *Profile) active() bool {
 	return p.LatencyMax > 0 || p.StallEvery > 0 || p.ChunkMax > 0 ||
-		p.TruncateAfter > 0 || p.ResetAfter > 0
+		p.TruncateAfter > 0 || p.ResetAfter > 0 ||
+		p.ReadLatencyMax > 0 || p.ReadChunkMax > 0 || p.ReadTruncateAfter > 0
 }
 
 // Counts is a snapshot of the faults a wrapped connection has injected.
@@ -85,6 +101,16 @@ type Counts struct {
 	Chunks    uint64 // extra Write calls from partial-write splitting
 	Truncates uint64 // at most 1: the connection dies with it
 	Resets    uint64 // at most 1
+
+	ReadDelays    uint64 // read-side latency injections
+	ReadChunks    uint64 // Reads clamped to a sliver
+	ReadTruncates uint64 // at most 1: the stream dies mid-frame
+}
+
+// Total sums every injected fault, for run tables.
+func (c Counts) Total() uint64 {
+	return c.Delays + c.Stalls + c.Chunks + c.Truncates + c.Resets +
+		c.ReadDelays + c.ReadChunks + c.ReadTruncates
 }
 
 // fault codes carried in obs chaos.fault events.
@@ -94,10 +120,12 @@ const (
 	faultReset
 )
 
-// Conn is a net.Conn with fault injection on its write path. The read
-// path is passed through untouched: every write-side fault already
-// manifests to the peer as a read-side symptom (slow, short, or dead
-// streams), which is the side under test.
+// Conn is a net.Conn with fault injection on both directions. Write
+// faults manifest to the peer as read-side symptoms (slow, short, or
+// dead streams); read faults hit the wrapping side's own reader — the
+// frame reassembly and slab bookkeeping of whoever holds this Conn.
+// Each direction has its own PRNG and lock, so the two goroutines of a
+// mux never contend and each fault sequence replays from the seed.
 type Conn struct {
 	net.Conn
 	p Profile
@@ -111,29 +139,44 @@ type Conn struct {
 	writes  int64
 	cut     bool
 
+	// Read-side mirror state, under its own lock.
+	rmu  sync.Mutex
+	rrng *rand.Rand
+	read int64
+	rcut bool
+
 	counts struct {
 		delays, stalls, chunks, truncates, resets atomic.Uint64
+		rdelays, rchunks, rtruncates              atomic.Uint64
 	}
 }
 
-// Wrap applies p to conn, seeding the fault PRNG so the exact fault
-// sequence replays from the seed. A profile that injects nothing
-// returns conn itself.
+// Wrap applies p to conn, seeding one fault PRNG per direction so the
+// exact fault sequence replays from the seed. A profile that injects
+// nothing returns conn itself.
 func Wrap(conn net.Conn, p Profile, seed int64) net.Conn {
 	if !p.active() {
 		return conn
 	}
-	return &Conn{Conn: conn, p: p, rng: rand.New(rand.NewSource(seed))}
+	return &Conn{
+		Conn: conn,
+		p:    p,
+		rng:  rand.New(rand.NewSource(seed)),
+		rrng: rand.New(rand.NewSource(seed ^ 0x5EED_4EAD)),
+	}
 }
 
 // Counts reports the faults injected so far.
 func (c *Conn) Counts() Counts {
 	return Counts{
-		Delays:    c.counts.delays.Load(),
-		Stalls:    c.counts.stalls.Load(),
-		Chunks:    c.counts.chunks.Load(),
-		Truncates: c.counts.truncates.Load(),
-		Resets:    c.counts.resets.Load(),
+		Delays:        c.counts.delays.Load(),
+		Stalls:        c.counts.stalls.Load(),
+		Chunks:        c.counts.chunks.Load(),
+		Truncates:     c.counts.truncates.Load(),
+		Resets:        c.counts.resets.Load(),
+		ReadDelays:    c.counts.rdelays.Load(),
+		ReadChunks:    c.counts.rchunks.Load(),
+		ReadTruncates: c.counts.rtruncates.Load(),
 	}
 }
 
@@ -213,6 +256,56 @@ func (c *Conn) Write(b []byte) (int, error) {
 	return n, err
 }
 
+// Read injects the profile's read-path faults, then forwards to the
+// wrapped connection. Latency and slivers keep the io.Reader contract
+// (every byte still arrives, just late or fragmented); truncation ends
+// the stream mid-frame and closes the conn so the peer notices too.
+func (c *Conn) Read(b []byte) (int, error) {
+	c.rmu.Lock()
+	if c.rcut {
+		c.rmu.Unlock()
+		return 0, net.ErrClosed
+	}
+	if c.p.ReadLatencyMax > 0 {
+		d := c.p.ReadLatencyMin
+		if span := c.p.ReadLatencyMax - c.p.ReadLatencyMin; span > 0 {
+			d += time.Duration(c.rrng.Int63n(int64(span) + 1))
+		}
+		c.counts.rdelays.Add(1)
+		if obs.Enabled() {
+			obs.Emit(obs.KindChaosDelay, 1, int64(d))
+		}
+		time.Sleep(d)
+	}
+	limit := len(b)
+	if c.p.ReadChunkMax > 0 && limit > c.p.ReadChunkMax {
+		limit = c.rrng.Intn(c.p.ReadChunkMax) + 1
+		c.counts.rchunks.Add(1)
+	}
+	if c.p.ReadTruncateAfter > 0 {
+		remain := c.p.ReadTruncateAfter - c.read
+		if remain <= 0 {
+			c.rcut = true
+			c.counts.rtruncates.Add(1)
+			if obs.Enabled() {
+				obs.Emit(obs.KindChaosFault, 1, faultTruncate)
+			}
+			c.rmu.Unlock()
+			c.Conn.Close()
+			return 0, ErrInjectedTruncate
+		}
+		if int64(limit) > remain {
+			limit = int(remain)
+		}
+	}
+	c.rmu.Unlock()
+	n, err := c.Conn.Read(b[:limit])
+	c.rmu.Lock()
+	c.read += int64(n)
+	c.rmu.Unlock()
+	return n, err
+}
+
 // Mirrored wire constants for Flood. These must track internal/remote's
 // frame kinds; the harness chaos experiment exercises Flood against a
 // live Server, so drift fails loudly there.
@@ -256,6 +349,7 @@ func (p Profile) String() string {
 	if p.Name != "" {
 		return p.Name
 	}
-	return fmt.Sprintf("chaos(latency=%v..%v stall=%d/%v chunk=%d trunc=%d reset=%d)",
-		p.LatencyMin, p.LatencyMax, p.StallEvery, p.StallDur, p.ChunkMax, p.TruncateAfter, p.ResetAfter)
+	return fmt.Sprintf("chaos(latency=%v..%v stall=%d/%v chunk=%d trunc=%d reset=%d rlatency=%v..%v rchunk=%d rtrunc=%d)",
+		p.LatencyMin, p.LatencyMax, p.StallEvery, p.StallDur, p.ChunkMax, p.TruncateAfter, p.ResetAfter,
+		p.ReadLatencyMin, p.ReadLatencyMax, p.ReadChunkMax, p.ReadTruncateAfter)
 }

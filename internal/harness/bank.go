@@ -1,0 +1,344 @@
+package harness
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"net"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"scoopqs/internal/core"
+	"scoopqs/internal/remote"
+)
+
+// The bank experiment's service protocol, all bytes payloads over the
+// zero-copy CALLB/QUERYB path (little-endian):
+//
+//	read  (QUERYB): req  account:uint64        -> rep balance:uint64
+//	xfer  (CALLB):  req  from:uint64 to:uint64 amount:uint64
+//	sum   (QUERYB): req  -                     -> rep shardTotal:uint64
+//
+// Accounts are sharded across handlers; each handler owns its shard's
+// balances outright, so reads and transfers run under the handler's
+// exclusion with no locks anywhere in the service code — the paper's
+// programming model doing the work a bank service would usually buy
+// with a mutex table.
+const (
+	bankInitBalance = 100 // per account; the conservation invariant's unit
+	bankMaxTransfer = 50
+)
+
+// bankShardName names the shard handlers.
+func bankShardName(i int) string { return "bank-shard" + strconv.Itoa(i) }
+
+// bankServer brings up a runtime owning accounts balances split evenly
+// over shards handlers, exposed as bytes procedures.
+func bankServer(cfg core.Config, accounts, shards int) (addr string, shutdown func(), err error) {
+	rt := core.New(cfg)
+	srv := remote.NewServer(rt)
+	perShard := accounts / shards
+	for i := 0; i < shards; i++ {
+		h := rt.NewHandler(bankShardName(i))
+		balances := make([]int64, perShard)
+		for j := range balances {
+			balances[j] = bankInitBalance
+		}
+		srv.ExposeBytes(bankShardName(i), h, map[string]remote.BytesProc{
+			// The reply is allocated per read: the proc's return must stay
+			// valid until the runtime encodes it, and the next logged call
+			// on this handler may run before a parked reply is copied.
+			"read": func(p []byte) []byte {
+				out := make([]byte, 8)
+				binary.LittleEndian.PutUint64(out, uint64(balances[binary.LittleEndian.Uint64(p)]))
+				return out
+			},
+			"xfer": func(p []byte) []byte {
+				from := binary.LittleEndian.Uint64(p)
+				to := binary.LittleEndian.Uint64(p[8:])
+				amount := int64(binary.LittleEndian.Uint64(p[16:]))
+				balances[from] -= amount
+				balances[to] += amount
+				return nil
+			},
+			"sum": func([]byte) []byte {
+				var total int64
+				for _, b := range balances {
+					total += b
+				}
+				out := make([]byte, 8)
+				binary.LittleEndian.PutUint64(out, uint64(total))
+				return out
+			},
+		})
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		rt.Shutdown()
+		return "", nil, err
+	}
+	go srv.Serve(ln)
+	return ln.Addr().String(), func() { srv.Close(); rt.Shutdown() }, nil
+}
+
+// bankTally is what one load phase observed, all updated from future
+// callbacks on the mux reader (hence atomics).
+type bankTally struct {
+	reads     atomic.Int64 // read replies that arrived well-formed
+	malformed atomic.Int64 // read replies of the wrong shape
+	failed    atomic.Int64 // read futures that resolved with an error
+}
+
+// bankLoad drives ops mixed operations (4:1 reads to transfers)
+// through sessions RemoteSessions multiplexed on one connection, each
+// session bound to one shard for its whole run. In-flight reads are
+// bounded per session by a semaphore released from the future's
+// completion callback, on top of the protocol's own credit windows —
+// the load generator never outruns the service unboundedly. Returns
+// the tally; every session's block ends with a Sync barrier, so when
+// bankLoad returns every logged operation has executed.
+func bankLoad(mux *remote.Mux, shards, sessions, ops, perShard, inflight int, seed int64) (*bankTally, error) {
+	tally := &bankTally{}
+	opsPer := ops / sessions
+	errs := make(chan error, sessions)
+	for i := 0; i < sessions; i++ {
+		i := i
+		rs := mux.NewSession()
+		go func() {
+			defer rs.Close()
+			rng := rand.New(rand.NewSource(seed + int64(i)))
+			shard := i % shards
+			sem := make(chan struct{}, inflight)
+			var req [24]byte
+			err := rs.Separate(bankShardName(shard), func(s *remote.Session) error {
+				for k := 0; k < opsPer; k++ {
+					if rng.Intn(5) == 0 {
+						// Transfer between two accounts of this shard:
+						// fire-and-forget, conserves the shard total.
+						binary.LittleEndian.PutUint64(req[0:], uint64(rng.Intn(perShard)))
+						binary.LittleEndian.PutUint64(req[8:], uint64(rng.Intn(perShard)))
+						binary.LittleEndian.PutUint64(req[16:], uint64(rng.Intn(bankMaxTransfer)+1))
+						if err := s.CallBytes("xfer", req[:24]); err != nil {
+							return err
+						}
+						continue
+					}
+					// Balance read: pipelined, bounded by the semaphore. The
+					// request buffer is reused — CallBytes/QueryBytesAsync
+					// encode before returning.
+					binary.LittleEndian.PutUint64(req[0:], uint64(rng.Intn(perShard)))
+					sem <- struct{}{}
+					f, err := s.QueryBytesAsync("read", req[:8])
+					if err != nil {
+						return err
+					}
+					f.OnComplete(func(v any, err error) {
+						switch p, _ := v.([]byte); {
+						case err != nil:
+							tally.failed.Add(1)
+						case len(p) != 8:
+							tally.malformed.Add(1)
+						default:
+							tally.reads.Add(1)
+						}
+						if err == nil {
+							p, _ := v.([]byte)
+							remote.Release(p)
+						}
+						<-sem
+					})
+				}
+				return s.Sync()
+			})
+			errs <- err
+		}()
+	}
+	var first error
+	for i := 0; i < sessions; i++ {
+		if err := <-errs; err != nil && first == nil {
+			first = err
+		}
+	}
+	return tally, first
+}
+
+// bankConservation sums every shard over the wire and checks the
+// invariant: transfers move money, never create or destroy it.
+func bankConservation(mux *remote.Mux, shards, accounts int) error {
+	rs := mux.NewSession()
+	defer rs.Close()
+	var total int64
+	for i := 0; i < shards; i++ {
+		err := rs.Separate(bankShardName(i), func(s *remote.Session) error {
+			p, err := s.QueryBytes("sum", nil)
+			if err != nil {
+				return err
+			}
+			total += int64(binary.LittleEndian.Uint64(p))
+			remote.Release(p)
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("harness: bank shard %d sum: %w", i, err)
+		}
+	}
+	if want := int64(accounts) * bankInitBalance; total != want {
+		return fmt.Errorf("harness: bank conservation VIOLATION: total %d, want %d", total, want)
+	}
+	return nil
+}
+
+// Bank runs the production-scale bytes-payload benchmark: a bank
+// service of BankAccounts accounts sharded across BankShards handlers,
+// driven by BankSessions logical clients multiplexed on one connection
+// with a mixed read/transfer workload (4:1) of BankOps operations,
+// every request and reply an opaque bytes payload through the
+// zero-copy slab codec. In-flight reads are semaphore-bounded per
+// session on top of the credit windows. Reported: wall time and
+// operations/s (median of Reps), round-trip and payload-size
+// percentiles from one instrumented rep, and the transport's
+// bytes/slab counters. After every rep the balance total is summed
+// over the wire and checked against accounts x initial balance —
+// transfers must conserve money — and any violation or failed future
+// panics, so CI gates on the exit code. Not a paper experiment; it
+// proves this repo's bytes payload path at service scale (see README
+// "Bytes payloads").
+func (o Options) Bank() {
+	accounts := o.BankAccounts
+	if accounts <= 0 {
+		accounts = 1 << 20
+	}
+	shards := o.BankShards
+	if shards <= 0 {
+		shards = 64
+	}
+	sessions := o.BankSessions
+	if sessions <= 0 {
+		sessions = 256
+	}
+	ops := o.BankOps
+	if ops <= 0 {
+		ops = 1 << 18
+	}
+	inflight := o.BankInflight
+	if inflight <= 0 {
+		inflight = 32
+	}
+	perShard := accounts / shards
+	accounts = perShard * shards // exact sharding; the invariant needs it
+	pool := o.Pool
+	if pool <= 0 {
+		pool = 4
+	}
+	cfg := core.ConfigAll.WithWorkers(pool)
+	seed := o.Seed
+	if seed == 0 {
+		seed = 1
+	}
+
+	section(o.Out, "Bank: bytes payloads at service scale",
+		fmt.Sprintf("%d accounts over %d shard handlers on a pooled(%d) runtime\n(ConfigAll), %d mux sessions on one connection, %d mixed ops\n(4:1 reads to intra-shard transfers, <=%d in flight per session),\nevery request/reply a bytes payload through the slab codec. Balance\nconservation is checked over the wire after every rep.",
+			accounts, shards, pool, sessions, ops, inflight))
+
+	addr, shutdown, err := bankServer(cfg, accounts, shards)
+	if err != nil {
+		panic(err)
+	}
+	defer shutdown()
+
+	runOnce := func(rep int64) (time.Duration, *bankTally) {
+		mux, err := remote.DialMux("tcp", addr)
+		if err != nil {
+			panic(err)
+		}
+		defer mux.Close()
+		start := time.Now()
+		tally, err := bankLoad(mux, shards, sessions, ops, perShard, inflight, seed+rep*int64(sessions))
+		d := time.Since(start)
+		if err != nil {
+			panic(err)
+		}
+		if n := tally.failed.Load() + tally.malformed.Load(); n != 0 {
+			panic(fmt.Sprintf("harness: bank run lost %d reads (%d failed, %d malformed)",
+				n, tally.failed.Load(), tally.malformed.Load()))
+		}
+		if err := bankConservation(mux, shards, accounts); err != nil {
+			panic(err)
+		}
+		return d, tally
+	}
+
+	reps := o.Reps
+	if reps < 1 {
+		reps = 1
+	}
+	var ds []time.Duration
+	var reads int64
+	for r := 0; r < reps; r++ {
+		d, tally := runOnce(int64(r))
+		ds = append(ds, d)
+		reads = tally.reads.Load()
+	}
+	med := median(ds)
+
+	// One instrumented rep for round-trip and payload-size percentiles,
+	// plus the transport counters of that rep's connection.
+	var stats remote.MuxStats
+	pct := obsPercentiles(func() {
+		mux, err := remote.DialMux("tcp", addr)
+		if err != nil {
+			panic(err)
+		}
+		defer mux.Close()
+		if _, err := bankLoad(mux, shards, sessions, ops, perShard, inflight, seed+int64(reps)*int64(sessions)); err != nil {
+			panic(err)
+		}
+		if err := bankConservation(mux, shards, accounts); err != nil {
+			panic(err)
+		}
+		stats = mux.Stats()
+	}, "remote.roundtrip_ns", "remote.bytes_payload")
+
+	opsPerSec := float64(ops) / med.Seconds()
+	us := func(key string) string {
+		if v, ok := pct[key]; ok {
+			return fmt.Sprintf("%.0f", v/1e3)
+		}
+		return "-"
+	}
+	tb := newTable(o.Out)
+	tb.row("Accounts", "sessions", "time(s)", "ops/s", "p50(us)", "p99(us)", "reads", "bytesIn", "bytesOut", "slabReuse")
+	tb.row(strconv.Itoa(accounts), strconv.Itoa(sessions), Seconds(med),
+		fmt.Sprintf("%.0f", opsPerSec),
+		us("p50_roundtrip_ns"), us("p99_roundtrip_ns"),
+		strconv.FormatInt(reads, 10),
+		strconv.FormatUint(stats.BytesIn, 10),
+		strconv.FormatUint(stats.BytesOut, 10),
+		strconv.FormatUint(stats.SlabReuses, 10))
+	tb.flush()
+	fmt.Fprintf(o.Out, "conservation: PASS (%d accounts x %d = %d total, every rep)\n",
+		accounts, bankInitBalance, int64(accounts)*bankInitBalance)
+
+	o.Rec.Add(Result{
+		Experiment: "bank",
+		Labels: map[string]string{
+			"config":   cfg.Name(),
+			"accounts": strconv.Itoa(accounts),
+			"shards":   strconv.Itoa(shards),
+			"sessions": strconv.Itoa(sessions),
+			"seed":     strconv.FormatInt(seed, 10),
+		},
+		Medians: mergeMedians(map[string]float64{
+			"seconds":        med.Seconds(),
+			"ops_per_second": opsPerSec,
+		}, pct),
+		Counters: map[string]int64{
+			"ops":         int64(ops),
+			"reads":       reads,
+			"bytes_in":    int64(stats.BytesIn),
+			"bytes_out":   int64(stats.BytesOut),
+			"slab_reuses": int64(stats.SlabReuses),
+		},
+	})
+}

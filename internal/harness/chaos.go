@@ -56,9 +56,19 @@ var chaosScenarios = []chaosScenario{
 	{name: "partial", p: chaos.Profile{Name: "partial", ChunkMax: 7}},
 	{name: "truncate", p: chaos.Profile{Name: "truncate", TruncateAfter: 4096}, lethal: true},
 	{name: "reset", p: chaos.Profile{Name: "reset", ResetAfter: 4096}, lethal: true},
+	// Read-path mirrors: the victim's own reader — frame reassembly and
+	// slab bookkeeping under REPLYB traffic — is the component under test.
+	{name: "read-latency", p: chaos.Profile{Name: "read-latency", ReadLatencyMin: 20 * time.Microsecond, ReadLatencyMax: 200 * time.Microsecond}},
+	{name: "read-partial", p: chaos.Profile{Name: "read-partial", ReadChunkMax: 7}},
+	{name: "read-truncate", p: chaos.Profile{Name: "read-truncate", ReadTruncateAfter: 8192}, lethal: true},
 	{name: "abuse", abuse: true},
 	{name: "silence", silence: true},
 }
+
+// chaosPayloadLen sizes the pipeline's interleaved bytes echoes: past
+// the decoder's small-payload intern threshold, so faults hit the
+// pooled slab path, not the static cache.
+const chaosPayloadLen = 192
 
 // chaosOutcome is what one scenario run produced, for the table and
 // the JSON rows.
@@ -86,6 +96,9 @@ func chaosServer(cfg core.Config) (*core.Runtime, *remote.Server, net.Listener, 
 		srv.Expose(chaosHandlerName(i), h, map[string]remote.Proc{
 			"add": func(a []int64) int64 { *c += a[0]; return *c },
 		})
+		srv.ExposeBytes(chaosHandlerName(i), h, map[string]remote.BytesProc{
+			"echo": func(p []byte) []byte { return p },
+		})
 	}
 	srv.Expose("chaos-abuse", rt.NewHandler("chaos-abuse"), map[string]remote.Proc{
 		"hold": func([]int64) int64 { time.Sleep(time.Millisecond); return 0 },
@@ -100,16 +113,25 @@ func chaosServer(cfg core.Config) (*core.Runtime, *remote.Server, net.Listener, 
 }
 
 // chaosPipeline drives qper pipelined queries through each of the
-// sessions [first, first+n) of mux, one goroutine per session. Every
-// future is awaited (with a deadline — recovery means nothing may hang),
-// and the outcome is the count of futures that resolved with errors.
-// wantClean asserts that everything succeeded and the counters reached
-// qper exactly.
+// sessions [first, first+n) of mux, one goroutine per session — every
+// fourth request a bytes echo through the slab path, the rest int64
+// adds. Every future is awaited (with a deadline — recovery means
+// nothing may hang), and the outcome is the count of futures that
+// resolved with errors. A bytes echo that resolves successfully must
+// come back intact in every scenario (faults may kill requests, never
+// corrupt survivors); wantClean additionally asserts that everything
+// succeeded and the counters reached the add count exactly.
 func chaosPipeline(mux *remote.Mux, first, n, qper int, wantClean bool) (failed int, err error) {
+	type bytesCheck struct {
+		f    *future.Future
+		want byte
+	}
 	type sessionRun struct {
-		futs []*future.Future
-		last *future.Future
-		err  error
+		futs  []*future.Future
+		bfuts []bytesCheck
+		last  *future.Future
+		adds  int
+		err   error
 	}
 	runs := make([]sessionRun, n)
 	var wg sync.WaitGroup
@@ -119,14 +141,30 @@ func chaosPipeline(mux *remote.Mux, first, n, qper int, wantClean bool) (failed 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			payload := make([]byte, chaosPayloadLen)
 			runs[i].err = rs.Separate(chaosHandlerName(first+i), func(s *remote.Session) error {
 				for q := 0; q < qper; q++ {
+					if q%4 == 3 {
+						pat := byte(q)
+						for j := range payload {
+							payload[j] = pat
+						}
+						// The payload is encoded before QueryBytesAsync
+						// returns, so one buffer serves the whole session.
+						f, err := s.QueryBytesAsync("echo", payload)
+						if err != nil {
+							return err
+						}
+						runs[i].bfuts = append(runs[i].bfuts, bytesCheck{f, pat})
+						continue
+					}
 					f, err := s.QueryAsync("add", 1)
 					if err != nil {
 						return err
 					}
 					runs[i].futs = append(runs[i].futs, f)
 					runs[i].last = f
+					runs[i].adds++
 				}
 				return nil
 			})
@@ -139,6 +177,9 @@ func chaosPipeline(mux *remote.Mux, first, n, qper int, wantClean bool) (failed 
 		for i := range runs {
 			for _, f := range runs[i].futs {
 				f.Get() //nolint:errcheck // resolution is the assertion; errors counted below
+			}
+			for _, bc := range runs[i].bfuts {
+				bc.f.Get() //nolint:errcheck
 			}
 		}
 		close(done)
@@ -155,12 +196,32 @@ func chaosPipeline(mux *remote.Mux, first, n, qper int, wantClean bool) (failed 
 				failed++
 			}
 		}
+		for _, bc := range runs[i].bfuts {
+			v, ferr := bc.f.Get()
+			if ferr != nil {
+				failed++
+				continue
+			}
+			p, _ := v.([]byte)
+			intact := len(p) == chaosPayloadLen
+			for _, x := range p {
+				if x != bc.want {
+					intact = false
+					break
+				}
+			}
+			remote.Release(p)
+			if !intact {
+				return failed, fmt.Errorf("harness: chaos session %d: echo payload corrupted (%d bytes back, want %d of 0x%02x)",
+					first+i, len(p), chaosPayloadLen, bc.want)
+			}
+		}
 		if wantClean {
 			if runs[i].err != nil {
 				return failed, fmt.Errorf("harness: chaos session %d failed: %w", first+i, runs[i].err)
 			}
-			if v, ferr := runs[i].last.Get(); ferr != nil || v.(int64) != int64(qper) {
-				return failed, fmt.Errorf("harness: chaos counter %d ended at %v (err %v), want %d", first+i, v, ferr, qper)
+			if v, ferr := runs[i].last.Get(); ferr != nil || v.(int64) != int64(runs[i].adds) {
+				return failed, fmt.Errorf("harness: chaos counter %d ended at %v (err %v), want %d", first+i, v, ferr, runs[i].adds)
 			}
 		}
 	}
@@ -251,7 +312,7 @@ func chaosRun(cfg core.Config, sc chaosScenario, seed int64) (chaosOutcome, erro
 			out.faults = fc.Counts()
 		}
 		if sc.lethal {
-			if out.faults.Truncates+out.faults.Resets == 0 {
+			if out.faults.Truncates+out.faults.Resets+out.faults.ReadTruncates == 0 {
 				return out, fmt.Errorf("harness: %s scenario never cut the connection", sc.name)
 			}
 			if mux.Err() == nil {
@@ -325,7 +386,7 @@ func (o Options) Chaos() {
 		seed = 1
 	}
 	section(o.Out, "Chaos: remote-path fault injection",
-		fmt.Sprintf("%d fault scenarios x pool widths {1,4}, seed %d: a faulty victim\nconnection (injected latency, stalls, partial writes, truncation,\nresets, credit abuse, mid-block silence) races an honest survivor\nconnection on one server (adaptive windows, %v idle deadline).\nAsserted per run: bounded batch/parked memory, every future\nresolves, survivors finish exactly, offenders are quarantined or\ntimed out, and no goroutine outlives its run.", len(chaosScenarios), seed, chaosIdleTimeout))
+		fmt.Sprintf("%d fault scenarios x pool widths {1,4}, seed %d: a faulty victim\nconnection (injected latency, stalls, partial writes and reads,\ntruncation on either direction, resets, credit abuse, mid-block\nsilence) races an honest survivor connection on one server (adaptive\nwindows, %v idle deadline). Every fourth request is a bytes echo\nthrough the pooled slab path, so read faults land on REPLYB frame\nreassembly. Asserted per run: bounded batch/parked memory, every\nfuture resolves, resolved echoes are byte-intact, survivors finish\nexactly, offenders are quarantined or timed out, and no goroutine\noutlives its run.", len(chaosScenarios), seed, chaosIdleTimeout))
 
 	tb := newTable(o.Out)
 	tb.row("Scenario", "pool", "surv(s)", "surv q/s", "failedFuts", "quar", "stalls", "resize", "faults")
@@ -338,8 +399,7 @@ func (o Options) Chaos() {
 			}
 			qper := chaosQueries / (chaosVictims + chaosSurvivors)
 			qps := float64(qper*chaosSurvivors) / out.survivorTime.Seconds()
-			injected := out.faults.Delays + out.faults.Stalls + out.faults.Chunks +
-				out.faults.Truncates + out.faults.Resets
+			injected := out.faults.Total()
 			tb.row(sc.name, strconv.Itoa(pool), Seconds(out.survivorTime),
 				fmt.Sprintf("%.0f", qps),
 				strconv.Itoa(out.failedFuts),
@@ -360,17 +420,20 @@ func (o Options) Chaos() {
 					"survivor_queries_per_second": qps,
 				},
 				Counters: map[string]int64{
-					"failed_futures":     int64(out.failedFuts),
-					"quarantines":        int64(out.stats.Quarantines),
-					"peer_stalls":        int64(out.stats.PeerStalls),
-					"window_resizes":     int64(out.stats.WindowResizes),
-					"max_batch_bytes":    int64(out.stats.MaxBatchBytes),
-					"max_parked_frames":  int64(out.stats.MaxParkedFrames),
-					"injected_delays":    int64(out.faults.Delays),
-					"injected_stalls":    int64(out.faults.Stalls),
-					"injected_chunks":    int64(out.faults.Chunks),
-					"injected_truncates": int64(out.faults.Truncates),
-					"injected_resets":    int64(out.faults.Resets),
+					"failed_futures":         int64(out.failedFuts),
+					"quarantines":            int64(out.stats.Quarantines),
+					"peer_stalls":            int64(out.stats.PeerStalls),
+					"window_resizes":         int64(out.stats.WindowResizes),
+					"max_batch_bytes":        int64(out.stats.MaxBatchBytes),
+					"max_parked_frames":      int64(out.stats.MaxParkedFrames),
+					"injected_delays":        int64(out.faults.Delays),
+					"injected_stalls":        int64(out.faults.Stalls),
+					"injected_chunks":        int64(out.faults.Chunks),
+					"injected_truncates":     int64(out.faults.Truncates),
+					"injected_resets":        int64(out.faults.Resets),
+					"injected_read_delays":   int64(out.faults.ReadDelays),
+					"injected_read_chunks":   int64(out.faults.ReadChunks),
+					"injected_read_truncate": int64(out.faults.ReadTruncates),
 				},
 			})
 		}

@@ -66,9 +66,18 @@ type Options struct {
 	// regression on a comparable host).
 	FlowBaseline string
 	// Seed drives every deterministic randomized component (the chaos
-	// experiment's fault injection); it is recorded in -json metadata so
-	// a failing run replays exactly.
+	// experiment's fault injection, the bank workload mix); it is
+	// recorded in -json metadata so a failing run replays exactly.
 	Seed int64
+	// BankAccounts/BankShards/BankSessions/BankOps/BankInflight size
+	// the Bank experiment: total accounts, shard handlers owning them,
+	// mux sessions driving the mixed workload, total operations, and
+	// the per-session in-flight read bound.
+	BankAccounts int
+	BankShards   int
+	BankSessions int
+	BankOps      int
+	BankInflight int
 }
 
 // Defaults returns laptop-scale options writing to w.
@@ -95,6 +104,11 @@ func Defaults(w io.Writer) Options {
 		FutQueries:    5000,
 		RemoteQueries: 16384,
 		Seed:          1,
+		BankAccounts:  1 << 20,
+		BankShards:    64,
+		BankSessions:  256,
+		BankOps:       1 << 18,
+		BankInflight:  32,
 	}
 }
 

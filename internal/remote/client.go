@@ -246,8 +246,12 @@ func (rs *RemoteSession) unregister(id uint64) {
 	rs.mu.Unlock()
 }
 
-// resolve matches a REPLY/ERROR frame to its future — or, for an id-0
-// ERROR, records the block-level failure. Called by the mux reader.
+// resolve matches a REPLY/ERROR/REPLYB frame to its future — or, for
+// an id-0 ERROR, records the block-level failure. Called by the mux
+// reader. A bytes reply carries a slab payload whose ownership moves
+// into the future; on every path where no awaiter can take it —
+// duplicate id, or a future the teardown already failed — the payload
+// is released here so the slab is not pinned by a value nobody holds.
 func (rs *RemoteSession) resolve(f *frame) {
 	if f.kind == fError && f.id == 0 {
 		rs.setBlockErr(fmt.Errorf("remote: server: %s", f.name))
@@ -258,13 +262,19 @@ func (rs *RemoteSession) resolve(f *frame) {
 	delete(rs.pending, f.id)
 	rs.mu.Unlock()
 	if fut == nil {
-		return // duplicate or unknown id; nothing to resolve
-	}
-	if f.kind == fError {
-		fut.Fail(fmt.Errorf("remote: server: %s", f.name))
+		Release(f.data) // duplicate or unknown id; nothing to resolve
 		return
 	}
-	fut.Complete(f.val)
+	switch f.kind {
+	case fError:
+		fut.Fail(fmt.Errorf("remote: server: %s", f.name))
+	case fReplyB:
+		if !fut.Complete(f.data) {
+			Release(f.data) // lost to a teardown Fail; nobody will Await it
+		}
+	default:
+		fut.Complete(f.val)
+	}
 }
 
 // setBlockErr records a block-level failure; the first one wins.
@@ -319,6 +329,21 @@ func (rs *RemoteSession) Await(f *future.Future) (int64, error) {
 		return 0, err
 	}
 	return v.(int64), nil
+}
+
+// AwaitBytes blocks until a bytes query's future resolves and returns
+// its payload. The payload is slab-owned: the caller must Release it
+// when done (future.Of[[]byte] works on the same future for callers
+// who prefer the typed view — the ownership contract is identical).
+func (rs *RemoteSession) AwaitBytes(f *future.Future) ([]byte, error) {
+	v, err := f.Get()
+	if err != nil {
+		return nil, err
+	}
+	if v == nil {
+		return nil, nil
+	}
+	return v.([]byte), nil
 }
 
 // Flush blocks until every pipelined future handed out so far has
@@ -441,6 +466,41 @@ func (rs *RemoteSession) pipelined(fr *frame) (*future.Future, error) {
 		})
 	}
 	return f, nil
+}
+
+// CallBytes logs an asynchronous call of the named bytes procedure
+// (see Server.ExposeBytes) with an opaque payload. The payload is
+// encoded into the connection's batch before CallBytes returns, so the
+// caller keeps ownership of p and may reuse it immediately — nothing
+// is retained and nothing beyond the wire copy is allocated. Admission
+// is credit-bounded exactly like Call.
+func (s *Session) CallBytes(fn string, p []byte) error {
+	if err := s.rs.acquireCredit(); err != nil {
+		return err
+	}
+	return s.rs.send(&frame{kind: fCallB, ch: s.rs.ch, name: fn, data: p})
+}
+
+// QueryBytesAsync logs the named bytes procedure as a pipelined query:
+// the returned future resolves to the reply payload ([]byte). Like
+// QueryAsync it pays no round-trip and observes every previously
+// logged call of this block. The request payload p is encoded before
+// return (the caller keeps ownership); the reply payload is slab-owned
+// and must be Released by whoever takes it from the future (AwaitBytes
+// or future.Of[[]byte]).
+func (s *Session) QueryBytesAsync(fn string, p []byte) (*future.Future, error) {
+	return s.rs.pipelined(&frame{kind: fQueryB, ch: s.rs.ch, name: fn, data: p})
+}
+
+// QueryBytes runs the named bytes procedure synchronously: one write,
+// one demultiplexed reply, the reply payload returned. The caller must
+// Release the returned payload.
+func (s *Session) QueryBytes(fn string, p []byte) ([]byte, error) {
+	f, err := s.QueryBytesAsync(fn, p)
+	if err != nil {
+		return nil, err
+	}
+	return s.rs.AwaitBytes(f)
 }
 
 // Query runs the named procedure synchronously and returns its result;

@@ -98,12 +98,21 @@
 //	                                        on channel creation, then
 //	                                        replenishment as requests
 //	                                        complete
+//	CALLB (0x07)  fn:string payload:bytes   asynchronous bytes call, no
+//	                                        reply
+//	QUERYB(0x08)  id:uvarint fn:string      pipelined bytes query ->
+//	              payload:bytes             REPLYB/ERROR
+//	REPLYB(0x84)  id:uvarint payload:bytes  bytes query result
 //
 // args is a uvarint count followed by that many zigzag varints; values
-// are int64, the protocol's wire currency. Encoding appends to a
-// caller-owned buffer and decoding reuses the frame's args slice and an
-// interning table for procedure/handler names, so the steady-state hot
-// path allocates nothing per message in either direction.
+// are int64, the protocol's wire currency. payload is a uvarint length
+// followed by that many raw bytes — the protocol's opaque currency for
+// real service payloads (see README "Bytes payloads" for the ownership
+// contract). Encoding appends to a caller-owned buffer and decoding
+// reuses the frame's args slice, an interning table for
+// procedure/handler names, and pooled refcounted slabs for payloads
+// (slab.go), so the steady-state hot path allocates nothing per
+// message in either direction.
 //
 // The gob-encoded, connection-per-client protocol this replaced is
 // retained as GobClient/GobServer — a measurement baseline for
@@ -116,6 +125,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+
+	"scoopqs/internal/obs"
 )
 
 // frameKind enumerates the wire frames. Client->server kinds are low,
@@ -123,37 +134,60 @@ import (
 type frameKind uint8
 
 const (
-	fBegin frameKind = 0x01 // open a separate block on a handler
-	fEnd   frameKind = 0x02 // end the block (the END marker)
-	fCall  frameKind = 0x03 // asynchronous call, no reply
-	fQuery frameKind = 0x04 // pipelined query; REPLY/ERROR carries id
-	fSync  frameKind = 0x05 // barrier; REPLY once prior requests ran
-	fClose frameKind = 0x06 // retire the channel
+	fBegin  frameKind = 0x01 // open a separate block on a handler
+	fEnd    frameKind = 0x02 // end the block (the END marker)
+	fCall   frameKind = 0x03 // asynchronous call, no reply
+	fQuery  frameKind = 0x04 // pipelined query; REPLY/ERROR carries id
+	fSync   frameKind = 0x05 // barrier; REPLY once prior requests ran
+	fClose  frameKind = 0x06 // retire the channel
+	fCallB  frameKind = 0x07 // asynchronous bytes call, no reply
+	fQueryB frameKind = 0x08 // pipelined bytes query; REPLYB/ERROR carries id
 
 	fReply  frameKind = 0x81 // query/sync result
 	fError  frameKind = 0x82 // query/sync failure (id 0: block-level)
 	fCredit frameKind = 0x83 // flow-control grant; id carries the credit count
+	fReplyB frameKind = 0x84 // bytes query result
 )
 
 // Decoder hard limits: a malformed or malicious stream cannot make the
 // reader allocate unboundedly. Handler/procedure names and error
-// messages are short; argument vectors are call-sized.
+// messages are short; argument vectors are call-sized; bytes payloads
+// are service-message-sized.
+//
+// The name-interning table is bounded in entries AND bytes, and a peer
+// that overflows it is dropped with ErrProtocol rather than degraded:
+// names are a protocol vocabulary (handlers and procedures), so an
+// open-ended stream of distinct names is an adversary growing the
+// table, not a workload. Before the byte cap, maxInterned entries of
+// maxStringLen bytes each could pin 256 MiB per connection.
 const (
-	maxStringLen = 1 << 16 // name or error message bytes
-	maxArgs      = 1 << 16 // arguments per call
-	maxInterned  = 4096    // distinct names cached per connection
+	maxStringLen     = 1 << 16 // name or error message bytes
+	maxArgs          = 1 << 16 // arguments per call
+	maxInterned      = 4096    // distinct names cached per connection
+	maxInternedBytes = 1 << 19 // total bytes across the name table
+
+	maxBytesLen = 1 << 20 // bytes payload length
+
+	// Small payloads repeat in real service traffic (balances, status
+	// codes, canned responses); up to maxInternPayload bytes they are
+	// served from a bounded permanent cache instead of a slab, so a hot
+	// small reply costs a map probe and its Release is a no-op.
+	maxInternPayload    = 64
+	maxInternedPayloads = 256
 )
 
 // frame is the decoded wire message. One frame struct is reused across
-// reads: args is truncated and refilled, and name strings are interned
-// per connection, so steady-state decoding does not allocate.
+// reads: args is truncated and refilled, name strings are interned per
+// connection, and bytes payloads are carved from pooled slabs, so
+// steady-state decoding does not allocate.
 type frame struct {
 	kind frameKind
 	ch   uint32 // channel (logical client) id
-	id   uint64 // fQuery/fSync/fReply/fError: pipeline tag
+	id   uint64 // fQuery/fSync/fReply/fError/fQueryB/fReplyB: pipeline tag
 	val  int64  // fReply: result value
-	name string // fBegin: handler; fCall/fQuery: procedure; fError: message
+	name string // fBegin: handler; fCall/fQuery/fCallB/fQueryB: procedure; fError: message
 	args []int64
+	data []byte // fCallB/fQueryB/fReplyB: payload (slab-owned on decode)
 }
 
 // appendFrame encodes f onto buf and returns the extended buffer. It is
@@ -181,6 +215,16 @@ func appendFrame(buf []byte, f *frame) []byte {
 	case fError:
 		buf = binary.AppendUvarint(buf, f.id)
 		buf = appendString(buf, f.name)
+	case fCallB:
+		buf = appendString(buf, f.name)
+		buf = appendBytes(buf, f.data)
+	case fQueryB:
+		buf = binary.AppendUvarint(buf, f.id)
+		buf = appendString(buf, f.name)
+		buf = appendBytes(buf, f.data)
+	case fReplyB:
+		buf = binary.AppendUvarint(buf, f.id)
+		buf = appendBytes(buf, f.data)
 	default:
 		panic(fmt.Sprintf("remote: encoding unknown frame kind 0x%02x", byte(f.kind)))
 	}
@@ -200,15 +244,27 @@ func appendArgs(buf []byte, args []int64) []byte {
 	return buf
 }
 
+// appendBytes encodes a length-prefixed payload directly onto buf —
+// the caller-owned batch buffer — so the encode side of the bytes path
+// is one copy (producer buffer -> wire batch) and zero allocations.
+func appendBytes(buf, data []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(data)))
+	return append(buf, data...)
+}
+
 // frameReader decodes frames from a stream. It owns a buffered reader,
-// a scratch buffer for string bytes, and a per-connection interning
-// table so repeated handler/procedure names decode to the same string
-// with no allocation.
+// a scratch buffer for string bytes, a per-connection interning table
+// so repeated handler/procedure names decode to the same string with
+// no allocation, a bounded cache of small repeated payloads, and a
+// slab allocator for the rest of the bytes payloads.
 type frameReader struct {
-	r      *bufio.Reader
-	names  map[string]string
-	strbuf []byte
-	mid    bool // the last readFrame consumed bytes before failing
+	r         *bufio.Reader
+	names     map[string]string
+	nameBytes int // total bytes interned in names (satellite of maxInterned)
+	strbuf    []byte
+	payloads  map[string][]byte // small-payload intern cache (static entries)
+	slabs     slabAlloc
+	mid       bool // the last readFrame consumed bytes before failing
 }
 
 func newFrameReader(r io.Reader) *frameReader {
@@ -217,6 +273,11 @@ func newFrameReader(r io.Reader) *frameReader {
 		names: make(map[string]string),
 	}
 }
+
+// close drops the reader's hold on its current payload slab; call it
+// when the stream is done so an idle reader does not pin a slab.
+// Payloads already handed out keep their own references. Idempotent.
+func (fr *frameReader) close() { fr.slabs.close() }
 
 // readFrame decodes the next frame into f, reusing f's args slice. Any
 // error (including a malformed frame) is terminal for the stream: the
@@ -234,10 +295,10 @@ func (fr *frameReader) readFrame(f *frame) error {
 		return unexpectedEOF(err)
 	}
 	if ch > math.MaxUint32 {
-		return fmt.Errorf("remote: channel id %d overflows uint32", ch)
+		return fmt.Errorf("remote: channel id %d overflows uint32: %w", ch, ErrProtocol)
 	}
 	f.ch = uint32(ch)
-	f.id, f.val, f.name = 0, 0, ""
+	f.id, f.val, f.name, f.data = 0, 0, "", nil
 	f.args = f.args[:0]
 	switch f.kind {
 	case fBegin:
@@ -266,22 +327,42 @@ func (fr *frameReader) readFrame(f *frame) error {
 			return unexpectedEOF(err)
 		}
 		f.name, err = fr.readString(false)
+	case fCallB:
+		if f.name, err = fr.readString(true); err == nil {
+			f.data, err = fr.readBytes()
+		}
+	case fQueryB:
+		if f.id, err = binary.ReadUvarint(fr.r); err != nil {
+			return unexpectedEOF(err)
+		}
+		if f.name, err = fr.readString(true); err == nil {
+			f.data, err = fr.readBytes()
+		}
+	case fReplyB:
+		if f.id, err = binary.ReadUvarint(fr.r); err != nil {
+			return unexpectedEOF(err)
+		}
+		f.data, err = fr.readBytes()
 	default:
-		return fmt.Errorf("remote: unknown frame kind 0x%02x", k)
+		return fmt.Errorf("remote: unknown frame kind 0x%02x: %w", k, ErrProtocol)
 	}
 	return unexpectedEOF(err)
 }
 
 // readString decodes a length-prefixed string. With intern=true the
 // bytes are looked up in (and added to) the connection's name table, so
-// a hot procedure name costs a map probe instead of an allocation.
+// a hot procedure name costs a map probe instead of an allocation. The
+// table is capped in entries and bytes; a peer that overflows it is a
+// protocol violator (names are a bounded vocabulary, and an unbounded
+// stream of distinct ones is a memory attack), so the overflow is
+// terminal with ErrProtocol rather than a silent degradation.
 func (fr *frameReader) readString(intern bool) (string, error) {
 	n, err := binary.ReadUvarint(fr.r)
 	if err != nil {
 		return "", unexpectedEOF(err)
 	}
 	if n > maxStringLen {
-		return "", fmt.Errorf("remote: string of %d bytes exceeds limit %d", n, maxStringLen)
+		return "", fmt.Errorf("remote: string of %d bytes exceeds limit %d: %w", n, maxStringLen, ErrProtocol)
 	}
 	if cap(fr.strbuf) < int(n) {
 		fr.strbuf = make([]byte, n)
@@ -294,13 +375,67 @@ func (fr *frameReader) readString(intern bool) (string, error) {
 		if s, ok := fr.names[string(b)]; ok {
 			return s, nil
 		}
-		if len(fr.names) < maxInterned {
-			s := string(b)
-			fr.names[s] = s
-			return s, nil
+		if len(fr.names) >= maxInterned || fr.nameBytes+len(b) > maxInternedBytes {
+			return "", fmt.Errorf("remote: name-intern table overflow (%d names, %d bytes cached): %w",
+				len(fr.names), fr.nameBytes, ErrProtocol)
 		}
+		s := string(b)
+		fr.names[s] = s
+		fr.nameBytes += len(s)
+		return s, nil
 	}
 	return string(b), nil
+}
+
+// readBytes decodes a length-prefixed payload. Small payloads are
+// served from the connection's bounded intern cache (permanent,
+// Release-is-a-no-op entries — repeated service replies cost a map
+// probe); everything else is carved from a pooled slab, handed to the
+// caller with one reference, to be returned with Release. Decoded
+// payloads are read-only: interned entries are shared across frames.
+func (fr *frameReader) readBytes() ([]byte, error) {
+	n, err := binary.ReadUvarint(fr.r)
+	if err != nil {
+		return nil, unexpectedEOF(err)
+	}
+	if n > maxBytesLen {
+		return nil, fmt.Errorf("remote: bytes payload of %d exceeds limit %d: %w", n, maxBytesLen, ErrProtocol)
+	}
+	if obs.Enabled() {
+		payloadHist.Observe(int64(n))
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	if n <= maxInternPayload {
+		if cap(fr.strbuf) < int(n) {
+			fr.strbuf = make([]byte, n)
+		}
+		b := fr.strbuf[:n]
+		if _, err := io.ReadFull(fr.r, b); err != nil {
+			return nil, unexpectedEOF(err)
+		}
+		if p, ok := fr.payloads[string(b)]; ok {
+			return p, nil
+		}
+		if len(fr.payloads) < maxInternedPayloads {
+			if fr.payloads == nil {
+				fr.payloads = make(map[string][]byte)
+			}
+			p := newStaticPayload(b)
+			fr.payloads[string(b)] = p
+			return p, nil
+		}
+		out := fr.slabs.take(int(n))
+		copy(out, b)
+		return out, nil
+	}
+	out := fr.slabs.take(int(n))
+	if _, err := io.ReadFull(fr.r, out); err != nil {
+		Release(out)
+		return nil, unexpectedEOF(err)
+	}
+	return out, nil
 }
 
 func (fr *frameReader) readArgs(f *frame) error {
@@ -309,7 +444,7 @@ func (fr *frameReader) readArgs(f *frame) error {
 		return unexpectedEOF(err)
 	}
 	if n > maxArgs {
-		return fmt.Errorf("remote: %d arguments exceed limit %d", n, maxArgs)
+		return fmt.Errorf("remote: %d arguments exceed limit %d: %w", n, maxArgs, ErrProtocol)
 	}
 	if cap(f.args) < int(n) {
 		f.args = make([]int64, 0, n)

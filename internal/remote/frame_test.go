@@ -6,7 +6,8 @@ import (
 	"testing"
 )
 
-// frameEq compares decoded frames, treating nil and empty args alike.
+// frameEq compares decoded frames, treating nil and empty args (and
+// payloads) alike.
 func frameEq(a, b *frame) bool {
 	if a.kind != b.kind || a.ch != b.ch || a.id != b.id || a.val != b.val || a.name != b.name {
 		return false
@@ -19,7 +20,7 @@ func frameEq(a, b *frame) bool {
 			return false
 		}
 	}
-	return true
+	return bytes.Equal(a.data, b.data)
 }
 
 var roundTripFrames = []frame{
@@ -35,6 +36,12 @@ var roundTripFrames = []frame{
 	{kind: fError, ch: 5, id: 0, name: `unknown handler "nonesuch"`},
 	{kind: fCredit, ch: 6, id: 960},
 	{kind: fCredit, ch: 0, id: 1},
+	{kind: fCallB, ch: 4, name: "put", data: []byte("hello payload")},
+	{kind: fCallB, ch: 4, name: "put"},
+	{kind: fQueryB, ch: 8, id: 77, name: "echo", data: bytes.Repeat([]byte{0xAB}, 300)},
+	{kind: fQueryB, ch: 8, id: 78, name: "echo", data: []byte{}},
+	{kind: fReplyB, ch: 8, id: 77, data: bytes.Repeat([]byte{0xCD}, 300)},
+	{kind: fReplyB, ch: 8, id: 79},
 }
 
 func TestFrameRoundTrip(t *testing.T) {
@@ -43,6 +50,7 @@ func TestFrameRoundTrip(t *testing.T) {
 		buf = appendFrame(buf, &roundTripFrames[i])
 	}
 	fr := newFrameReader(bytes.NewReader(buf))
+	defer fr.close()
 	var got frame
 	for i := range roundTripFrames {
 		if err := fr.readFrame(&got); err != nil {
@@ -51,6 +59,7 @@ func TestFrameRoundTrip(t *testing.T) {
 		if !frameEq(&got, &roundTripFrames[i]) {
 			t.Fatalf("frame %d: got %+v, want %+v", i, got, roundTripFrames[i])
 		}
+		Release(got.data)
 	}
 	if err := fr.readFrame(&got); err != io.EOF {
 		t.Fatalf("after last frame: err = %v, want io.EOF", err)
@@ -67,6 +76,26 @@ func TestFrameTruncation(t *testing.T) {
 		if err := fr.readFrame(&f); err != io.ErrUnexpectedEOF {
 			t.Fatalf("cut at %d: err = %v, want io.ErrUnexpectedEOF", cut, err)
 		}
+	}
+}
+
+// A bytes frame cut anywhere — in the header, the name, the length
+// prefix, or the payload itself — must fail with ErrUnexpectedEOF and
+// leave the slab pool balanced: the decoder releases a partially read
+// payload, and closing the reader drops its allocator hold.
+func TestBytesFrameTruncation(t *testing.T) {
+	inUse0, _ := slabStats()
+	full := appendFrame(nil, &frame{kind: fQueryB, ch: 9, id: 5, name: "echo", data: bytes.Repeat([]byte{0x5A}, 200)})
+	for cut := 1; cut < len(full); cut++ {
+		fr := newFrameReader(bytes.NewReader(full[:cut]))
+		var f frame
+		if err := fr.readFrame(&f); err != io.ErrUnexpectedEOF {
+			t.Fatalf("cut at %d: err = %v, want io.ErrUnexpectedEOF", cut, err)
+		}
+		fr.close()
+	}
+	if inUse, _ := slabStats(); inUse != inUse0 {
+		t.Fatalf("slabs in use drifted %d -> %d across truncated decodes", inUse0, inUse)
 	}
 }
 
@@ -149,6 +178,7 @@ func FuzzFrameDecode(f *testing.F) {
 	f.Add([]byte{0xFF, 0xFF, 0xFF})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		fr := newFrameReader(bytes.NewReader(data))
+		defer fr.close()
 		var got frame
 		for i := 0; i < 1024; i++ {
 			if err := fr.readFrame(&got); err != nil {
@@ -157,12 +187,21 @@ func FuzzFrameDecode(f *testing.F) {
 			reenc := appendFrame(nil, &got)
 			fr2 := newFrameReader(bytes.NewReader(reenc))
 			var again frame
-			if err := fr2.readFrame(&again); err != nil {
+			err := fr2.readFrame(&again)
+			if err == nil {
+				if !frameEq(&got, &again) {
+					t.Fatalf("round-trip mismatch: %+v vs %+v", got, again)
+				}
+				if n := len(again.data); n != 0 && cap(again.data) != n {
+					t.Fatalf("decoded payload cap %d > len %d: slab neighbors reachable", cap(again.data), n)
+				}
+			}
+			Release(again.data)
+			fr2.close()
+			if err != nil {
 				t.Fatalf("re-decode of %+v failed: %v", got, err)
 			}
-			if !frameEq(&got, &again) {
-				t.Fatalf("round-trip mismatch: %+v vs %+v", got, again)
-			}
+			Release(got.data)
 		}
 	})
 }

@@ -35,6 +35,7 @@ type Mux struct {
 	err    error // terminal; set once, when the connection dies
 
 	creditStalls atomic.Uint64 // admissions parked at zero credits
+	bytesIn      atomic.Uint64 // payload bytes decoded from REPLYB frames
 
 	readerDone chan struct{}
 }
@@ -111,11 +112,21 @@ type MuxStats struct {
 	WriterStalls  uint64 // producers parked at the writer's byte budget
 	CreditStalls  uint64 // admissions parked at zero per-channel credits
 	MaxBatchBytes uint64 // peak pending-batch size (bounded by the budget)
+
+	BytesOut uint64 // payload bytes encoded into CALLB/QUERYB frames
+	BytesIn  uint64 // payload bytes decoded from REPLYB frames
+
+	// Slab-pool snapshot at the time of the Stats call. The pool is
+	// process-global (every connection shares it), so these are not
+	// scoped to this mux: InUse is live slabs, Reuses is free-list hits.
+	SlabsInUse uint64
+	SlabReuses uint64
 }
 
 // Stats reports the connection's writer and flow-control counters.
 func (m *Mux) Stats() MuxStats {
 	ws := m.w.stats()
+	inUse, reuses := slabStats()
 	return MuxStats{
 		Frames:        ws.Frames,
 		Flushes:       ws.Flushes,
@@ -123,6 +134,10 @@ func (m *Mux) Stats() MuxStats {
 		WriterStalls:  ws.Stalls,
 		CreditStalls:  m.creditStalls.Load(),
 		MaxBatchBytes: ws.MaxBatchBytes,
+		BytesOut:      ws.Bytes,
+		BytesIn:       m.bytesIn.Load(),
+		SlabsInUse:    inUse,
+		SlabReuses:    reuses,
 	}
 }
 
@@ -190,6 +205,7 @@ func (m *Mux) drop(ch uint32) {
 func (m *Mux) readLoop() {
 	defer close(m.readerDone)
 	fr := newFrameReader(m.conn)
+	defer fr.close()
 	var f frame
 	for {
 		if err := fr.readFrame(&f); err != nil {
@@ -197,12 +213,16 @@ func (m *Mux) readLoop() {
 			return
 		}
 		switch f.kind {
-		case fReply, fError:
+		case fReply, fError, fReplyB:
+			if f.kind == fReplyB {
+				m.bytesIn.Add(uint64(len(f.data)))
+			}
 			m.mu.Lock()
 			rs := m.chans[f.ch]
 			m.mu.Unlock()
 			if rs == nil {
-				continue // channel retired; stale reply
+				Release(f.data) // channel retired; stale reply — return the slab
+				continue
 			}
 			rs.resolve(&f)
 		case fCredit:

@@ -22,4 +22,7 @@ var (
 	// resize: its spread shows how far the controller moved windows
 	// from their initial size over a run.
 	windowHist = obs.Default().Hist("remote.window")
+	// payloadHist is the size of each decoded bytes payload
+	// (fCallB/fQueryB/fReplyB), observed on both ends of the wire.
+	payloadHist = obs.Default().Hist("remote.bytes_payload")
 )

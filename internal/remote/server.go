@@ -26,6 +26,19 @@ const defaultCreditWindow = 1024
 // the handler's exclusion like any other logged call.
 type Proc func(args []int64) int64
 
+// BytesProc is a named procedure taking and returning opaque byte
+// payloads, for service messages that do not fit int64 vectors. It
+// runs under the handler's exclusion like any other logged call.
+//
+// Ownership: the request payload is valid (and read-only — small
+// payloads may be interned and shared) only for the duration of the
+// invocation; the runtime releases its slab afterwards, so a proc that
+// wants to keep bytes must copy them. The return value is encoded
+// into the reply before that release, so it may alias the request
+// (echo, sub-slice) or be freshly allocated; for a CallBytes-invoked
+// proc the return is ignored and should be nil.
+type BytesProc func(payload []byte) []byte
+
 // Server exposes handlers of a local runtime to remote clients over
 // the framed, multiplexed protocol. Each accepted connection is served
 // by exactly two goroutines regardless of how many logical clients it
@@ -83,6 +96,7 @@ type Server struct {
 	mu       sync.Mutex
 	handlers map[string]*core.Handler
 	procs    map[string]map[string]Proc
+	bprocs   map[string]map[string]BytesProc
 	ln       net.Listener
 	conns    map[net.Conn]struct{}
 	writers  map[*connWriter]struct{}
@@ -94,6 +108,7 @@ type Server struct {
 	quarantines    atomic.Uint64
 	peerStalls     atomic.Uint64
 	violations     atomic.Uint64
+	bytesIn        atomic.Uint64
 
 	wg sync.WaitGroup
 }
@@ -110,6 +125,7 @@ func NewServer(rt *core.Runtime) *Server {
 		rt:       rt,
 		handlers: map[string]*core.Handler{},
 		procs:    map[string]map[string]Proc{},
+		bprocs:   map[string]map[string]BytesProc{},
 		conns:    map[net.Conn]struct{}{},
 		writers:  map[*connWriter]struct{}{},
 	}
@@ -122,6 +138,17 @@ func (s *Server) Expose(name string, h *core.Handler, procs map[string]Proc) {
 	defer s.mu.Unlock()
 	s.handlers[name] = h
 	s.procs[name] = procs
+}
+
+// ExposeBytes registers a handler's bytes procedures under a public
+// name. A handler may carry both int64 and bytes procedures (Expose
+// and ExposeBytes compose; the two namespaces are independent, keyed
+// by the frame kind the client sent).
+func (s *Server) ExposeBytes(name string, h *core.Handler, procs map[string]BytesProc) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[name] = h
+	s.bprocs[name] = procs
 }
 
 // ServerStats aggregates the write-path counters of every connection
@@ -140,6 +167,14 @@ type ServerStats struct {
 	Quarantines        uint64 // channels quarantined for overrunning their credit window
 	PeerStalls         uint64 // connections torn down by the idle deadline (ErrPeerStalled)
 	ProtocolViolations uint64 // connections dropped for unrecoverable protocol violations
+
+	BytesIn  uint64 // payload bytes decoded from CALLB/QUERYB frames
+	BytesOut uint64 // payload bytes encoded into REPLYB frames
+
+	// Slab-pool snapshot at the Stats call; the pool is process-global
+	// (shared with client-side readers in the same process).
+	SlabsInUse uint64
+	SlabReuses uint64
 }
 
 // Stats reports the server's aggregated write-path and flow-control
@@ -151,6 +186,7 @@ func (s *Server) Stats() ServerStats {
 		agg.fold(cw.stats())
 	}
 	s.mu.Unlock()
+	inUse, reuses := slabStats()
 	return ServerStats{
 		Frames:             agg.Frames,
 		Flushes:            agg.Flushes,
@@ -163,6 +199,10 @@ func (s *Server) Stats() ServerStats {
 		Quarantines:        s.quarantines.Load(),
 		PeerStalls:         s.peerStalls.Load(),
 		ProtocolViolations: s.violations.Load(),
+		BytesIn:            s.bytesIn.Load(),
+		BytesOut:           agg.Bytes,
+		SlabsInUse:         inUse,
+		SlabReuses:         reuses,
 	}
 }
 
@@ -236,6 +276,7 @@ type svChan struct {
 	sess    *core.Session
 	release func()
 	procs   map[string]Proc
+	bprocs  map[string]BytesProc
 
 	// outstanding counts admitted-but-uncompleted requests (the credit
 	// window in use); pendGrant accumulates completions awaiting a
@@ -326,6 +367,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	window := s.fixedWindow()
 	c := &serverConn{s: s, cw: cw, chans: map[uint32]*svChan{}, window: window, adaptive: window == 0}
 	fr := newFrameReader(conn)
+	defer fr.close()
 	defer func() {
 		// Client vanished (or Close tore the conn down): END every open
 		// block so no handler stays reserved by a dead channel.
@@ -366,6 +408,12 @@ func (s *Server) serveConn(conn net.Conn) {
 				}
 				s.peerStalls.Add(1) // ErrPeerStalled: silent mid-activity
 			}
+			if errors.Is(err, ErrProtocol) {
+				// Decoder-level violations (oversized fields, unknown
+				// kinds, an intern-table overflow) count like the
+				// demux-level ones handleFrame reports.
+				s.violations.Add(1)
+			}
 			return // connection torn down (or stream corrupt): one path
 		}
 		if !c.handleFrame(&f) {
@@ -403,6 +451,14 @@ func (c *serverConn) reply(ch uint32, id uint64, v int64, err error) {
 		f = frame{kind: fError, ch: ch, id: id, name: err.Error()}
 	}
 	c.cw.frameDeferred(&f) // ok=false means the connection died; nothing to do
+}
+
+// replyBytes ships a REPLYB through the batching writer. The payload
+// is either encoded into the batch before this returns or parked as a
+// deep copy (frameDeferred detaches data), so the caller may release
+// whatever out aliases immediately afterwards.
+func (c *serverConn) replyBytes(ch uint32, id uint64, out []byte) {
+	c.cw.frameDeferred(&frame{kind: fReplyB, ch: ch, id: id, data: out})
 }
 
 // poison marks the open block failed and ships the id-0 block-level
@@ -451,7 +507,7 @@ func (c *serverConn) quarantine(sc *svChan, ch uint32) {
 	if sc.release != nil {
 		sc.release()
 	}
-	sc.sess, sc.release, sc.procs, sc.errmsg = nil, nil, nil, ""
+	sc.sess, sc.release, sc.procs, sc.bprocs, sc.errmsg = nil, nil, nil, nil, ""
 	c.s.quarantines.Add(1)
 	c.cw.frameDeferred(&frame{kind: fError, ch: ch, id: 0, name: ErrCreditOverrun.Error()})
 }
@@ -499,7 +555,9 @@ func (c *serverConn) handleFrame(f *frame) bool {
 		// A quarantined channel is a black hole: every frame —
 		// including CLOSE, so the entry survives as a tombstone and
 		// the channel id cannot be resurrected fresh — is dropped
-		// without reply or credit.
+		// without reply or credit. A dropped bytes payload still goes
+		// back to its slab (nil for the non-bytes kinds).
+		Release(f.data)
 		return true
 	}
 	switch f.kind {
@@ -513,6 +571,7 @@ func (c *serverConn) handleFrame(f *frame) bool {
 		s.mu.Lock()
 		h := s.handlers[f.name]
 		procs := s.procs[f.name]
+		bprocs := s.bprocs[f.name]
 		s.mu.Unlock()
 		if h == nil {
 			c.poison(sc, f.ch, fmt.Sprintf("unknown handler %q", f.name))
@@ -523,7 +582,7 @@ func (c *serverConn) handleFrame(f *frame) bool {
 			c.poison(sc, f.ch, err.Error())
 			return true
 		}
-		sc.sess, sc.release, sc.procs = sess, release, procs
+		sc.sess, sc.release, sc.procs, sc.bprocs = sess, release, procs, bprocs
 
 	case fEnd:
 		if sc == nil || !sc.open() {
@@ -532,7 +591,7 @@ func (c *serverConn) handleFrame(f *frame) bool {
 		if sc.release != nil {
 			sc.release()
 		}
-		sc.sess, sc.release, sc.procs, sc.errmsg = nil, nil, nil, ""
+		sc.sess, sc.release, sc.procs, sc.bprocs, sc.errmsg = nil, nil, nil, nil, ""
 
 	case fClose:
 		// Channel retired, possibly mid-block: END the block so the
@@ -606,6 +665,80 @@ func (c *serverConn) handleFrame(f *frame) bool {
 				} else {
 					c.reply(ch, id, v.(int64), nil)
 				}
+				c.credit(lsc, ch)
+			})
+
+	case fCallB:
+		if sc == nil || !sc.open() {
+			Release(f.data)
+			return false // CALLB outside a block
+		}
+		s.bytesIn.Add(uint64(len(f.data)))
+		if !c.admit(sc) {
+			Release(f.data)
+			c.quarantine(sc, f.ch) // client overran its credit window
+			return true
+		}
+		if sc.errmsg != "" {
+			Release(f.data)
+			c.credit(sc, f.ch) // dropped, like a local poisoned session
+			return true
+		}
+		bproc, ok := sc.bprocs[f.name]
+		if !ok {
+			Release(f.data)
+			c.poison(sc, f.ch, fmt.Sprintf("unknown bytes procedure %q", f.name))
+			c.credit(sc, f.ch)
+			return true
+		}
+		// Zero-copy handoff: the payload is a slab sub-slice with its
+		// own reference, so it stays valid after the reader decodes the
+		// next frame; the proc borrows it and the completion releases.
+		payload, ch, lsc := f.data, f.ch, sc
+		sc.sess.Call(func() {
+			bproc(payload)
+			Release(payload)
+			c.credit(lsc, ch)
+		})
+
+	case fQueryB:
+		if sc == nil || !sc.open() {
+			Release(f.data)
+			return false // QUERYB outside a block
+		}
+		s.bytesIn.Add(uint64(len(f.data)))
+		if !c.admit(sc) {
+			Release(f.data)
+			c.quarantine(sc, f.ch) // client overran its credit window
+			return true
+		}
+		if sc.errmsg != "" {
+			Release(f.data)
+			c.reply(f.ch, f.id, 0, fmt.Errorf("%s", sc.errmsg))
+			c.credit(sc, f.ch)
+			return true
+		}
+		bproc, ok := sc.bprocs[f.name]
+		if !ok {
+			Release(f.data)
+			c.reply(f.ch, f.id, 0, fmt.Errorf("unknown bytes procedure %q", f.name))
+			c.credit(sc, f.ch)
+			return true
+		}
+		// Same non-blocking future path as QUERY, with one ordering
+		// constraint on top: the reply is encoded (or parked as a deep
+		// copy) BEFORE the request payload is released, because the
+		// proc's return may alias the request (an echo, a sub-slice).
+		ch, id, payload, lsc := f.ch, f.id, f.data, sc
+		sc.sess.CallFuture(func() any { return bproc(payload) }).
+			OnComplete(func(v any, err error) {
+				if err != nil {
+					c.reply(ch, id, 0, err)
+				} else {
+					out, _ := v.([]byte)
+					c.replyBytes(ch, id, out)
+				}
+				Release(payload)
 				c.credit(lsc, ch)
 			})
 

@@ -27,6 +27,7 @@ type writerStats struct {
 	Dropped uint64 // frames accepted but never delivered (write failure or kill)
 	Stalls  uint64 // blocking producers parked at the byte budget
 	Parked  uint64 // frames deferred past the budget (total)
+	Bytes   uint64 // payload bytes of bytes-kind frames encoded onto batches
 
 	MaxBatchBytes   uint64 // peak pending-batch size
 	MaxParkedFrames uint64 // peak length of the parked queue
@@ -40,6 +41,7 @@ func (s *writerStats) fold(o writerStats) {
 	s.Dropped += o.Dropped
 	s.Stalls += o.Stalls
 	s.Parked += o.Parked
+	s.Bytes += o.Bytes
 	if o.MaxBatchBytes > s.MaxBatchBytes {
 		s.MaxBatchBytes = o.MaxBatchBytes
 	}
@@ -187,6 +189,7 @@ func (cw *connWriter) appendLocked(f *frame) (wasEmpty bool) {
 	cw.buf = appendFrame(cw.buf, f)
 	cw.bufN++
 	cw.st.Frames++
+	cw.st.Bytes += uint64(len(f.data)) // nonzero only for bytes-kind frames
 	if n := uint64(len(cw.buf)); n > cw.st.MaxBatchBytes {
 		cw.st.MaxBatchBytes = n
 	}
@@ -285,10 +288,13 @@ func (cw *connWriter) frameDeferred(f *frame) (ok bool, parkedSeq uint64) {
 		return true, 0
 	}
 	// Park a copy that owns its fields: the caller may reuse f (and
-	// its args) the moment we return.
+	// its args) — or Release f's slab payload — the moment we return.
 	pf := *f
 	if len(f.args) > 0 {
 		pf.args = append([]int64(nil), f.args...)
+	}
+	if len(f.data) > 0 {
+		pf.data = append([]byte(nil), f.data...)
 	}
 	q := cw.parked[f.ch]
 	if q == nil {
