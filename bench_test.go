@@ -372,8 +372,8 @@ B3:
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			c.Separate(h, func(s *core.Session) {
-				env.Handlers = map[string]interp.HandlerBinding{
-					"h": {Session: s, Methods: map[string]func([]int64) int64{
+				env.Handlers = map[string]interp.SessionOps{
+					"h": interp.HandlerBinding{Session: s, Methods: map[string]func([]int64) int64{
 						"get": func(a []int64) int64 { return data[a[0]] },
 					}},
 				}

@@ -12,7 +12,8 @@
 //	            generated from it): the paper's tables and figures
 //	            (table1..5, fig16..20), the repo's scheduler and
 //	            transport studies (eve, executor, steal, futures,
-//	            remote, flow, chaos, bank), the Cowichan suite on the
+//	            remote, flow, chaos, bank), the compiler-integration
+//	            experiment (compile), the Cowichan suite on the
 //	            unified scheduler (cowichan), and the roll-up
 //	            (summary).
 //	-json path  also write machine-readable results (experiment,
@@ -66,7 +67,7 @@ var experimentOrder = []string{
 	"table1", "fig16", "table2", "fig17", "table3",
 	"fig18", "fig19", "table4", "table5", "fig20",
 	"eve", "executor", "steal", "futures", "remote", "flow", "chaos",
-	"bank", "cowichan", "obs", "summary",
+	"bank", "compile", "cowichan", "obs", "summary",
 }
 
 // experimentTable binds each name to its Options method.
@@ -85,6 +86,7 @@ func experimentTable(o harness.Options) map[string]func() {
 		"flow":     o.Flow,
 		"chaos":    o.Chaos,
 		"bank":     o.Bank,
+		"compile":  o.Compile,
 		"cowichan": o.Cowichan,
 		"obs":      o.Obs,
 		"summary":  o.Summary,

@@ -4,16 +4,19 @@
 //
 // Usage:
 //
-//	syncopt [-report] file.ir
+//	syncopt [-report] [-stats] file.ir
 //	syncopt -example fig14|fig15|fig15noalias
 //
 // The -example flag prints one of the paper's worked examples (Figs.
-// 14/15) before and after the pass.
+// 14/15) before and after the pass. The -stats flag appends a compact
+// per-function summary: how many syncs were eliminated, which, and the
+// per-block sync-sets the decision was based on.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"scoopqs/internal/compiler/ir"
@@ -86,9 +89,21 @@ B3:
 `
 
 func main() {
-	report := flag.Bool("report", false, "print removed syncs and per-block sync-sets")
-	example := flag.String("example", "", "print a built-in example: fig14, fig15, fig15noalias")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "syncopt: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run is the command body, separated from main for testability.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("syncopt", flag.ContinueOnError)
+	report := fs.Bool("report", false, "print removed syncs and per-block sync-sets")
+	stats := fs.Bool("stats", false, "print per-function elimination counts and per-block sync-sets")
+	example := fs.String("example", "", "print a built-in example: fig14, fig15, fig15noalias")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	var src string
 	switch {
@@ -101,39 +116,54 @@ func main() {
 		case "fig15noalias":
 			src = fig15NoAliasSrc
 		default:
-			fatalf("unknown example %q", *example)
+			return fmt.Errorf("unknown example %q", *example)
 		}
-	case flag.NArg() == 1:
-		data, err := os.ReadFile(flag.Arg(0))
+	case fs.NArg() == 1:
+		data, err := os.ReadFile(fs.Arg(0))
 		if err != nil {
-			fatalf("%v", err)
+			return err
 		}
 		src = string(data)
 	default:
-		fatalf("usage: syncopt [-report] file.ir | syncopt -example fig14")
+		return fmt.Errorf("usage: syncopt [-report] [-stats] file.ir | syncopt -example fig14")
 	}
 
 	f, err := ir.Parse(src)
 	if err != nil {
-		fatalf("%v", err)
+		return err
 	}
 	res, err := passes.Coalesce(f)
 	if err != nil {
-		fatalf("%v", err)
+		return err
 	}
-	fmt.Println("; --- before ---")
-	fmt.Print(f.String())
-	fmt.Println("; --- after sync-coalescing ---")
-	fmt.Print(res.Func.String())
-	fmt.Printf("; removed %d of %d sync instruction(s)\n",
+	fmt.Fprintln(out, "; --- before ---")
+	fmt.Fprint(out, f.String())
+	fmt.Fprintln(out, "; --- after sync-coalescing ---")
+	fmt.Fprint(out, res.Func.String())
+	fmt.Fprintf(out, "; removed %d of %d sync instruction(s)\n",
 		len(res.Removed), passes.CountSyncs(f))
 	if *report {
-		fmt.Println("; --- report ---")
-		fmt.Print("; " + res.String())
+		fmt.Fprintln(out, "; --- report ---")
+		fmt.Fprint(out, "; "+res.String())
 	}
+	if *stats {
+		printStats(out, f, res)
+	}
+	return nil
 }
 
-func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "syncopt: "+format+"\n", args...)
-	os.Exit(1)
+// printStats renders the -stats summary: the per-function elimination
+// count and the per-block sync-sets (VarSet renders sorted, so the
+// output is stable for golden tests).
+func printStats(out io.Writer, f *ir.Func, res *passes.Result) {
+	total := passes.CountSyncs(f)
+	fmt.Fprintln(out, "; --- stats ---")
+	fmt.Fprintf(out, "; func %s: syncs=%d eliminated=%d remaining=%d\n",
+		f.Name, total, len(res.Removed), total-len(res.Removed))
+	for _, rm := range res.Removed {
+		fmt.Fprintf(out, ";   eliminated %s[%d]: sync %s\n", rm.Block, rm.Index, rm.Handler)
+	}
+	for _, b := range res.Func.Blocks {
+		fmt.Fprintf(out, ";   syncset %s: in=%s out=%s\n", b.Name, res.Sets.In[b], res.Sets.Out[b])
+	}
 }

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The -stats output is part of the tool's contract (CI and docs quote
+// it); the golden file pins it. Regenerate with:
+//
+//	go run ./cmd/syncopt -stats -example fig14 > cmd/syncopt/testdata/fig14_stats.golden
+func TestStatsGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-stats", "-example", "fig14"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "fig14_stats.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != string(want) {
+		t.Errorf("-stats output drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestExamplesRun(t *testing.T) {
+	for _, ex := range []string{"fig14", "fig15", "fig15noalias"} {
+		t.Run(ex, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := run([]string{"-report", "-stats", "-example", ex}, &buf); err != nil {
+				t.Fatal(err)
+			}
+			for _, want := range []string{"; --- before ---", "; --- after sync-coalescing ---", "; --- report ---", "; --- stats ---"} {
+				if !strings.Contains(buf.String(), want) {
+					t.Errorf("output missing %q", want)
+				}
+			}
+		})
+	}
+	// fig15 without aliasing info must keep every sync; with it, the
+	// stats line must show the two eliminations.
+	var buf bytes.Buffer
+	if err := run([]string{"-stats", "-example", "fig15"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "syncs=3 eliminated=0 remaining=3") {
+		t.Errorf("fig15 stats line wrong:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := run([]string{"-stats", "-example", "fig15noalias"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "syncs=3 eliminated=2 remaining=1") {
+		t.Errorf("fig15noalias stats line wrong:\n%s", buf.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-example", "nope"}, &buf); err == nil {
+		t.Error("unknown example did not error")
+	}
+	if err := run([]string{}, &buf); err == nil {
+		t.Error("missing input did not error")
+	}
+	if err := run([]string{"does-not-exist.ir"}, &buf); err == nil {
+		t.Error("missing file did not error")
+	}
+}
+
+func TestRunFromFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "in.ir")
+	src := "func f() handlers(h) arrays() {\nentry:\n  sync h\n  sync h\n  ret\n}\n"
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-stats", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "syncs=2 eliminated=1 remaining=1") {
+		t.Errorf("file input stats wrong:\n%s", buf.String())
+	}
+}

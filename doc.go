@@ -138,6 +138,19 @@
 // see the README's "Observability" section for the event kinds and
 // histogram semantics.
 //
+// The compiler stack (internal/compiler) closes the loop to the
+// paper's static side: its interpreter executes IR programs against a
+// narrow SessionOps interface satisfied by both local sessions
+// (dedicated or pooled) and remote sessions over the mux transport,
+// so the §3.4.2 sync-coalescing pass is measured where it matters —
+// on the wire, every statically eliminated sync is an eliminated
+// round-trip (the Fig. 14 copy loop drops from 2N+2 to N+1), and a
+// local query against an unsynced session panics on every backend,
+// catching unsound elision at execution time. `go run ./cmd/qsbench
+// -experiment compile` asserts exact outcome equality across all
+// backends and the round-trip reduction; see the README's "Compiler &
+// sync elimination" section.
+//
 // # Quick start
 //
 //	rt := scoopqs.New(scoopqs.ConfigAll)

@@ -1,0 +1,74 @@
+package interp
+
+import (
+	"testing"
+
+	"scoopqs/internal/compiler/passes"
+	"scoopqs/internal/core"
+)
+
+// corpusRemovals pins how many sync instructions the static pass
+// eliminates from each corpus program — the paper's §3.4.2 examples:
+// the Fig. 14 loop loses its body and exit syncs, Fig. 15 loses none
+// without aliasing information and both with it, and the diamond loses
+// only the dominated sync on the "low" path.
+var corpusRemovals = map[string]int{
+	"fig1":         0,
+	"querysync":    0,
+	"diamond":      1,
+	"copyloop":     2,
+	"fig15":        0,
+	"fig15noalias": 2,
+}
+
+func TestCorpusParsesAndCoalesces(t *testing.T) {
+	progs := Corpus()
+	if len(progs) != len(corpusRemovals) {
+		t.Fatalf("corpus has %d programs, removal table has %d", len(progs), len(corpusRemovals))
+	}
+	for _, p := range progs {
+		t.Run(p.Name, func(t *testing.T) {
+			f, err := p.Parse()
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			res, err := passes.Coalesce(f)
+			if err != nil {
+				t.Fatalf("coalesce: %v", err)
+			}
+			want, ok := corpusRemovals[p.Name]
+			if !ok {
+				t.Fatalf("program %q missing from removal table", p.Name)
+			}
+			if got := len(res.Removed); got != want {
+				t.Errorf("removed %d syncs, want %d", got, want)
+			}
+		})
+	}
+}
+
+// Two runs of the same program on the same backend must agree exactly:
+// the corpus models are deterministic by construction.
+func TestCorpusDeterministic(t *testing.T) {
+	for _, p := range Corpus() {
+		t.Run(p.Name, func(t *testing.T) {
+			f, err := p.Parse()
+			if err != nil {
+				t.Fatal(err)
+			}
+			run := func() Outcome {
+				rt := core.New(core.ConfigStatic)
+				defer rt.Shutdown()
+				out, _, err := p.RunLocal(rt, f)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return out
+			}
+			a, b := run(), run()
+			if !a.Equal(b) {
+				t.Errorf("non-deterministic outcome:\n  %s\n  %s", a, b)
+			}
+		})
+	}
+}

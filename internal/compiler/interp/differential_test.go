@@ -1,0 +1,65 @@
+package interp
+
+import (
+	"fmt"
+	"testing"
+
+	"scoopqs/internal/compiler/passes"
+	"scoopqs/internal/core"
+)
+
+// The differential regression test for the static sync-coalescing
+// pass: every corpus program must produce the identical observable
+// outcome — return value, client arrays, and final handler state
+// fingerprints — naive and syncset-optimized, on the pooled runtime.
+// The pass may only delete synchronization the program never needed;
+// any reordering it enables shows up here (and, under -race, as a data
+// race caught by the detector).
+func TestDifferentialNaiveVsOptimized(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		cfg := core.ConfigStatic.WithWorkers(workers)
+		for _, p := range Corpus() {
+			p := p
+			t.Run(fmt.Sprintf("%s/workers%d", p.Name, workers), func(t *testing.T) {
+				naiveF, err := p.Parse()
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := passes.Coalesce(naiveF)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				rtN := core.New(cfg)
+				naive, naiveC, err := p.RunLocal(rtN, naiveF)
+				rtN.Shutdown()
+				if err != nil {
+					t.Fatalf("naive: %v", err)
+				}
+
+				rtO := core.New(cfg)
+				opt, optC, err := p.RunLocal(rtO, res.Func)
+				rtO.Shutdown()
+				if err != nil {
+					t.Fatalf("optimized: %v", err)
+				}
+
+				if !naive.Equal(opt) {
+					t.Errorf("outcome diverged (workers=%d):\n  naive: %s\n  opt:   %s", workers, naive, opt)
+				}
+				// The optimization's whole effect is fewer executed
+				// syncs; everything else must be untouched.
+				if optC.SyncsExecuted > naiveC.SyncsExecuted {
+					t.Errorf("optimized executed more syncs (%d) than naive (%d)", optC.SyncsExecuted, naiveC.SyncsExecuted)
+				}
+				if len(res.Removed) > 0 && optC.SyncsExecuted >= naiveC.SyncsExecuted {
+					t.Errorf("pass removed %d syncs but SyncsExecuted did not drop (%d vs %d)",
+						len(res.Removed), optC.SyncsExecuted, naiveC.SyncsExecuted)
+				}
+				if optC.AsyncCalls != naiveC.AsyncCalls || optC.LocalQueries != naiveC.LocalQueries {
+					t.Errorf("non-sync counters diverged: naive=%+v opt=%+v", naiveC, optC)
+				}
+			})
+		}
+	}
+}

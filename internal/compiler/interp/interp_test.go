@@ -55,8 +55,8 @@ func runCopyLoop(t *testing.T, f *ir.Func, cfg core.Config, n int) ([]int64, cor
 		ret, err = Run(f, &Env{
 			Ints:   map[string]int64{"n": int64(n)},
 			Arrays: map[string][]int64{"x": out},
-			Handlers: map[string]HandlerBinding{
-				"h": {Session: s, Methods: map[string]func([]int64) int64{
+			Handlers: map[string]SessionOps{
+				"h": HandlerBinding{Session: s, Methods: map[string]func([]int64) int64{
 					"get": func(a []int64) int64 { return data[a[0]] },
 				}},
 			},
@@ -149,8 +149,8 @@ entry:
 			}
 		}()
 		Run(f, &Env{ //nolint:errcheck // panics before returning
-			Handlers: map[string]HandlerBinding{
-				"h": {Session: s, Methods: map[string]func([]int64) int64{
+			Handlers: map[string]SessionOps{
+				"h": HandlerBinding{Session: s, Methods: map[string]func([]int64) int64{
 					"get": func([]int64) int64 { return 0 },
 				}},
 			},
@@ -181,8 +181,8 @@ entry:
 	c.Separate(h, func(s *core.Session) {
 		got, err = Run(f, &Env{
 			Ints: map[string]int64{"n": 21},
-			Handlers: map[string]HandlerBinding{
-				"h": {Session: s, Methods: map[string]func([]int64) int64{
+			Handlers: map[string]SessionOps{
+				"h": HandlerBinding{Session: s, Methods: map[string]func([]int64) int64{
 					"add": func(a []int64) int64 { acc += a[0]; return 0 },
 					"get": func([]int64) int64 { return acc },
 				}},

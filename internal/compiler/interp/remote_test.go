@@ -1,0 +1,144 @@
+package interp
+
+import (
+	"net"
+	"testing"
+
+	"scoopqs/internal/compiler/passes"
+	"scoopqs/internal/core"
+	"scoopqs/internal/remote"
+)
+
+// serveProgram brings up a fresh server exposing p's handler variables
+// (each with fresh model state) and returns a connected mux.
+func serveProgram(t *testing.T, p Program, hvs []string) (*remote.Mux, func()) {
+	t.Helper()
+	rt := core.New(core.ConfigAll)
+	srv := remote.NewServer(rt)
+	for _, hv := range hvs {
+		h := rt.NewHandler(p.RemoteHandlerName(hv))
+		srv.Expose(p.RemoteHandlerName(hv), h, remoteProcs(NewModel()))
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		rt.Shutdown()
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	mux, err := remote.DialMux("tcp", ln.Addr().String())
+	if err != nil {
+		srv.Close()
+		rt.Shutdown()
+		t.Fatal(err)
+	}
+	return mux, func() {
+		mux.Close()
+		srv.Close()
+		rt.Shutdown()
+	}
+}
+
+// remoteProcs adapts a model's method table to remote.Procs (the
+// shapes are identical; the conversion is nominal).
+func remoteProcs(m map[string]func([]int64) int64) map[string]remote.Proc {
+	out := make(map[string]remote.Proc, len(m))
+	for k, fn := range m {
+		out[k] = remote.Proc(fn)
+	}
+	return out
+}
+
+// runRemoteOnce serves p fresh, runs f over the wire, and tears down.
+func runRemoteOnce(t *testing.T, p Program, hvs []string, run func(*remote.Mux) (Outcome, Counters, error)) (Outcome, Counters) {
+	t.Helper()
+	mux, done := serveProgram(t, p, hvs)
+	defer done()
+	out, ctrs, err := run(mux)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out, ctrs
+}
+
+// Every corpus program must produce the identical outcome over the mux
+// transport as on the local dedicated runtime, naive and optimized —
+// and the optimized variant must never pay more round-trips.
+func TestCorpusRemoteMatchesLocal(t *testing.T) {
+	for _, p := range Corpus() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			naiveF, err := p.Parse()
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := passes.Coalesce(naiveF)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			rt := core.New(core.ConfigStatic)
+			local, _, err := p.RunLocal(rt, naiveF)
+			rt.Shutdown()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			rNaive, cNaive := runRemoteOnce(t, p, naiveF.Handlers, func(m *remote.Mux) (Outcome, Counters, error) {
+				return p.RunRemote(m, naiveF)
+			})
+			rOpt, cOpt := runRemoteOnce(t, p, res.Func.Handlers, func(m *remote.Mux) (Outcome, Counters, error) {
+				return p.RunRemote(m, res.Func)
+			})
+
+			if !local.Equal(rNaive) {
+				t.Errorf("remote naive diverged from local:\n  local:  %s\n  remote: %s", local, rNaive)
+			}
+			if !local.Equal(rOpt) {
+				t.Errorf("remote optimized diverged from local:\n  local:  %s\n  remote: %s", local, rOpt)
+			}
+			if cOpt.RoundTrips > cNaive.RoundTrips {
+				t.Errorf("optimized paid more round-trips (%d) than naive (%d)", cOpt.RoundTrips, cNaive.RoundTrips)
+			}
+		})
+	}
+}
+
+// The Fig. 14 acceptance check in miniature: statically coalescing the
+// copy loop deletes exactly one wire round-trip per iteration plus the
+// exit sync — N+1 in total.
+func TestCopyLoopRemoteRoundTripReduction(t *testing.T) {
+	var p Program
+	for _, q := range Corpus() {
+		if q.Name == "copyloop" {
+			p = q
+		}
+	}
+	naiveF, err := p.Parse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := passes.Coalesce(naiveF)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, cNaive := runRemoteOnce(t, p, naiveF.Handlers, func(m *remote.Mux) (Outcome, Counters, error) {
+		return p.RunRemote(m, naiveF)
+	})
+	_, cOpt := runRemoteOnce(t, p, res.Func.Handlers, func(m *remote.Mux) (Outcome, Counters, error) {
+		return p.RunRemote(m, res.Func)
+	})
+
+	// Naive: one sync per iteration plus header and exit syncs (N+2)
+	// and one qlocal read per iteration (N) -> 2N+2 round-trips.
+	// Optimized: the single remaining sync plus the N reads -> N+1.
+	if want := 2*p.N + 2; cNaive.RoundTrips != want {
+		t.Errorf("naive RoundTrips = %d, want %d", cNaive.RoundTrips, want)
+	}
+	if want := p.N + 1; cOpt.RoundTrips != want {
+		t.Errorf("optimized RoundTrips = %d, want %d", cOpt.RoundTrips, want)
+	}
+	if got, want := cNaive.RoundTrips-cOpt.RoundTrips, p.N+1; got != want {
+		t.Errorf("round-trip reduction = %d, want %d", got, want)
+	}
+}

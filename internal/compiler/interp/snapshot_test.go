@@ -31,8 +31,8 @@ entry:
 	var err error
 	c.Separate(h, func(s *core.Session) {
 		got, err = Run(f, &Env{
-			Handlers: map[string]HandlerBinding{
-				"h": {Session: s, Methods: map[string]func([]int64) int64{
+			Handlers: map[string]SessionOps{
+				"h": HandlerBinding{Session: s, Methods: map[string]func([]int64) int64{
 					"put": func(a []int64) int64 { sum += a[0]; return 0 },
 					"sum": func([]int64) int64 { return sum },
 				}},
@@ -72,7 +72,7 @@ entry:
 			"put": func(a []int64) int64 { sum += a[0]; return 0 },
 			"sum": func([]int64) int64 { return sum },
 		}}
-		got, err = Run(f, &Env{Handlers: map[string]HandlerBinding{"g": bind, "h": bind}})
+		got, err = Run(f, &Env{Handlers: map[string]SessionOps{"g": bind, "h": bind}})
 	})
 	if err != nil {
 		t.Fatal(err)

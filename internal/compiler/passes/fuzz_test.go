@@ -92,7 +92,7 @@ func execute(t *testing.T, f *ir.Func, seed int64) (int64, int64) {
 			}
 		}
 		_, err = interp.Run(f, &interp.Env{
-			Handlers: map[string]interp.HandlerBinding{
+			Handlers: map[string]interp.SessionOps{
 				"g": bind(ss[0], &cg),
 				"h": bind(ss[1], &ch),
 			},

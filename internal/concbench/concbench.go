@@ -58,6 +58,25 @@ var Names = []string{"chameneos", "condition", "mutex", "prodcons", "threadring"
 // Langs lists the compared paradigms in the paper's presentation order.
 var Langs = []string{"cxx", "erlang", "go", "haskell", "Qs"}
 
+// GuardNames lists the guard-heavy workloads built on SeparateWhen —
+// the bounded buffer and the Santa Claus problem. They are Qs-only
+// (no cross-paradigm variants), so they live outside Names and the
+// all-langs sweeps; RunGuard executes them.
+var GuardNames = []string{"boundedbuf", "santa"}
+
+// RunGuard executes one guard-heavy Qs workload under cfg, returning
+// the workload runtime's final stats snapshot (guard retries, await
+// parks) alongside the self-check result.
+func RunGuard(bench string, cfg core.Config, p Params) (core.Stats, error) {
+	switch bench {
+	case "boundedbuf":
+		return BoundedBufQs(cfg, p)
+	case "santa":
+		return SantaQs(cfg, p)
+	}
+	return core.Stats{}, fmt.Errorf("concbench: unknown guard workload %q", bench)
+}
+
 // Run executes one benchmark under one paradigm. cfg is only used by
 // the "Qs" paradigm. It returns an error for unknown names or if the
 // benchmark's self-check fails.

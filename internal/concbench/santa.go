@@ -1,0 +1,151 @@
+package concbench
+
+import (
+	"fmt"
+	"sync"
+
+	"scoopqs/internal/core"
+)
+
+// The Santa Claus problem (Trono 1994), the classic multi-party guard
+// workload: nine reindeer and three elves coordinate through Santa,
+// who wakes when all nine reindeer are back (priority) or three elves
+// have a problem. Here every piece of shared state lives on a single
+// "north pole" handler and all waiting is expressed as SCOOP wait
+// conditions, so the benchmark measures SeparateWhen with competing
+// guards of different shapes on one handler.
+//
+// The protocol is deterministic by construction: reindeer fly in
+// lockstep rounds (all nine must be back before a delivery, and each
+// waits for the delivery before returning), and the three elves
+// consult in groups of exactly three, so a run performs exactly
+// santaTrips(p) deliveries and the same number of consults.
+
+const (
+	santaReindeer = 9
+	santaElves    = 3
+)
+
+// santaTrips scales the round count from Params the way the other
+// benchmarks scale from p.M.
+func santaTrips(p Params) int {
+	if t := p.M / 50; t > 1 {
+		return t
+	}
+	return 1
+}
+
+// SantaQs runs the Santa Claus workload on the SCOOP/Qs runtime. It
+// returns the runtime's final stats snapshot so callers can report
+// guard-retry counts alongside the timing.
+func SantaQs(cfg core.Config, p Params) (core.Stats, error) {
+	rt := core.New(cfg)
+	defer rt.Shutdown()
+	pole := rt.NewHandler("pole")
+	trips := santaTrips(p)
+
+	// All owned by pole.
+	var (
+		waitingR       int64 // reindeer back from vacation, not yet flown
+		deliveries     int64 // completed sleigh rounds
+		elfWaiting     int64 // elves queued at the door
+		elfTickets     int64 // total elf arrivals ever (ticket numbers)
+		elvesConsulted int64 // arrivals Santa has dealt with
+		consults       int64 // completed 3-elf consults
+	)
+
+	hs := []*core.Handler{pole}
+	var wg sync.WaitGroup
+
+	reindeer := func() {
+		defer wg.Done()
+		c := rt.NewClient()
+		for t := 0; t < trips; t++ {
+			c.Separate(pole, func(s *core.Session) {
+				s.Call(func() { waitingR++ })
+			})
+			want := int64(t + 1)
+			c.SeparateWhen(hs,
+				func(ss []*core.Session) bool {
+					return core.Query(ss[0], func() bool { return deliveries >= want })
+				},
+				func([]*core.Session) {})
+		}
+	}
+
+	elf := func() {
+		defer wg.Done()
+		c := rt.NewClient()
+		for t := 0; t < trips; t++ {
+			var ticket int64
+			c.Separate(pole, func(s *core.Session) {
+				ticket = core.Query(s, func() int64 {
+					elfWaiting++
+					elfTickets++
+					return elfTickets
+				})
+			})
+			c.SeparateWhen(hs,
+				func(ss []*core.Session) bool {
+					return core.Query(ss[0], func() bool { return elvesConsulted >= ticket })
+				},
+				func([]*core.Session) {})
+		}
+	}
+
+	santa := func() {
+		defer wg.Done()
+		c := rt.NewClient()
+		for r := 0; r < 2*trips; r++ {
+			c.SeparateWhen(hs,
+				func(ss []*core.Session) bool {
+					return core.Query(ss[0], func() bool {
+						return waitingR == santaReindeer || elfWaiting >= santaElves
+					})
+				},
+				func(ss []*core.Session) {
+					ss[0].Call(func() {
+						// Reindeer have priority over elves.
+						if waitingR == santaReindeer {
+							waitingR = 0
+							deliveries++
+						} else {
+							elfWaiting -= santaElves
+							elvesConsulted += santaElves
+							consults++
+						}
+					})
+				})
+		}
+	}
+
+	wg.Add(santaReindeer + santaElves + 1)
+	for i := 0; i < santaReindeer; i++ {
+		go reindeer()
+	}
+	for i := 0; i < santaElves; i++ {
+		go elf()
+	}
+	go santa()
+	wg.Wait()
+
+	var d, co, w, e int64
+	c := rt.NewClient()
+	c.Separate(pole, func(s *core.Session) {
+		d, co, w, e = core.QueryRemote(s, func() int64 { return deliveries }),
+			core.QueryRemote(s, func() int64 { return consults }),
+			core.QueryRemote(s, func() int64 { return waitingR }),
+			core.QueryRemote(s, func() int64 { return elfWaiting })
+	})
+	st := rt.Stats()
+	if err := checkCount("santa/Qs deliveries", d, int64(trips)); err != nil {
+		return st, err
+	}
+	if err := checkCount("santa/Qs consults", co, int64(trips)); err != nil {
+		return st, err
+	}
+	if w != 0 || e != 0 {
+		return st, fmt.Errorf("concbench: santa/Qs left %d reindeer and %d elves waiting", w, e)
+	}
+	return st, nil
+}

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"scoopqs/internal/future"
+	"scoopqs/internal/obs"
 	"scoopqs/internal/queue"
 	"scoopqs/internal/sched"
 )
@@ -335,10 +336,20 @@ func (c *Client) SeparateWhen(hs []*Handler, guard func([]*Session) bool, body f
 		for _, s := range sessions {
 			s.h.addWaiter(c.waitCh)
 		}
+		hid := sessions[0].h.id
 		c.releaseMany(sessions)
+		var t0 int64
+		if obs.Enabled() {
+			t0 = obs.Now()
+		}
 		c.blockBegin()
 		<-c.waitCh
 		c.blockEnd()
+		if t0 != 0 {
+			d := obs.Now() - t0
+			guardWaitHist.Observe(d)
+			obs.Emit(obs.KindGuardWait, uint64(hid), d)
+		}
 		for _, s := range sessions {
 			s.h.removeWaiter(c.waitCh)
 		}

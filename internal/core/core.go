@@ -143,6 +143,7 @@ type Stats struct {
 	LocalQueries   int64 // client-side query executions
 	SyncsPerformed int64 // sync round-trips that reached the handler
 	SyncsElided    int64 // syncs skipped by dynamic coalescing
+	SyncsExecuted  int64 // sync barriers issued in total: parking round-trips (SyncNow) plus non-blocking SyncFuture barriers (the remote SYNC path)
 	Reservations   int64 // single-handler separate blocks entered
 	MultiResGroups int64 // multi-handler separate blocks entered
 	GuardRetries   int64 // wait-condition re-evaluations that failed
@@ -178,6 +179,7 @@ type statsCounters struct {
 	localQueries   atomic.Int64
 	syncsPerformed atomic.Int64
 	syncsElided    atomic.Int64
+	syncsExecuted  atomic.Int64
 	reservations   atomic.Int64
 	multiResGroups atomic.Int64
 	guardRetries   atomic.Int64
@@ -197,6 +199,7 @@ func (s *statsCounters) snapshot() Stats {
 		LocalQueries:   s.localQueries.Load(),
 		SyncsPerformed: s.syncsPerformed.Load(),
 		SyncsElided:    s.syncsElided.Load(),
+		SyncsExecuted:  s.syncsExecuted.Load(),
 		Reservations:   s.reservations.Load(),
 		MultiResGroups: s.multiResGroups.Load(),
 		GuardRetries:   s.guardRetries.Load(),

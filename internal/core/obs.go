@@ -21,6 +21,9 @@ var (
 	// awaitHist is how long a handler sits parked on an unresolved
 	// future (Handler.Await), pooled and dedicated mode alike.
 	awaitHist = obs.Default().Hist("core.await_park_ns")
+	// guardWaitHist is how long a SeparateWhen client sits parked after
+	// a failed guard before a state change triggers re-evaluation.
+	guardWaitHist = obs.Default().Hist("core.guard_wait_ns")
 )
 
 // emitOn records an event on w's ring when the caller runs on a pool

@@ -106,6 +106,9 @@ func (s *Session) Sync() {
 	rt := s.h.rt
 	if rt.cfg.DynElide && s.synced {
 		rt.stats.syncsElided.Add(1)
+		if obs.Enabled() {
+			obs.Emit(obs.KindSyncElide, uint64(s.h.id), 0)
+		}
 		return
 	}
 	s.SyncNow()
@@ -117,6 +120,7 @@ func (s *Session) Sync() {
 func (s *Session) SyncNow() {
 	rt := s.h.rt
 	rt.stats.syncsPerformed.Add(1)
+	rt.stats.syncsExecuted.Add(1)
 	var t0 int64
 	if obs.Enabled() {
 		t0 = obs.Now()
@@ -214,6 +218,7 @@ func (s *Session) CallFuture(qfn func() any) *future.Future {
 // session is not marked synced; a handler-side panic before the barrier
 // fails the future with the session's *HandlerError.
 func (s *Session) SyncFuture() *future.Future {
+	s.h.rt.stats.syncsExecuted.Add(1)
 	return s.CallFuture(func() any { return nil })
 }
 

@@ -60,6 +60,12 @@ func TestStatsSnapshotDuringStorm(t *testing.T) {
 						for j := 0; j < calls; j++ {
 							s.Call(func() { sums[i]++ })
 						}
+						// First sync performs (the calls desynchronized
+						// the session); the second is dynamically elided
+						// under ConfigAll — so the storm also exercises
+						// the sync counters and the elide event path.
+						s.Sync()
+						s.Sync()
 						futs[i] = QueryAsync(s, func() int64 { return sums[i] })
 					})
 				}
@@ -73,6 +79,14 @@ func TestStatsSnapshotDuringStorm(t *testing.T) {
 				if sums[i] != calls*rounds {
 					t.Fatalf("handler %d executed %d calls, want %d", i, sums[i], calls*rounds)
 				}
+			}
+			// Exactly one sync performed and one elided per block, and
+			// every performed sync is an executed barrier: the three
+			// counters must agree to the call, even under the storm.
+			st := rt.Stats()
+			if want := int64(width * rounds); st.SyncsPerformed != want || st.SyncsExecuted != want || st.SyncsElided != want {
+				t.Fatalf("sync counters = performed %d / executed %d / elided %d, want %d each",
+					st.SyncsPerformed, st.SyncsExecuted, st.SyncsElided, want)
 			}
 		})
 	}

@@ -1,0 +1,250 @@
+package harness
+
+import (
+	"fmt"
+	"net"
+	"strconv"
+	"time"
+
+	"scoopqs/internal/compiler/interp"
+	"scoopqs/internal/compiler/ir"
+	"scoopqs/internal/compiler/passes"
+	"scoopqs/internal/concbench"
+	"scoopqs/internal/core"
+	"scoopqs/internal/remote"
+)
+
+// The compile experiment wires the compiler stack into the runtime:
+// every corpus IR program (internal/compiler/interp.Corpus — the
+// semantics examples plus the paper's Fig. 14/15 optimization cases)
+// runs naive and syncset-optimized on three backends — dedicated
+// goroutines, the pooled executor (1 and 4 workers), and the mux
+// transport — asserting exact outcome equality everywhere and, for
+// the Fig. 14 copy loop, that static sync coalescing deletes exactly
+// N+1 wire round-trips (one per iteration plus the exit sync). Any
+// violation panics, so CI gates on the exit code. A second section
+// benchmarks the guard-heavy SeparateWhen workloads (bounded buffer,
+// Santa Claus) on the pooled executor with guard-retry counters and
+// guard-wait percentiles.
+
+// compileBackend is one execution backend of the experiment.
+type compileBackend struct {
+	name   string
+	cfg    core.Config // local backends only
+	remote bool
+}
+
+func compileBackends() []compileBackend {
+	return []compileBackend{
+		{name: "dedicated", cfg: core.ConfigStatic},
+		{name: "pooled1", cfg: core.ConfigStatic.WithWorkers(1)},
+		{name: "pooled4", cfg: core.ConfigStatic.WithWorkers(4)},
+		{name: "mux", remote: true},
+	}
+}
+
+// compileServe brings up a fresh server exposing p's handler variables
+// (fresh model state each — handler state is server-side, so servers
+// are never reused across runs) and returns a connected mux.
+func compileServe(p interp.Program, hvs []string) (*remote.Mux, func(), error) {
+	rt := core.New(core.ConfigAll)
+	srv := remote.NewServer(rt)
+	for _, hv := range hvs {
+		h := rt.NewHandler(p.RemoteHandlerName(hv))
+		procs := map[string]remote.Proc{}
+		for name, fn := range interp.NewModel() {
+			procs[name] = remote.Proc(fn)
+		}
+		srv.Expose(p.RemoteHandlerName(hv), h, procs)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		rt.Shutdown()
+		return nil, nil, err
+	}
+	go srv.Serve(ln)
+	mux, err := remote.DialMux("tcp", ln.Addr().String())
+	if err != nil {
+		srv.Close()
+		rt.Shutdown()
+		return nil, nil, err
+	}
+	return mux, func() { mux.Close(); srv.Close(); rt.Shutdown() }, nil
+}
+
+// compileRun executes one (program, variant, backend) cell and returns
+// the outcome, the interpreter counters, and the wire round-trips the
+// mux counted (0 for local backends).
+func compileRun(p interp.Program, f *ir.Func, b compileBackend) (interp.Outcome, interp.Counters, uint64) {
+	if !b.remote {
+		rt := core.New(b.cfg)
+		defer rt.Shutdown()
+		out, ctrs, err := p.RunLocal(rt, f)
+		if err != nil {
+			panic(fmt.Sprintf("harness: compile %s on %s: %v", p.Name, b.name, err))
+		}
+		return out, ctrs, 0
+	}
+	mux, shutdown, err := compileServe(p, f.Handlers)
+	if err != nil {
+		panic(fmt.Sprintf("harness: compile %s server: %v", p.Name, err))
+	}
+	defer shutdown()
+	out, ctrs, err := p.RunRemote(mux, f)
+	if err != nil {
+		panic(fmt.Sprintf("harness: compile %s on %s: %v", p.Name, b.name, err))
+	}
+	return out, ctrs, mux.Stats().RoundTrips
+}
+
+// Compile runs the compiler-integration experiment (see the package
+// comment above; README "Compiler & sync elimination").
+func (o Options) Compile() {
+	reps := o.Reps
+	if reps < 1 {
+		reps = 1
+	}
+	backends := compileBackends()
+
+	section(o.Out, "Compile: sync elimination that deletes real round-trips",
+		"Every corpus IR program, naive vs syncset-optimized (passes.Coalesce),\non dedicated goroutines, the pooled executor (1 and 4 workers), and the\nmux transport. Outcomes must agree exactly across all cells; on the\nwire, the Fig. 14 copy loop must shed exactly N+1 round-trips. syncs\nand RT columns are naive->optimized; violations panic.")
+
+	tb := newTable(o.Out)
+	tb.row("Program", "removed", "syncs(exec)", "wireRT", "dRT", "outcome")
+	for _, p := range interp.Corpus() {
+		naiveF, err := p.Parse()
+		if err != nil {
+			panic(fmt.Sprintf("harness: compile parse %s: %v", p.Name, err))
+		}
+		res, err := passes.Coalesce(naiveF)
+		if err != nil {
+			panic(fmt.Sprintf("harness: compile coalesce %s: %v", p.Name, err))
+		}
+
+		var ref interp.Outcome
+		var refSet bool
+		var naiveCtrs, optCtrs interp.Counters // dedicated backend's
+		var naiveRT, optRT int64               // mux backend's, adapter-counted
+		var naiveMuxRT, optMuxRT uint64        // mux backend's, transport-counted
+		for _, b := range backends {
+			for _, v := range []struct {
+				name string
+				f    *ir.Func
+			}{{"naive", naiveF}, {"opt", res.Func}} {
+				out, ctrs, muxRT := compileRun(p, v.f, b)
+				if !refSet {
+					ref, refSet = out, true
+				} else if !ref.Equal(out) {
+					panic(fmt.Sprintf("harness: compile OUTCOME DIVERGED: %s %s/%s:\n  ref: %s\n  got: %s",
+						p.Name, b.name, v.name, ref, out))
+				}
+				switch {
+				case b.name == "dedicated" && v.name == "naive":
+					naiveCtrs = ctrs
+				case b.name == "dedicated" && v.name == "opt":
+					optCtrs = ctrs
+				case b.remote && v.name == "naive":
+					naiveRT, naiveMuxRT = ctrs.RoundTrips, muxRT
+				case b.remote && v.name == "opt":
+					optRT, optMuxRT = ctrs.RoundTrips, muxRT
+				}
+			}
+		}
+
+		if optCtrs.SyncsExecuted > naiveCtrs.SyncsExecuted || optRT > naiveRT {
+			panic(fmt.Sprintf("harness: compile %s: optimized cost above naive (syncs %d>%d or RT %d>%d)",
+				p.Name, optCtrs.SyncsExecuted, naiveCtrs.SyncsExecuted, optRT, naiveRT))
+		}
+		if p.Name == "copyloop" {
+			// The acceptance criterion: one round-trip per iteration
+			// plus the exit sync, gone — counted by the interpreter's
+			// adapters and cross-checked against the transport's own
+			// reply-expecting frame counter (the fp bookkeeping queries
+			// cancel between the two variants).
+			if got, want := naiveRT-optRT, p.N+1; got != want {
+				panic(fmt.Sprintf("harness: compile copyloop ROUND-TRIP REDUCTION %d, want %d (naive %d, opt %d)",
+					got, want, naiveRT, optRT))
+			}
+			if got, want := naiveMuxRT-optMuxRT, uint64(p.N+1); got != want {
+				panic(fmt.Sprintf("harness: compile copyloop mux round-trip reduction %d, want %d", got, want))
+			}
+		}
+
+		tb.row(p.Name,
+			strconv.Itoa(len(res.Removed)),
+			fmt.Sprintf("%d->%d", naiveCtrs.SyncsExecuted, optCtrs.SyncsExecuted),
+			fmt.Sprintf("%d->%d", naiveRT, optRT),
+			strconv.FormatInt(naiveRT-optRT, 10),
+			"equal")
+
+		o.Rec.Add(Result{
+			Experiment: "compile",
+			Labels:     map[string]string{"program": p.Name, "kind": "corpus"},
+			Counters: map[string]int64{
+				"removed_syncs": int64(len(res.Removed)),
+				"syncs_naive":   naiveCtrs.SyncsExecuted,
+				"syncs_opt":     optCtrs.SyncsExecuted,
+				"wire_rt_naive": naiveRT,
+				"wire_rt_opt":   optRT,
+				"wire_rt_saved": naiveRT - optRT,
+				"asyncs":        naiveCtrs.AsyncCalls,
+				"local_queries": naiveCtrs.LocalQueries,
+				"mux_rt_naive":  int64(naiveMuxRT),
+				"mux_rt_opt":    int64(optMuxRT),
+			},
+		})
+	}
+	tb.flush()
+	fmt.Fprintln(o.Out, "outcome equality: PASS (all programs, all backends, both variants)")
+
+	// Guard workloads: SeparateWhen-heavy scenarios on the pooled
+	// executor, with retry counters and wait-time percentiles.
+	section(o.Out, "Guard workloads: wait conditions under pooled scheduling",
+		fmt.Sprintf("Bounded buffer (capacity 2) and the Santa Claus problem, all waiting\nexpressed as SeparateWhen guards on one handler, on the pooled executor\nat 1 and 4 workers (ConfigAll, N=%d, M=%d). Self-checks run every rep.",
+			o.Conc.N, o.Conc.M))
+	gt := newTable(o.Out)
+	gt.row("Workload", "pool", "time(s)", "retries", "parks", "p50wait(us)", "p99wait(us)")
+	for _, w := range concbench.GuardNames {
+		for _, pool := range []int{1, 4} {
+			cfg := core.ConfigAll.WithWorkers(pool)
+			var ds []time.Duration
+			var st core.Stats
+			for r := 0; r < reps; r++ {
+				ds = append(ds, o.MeasureWall(func() {
+					var err error
+					st, err = concbench.RunGuard(w, cfg, o.Conc)
+					if err != nil {
+						panic(fmt.Sprintf("harness: compile guard %s: %v", w, err))
+					}
+				}))
+			}
+			med := median(ds)
+			pct := obsPercentiles(func() {
+				if _, err := concbench.RunGuard(w, cfg, o.Conc); err != nil {
+					panic(fmt.Sprintf("harness: compile guard %s (instrumented): %v", w, err))
+				}
+			}, "core.guard_wait_ns")
+			us := func(key string) string {
+				if v, ok := pct[key]; ok {
+					return fmt.Sprintf("%.0f", v/1e3)
+				}
+				return "-"
+			}
+			gt.row(w, strconv.Itoa(pool), Seconds(med),
+				strconv.FormatInt(st.GuardRetries, 10),
+				strconv.FormatInt(st.AwaitParks, 10),
+				us("p50_guard_wait_ns"), us("p99_guard_wait_ns"))
+
+			o.Rec.Add(Result{
+				Experiment: "compile",
+				Labels:     map[string]string{"program": w, "kind": "guard", "pool": strconv.Itoa(pool)},
+				Medians:    mergeMedians(map[string]float64{"seconds": med.Seconds()}, pct),
+				Counters: map[string]int64{
+					"guard_retries": st.GuardRetries,
+					"await_parks":   st.AwaitParks,
+				},
+			})
+		}
+	}
+	gt.flush()
+}

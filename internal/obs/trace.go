@@ -29,6 +29,8 @@ const (
 	KindCall         // span: async call log→execution (arg = ns, id = handler)
 	KindQuery        // span: synchronous query end-to-end (arg = ns, id = handler)
 	KindSync         // span: sync round-trip end-to-end (arg = ns, id = handler)
+	KindSyncElide    // instant: a sync skipped by dynamic coalescing (id = handler)
+	KindGuardWait    // span: client parked waiting for a guard re-evaluation (arg = ns, id = handler)
 
 	// internal/remote
 	KindFlush        // instant: one conn.Write (arg = batch bytes)
@@ -58,6 +60,8 @@ var kindNames = [kindMax]string{
 	KindCall:         "core.call",
 	KindQuery:        "core.query",
 	KindSync:         "core.sync",
+	KindSyncElide:    "core.sync_elide",
+	KindGuardWait:    "core.guard_wait",
 	KindFlush:        "remote.flush",
 	KindWriterStall:  "remote.writer_stall",
 	KindCreditWait:   "remote.credit_wait",
@@ -79,6 +83,7 @@ var kindDur = [kindMax]bool{
 	KindCall:        true,
 	KindQuery:       true,
 	KindSync:        true,
+	KindGuardWait:   true,
 	KindWriterStall: true,
 	KindCreditWait:  true,
 	KindRoundTrip:   true,

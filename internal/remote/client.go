@@ -454,6 +454,7 @@ func (rs *RemoteSession) pipelined(fr *frame) (*future.Future, error) {
 	if err := rs.sealRegistration(id, f); err != nil {
 		return nil, err
 	}
+	rs.m.roundTrips.Add(1)
 	if t0 != 0 {
 		// Round-trip measured send→resolve; the callback runs on the mux
 		// reader and must stay non-blocking, which Observe/Emit are. The

@@ -36,6 +36,7 @@ type Mux struct {
 
 	creditStalls atomic.Uint64 // admissions parked at zero credits
 	bytesIn      atomic.Uint64 // payload bytes decoded from REPLYB frames
+	roundTrips   atomic.Uint64 // reply-expecting requests issued (QUERY/QUERYB/SYNC)
 
 	readerDone chan struct{}
 }
@@ -113,6 +114,12 @@ type MuxStats struct {
 	CreditStalls  uint64 // admissions parked at zero per-channel credits
 	MaxBatchBytes uint64 // peak pending-batch size (bounded by the budget)
 
+	// RoundTrips counts reply-expecting requests issued on this
+	// connection (QUERY/QUERYB/SYNC frames): every one is a wire
+	// round-trip the peer must answer, so eliding a sync shows up here
+	// as a smaller count for the same work.
+	RoundTrips uint64
+
 	BytesOut uint64 // payload bytes encoded into CALLB/QUERYB frames
 	BytesIn  uint64 // payload bytes decoded from REPLYB frames
 
@@ -134,6 +141,7 @@ func (m *Mux) Stats() MuxStats {
 		WriterStalls:  ws.Stalls,
 		CreditStalls:  m.creditStalls.Load(),
 		MaxBatchBytes: ws.MaxBatchBytes,
+		RoundTrips:    m.roundTrips.Load(),
 		BytesOut:      ws.Bytes,
 		BytesIn:       m.bytesIn.Load(),
 		SlabsInUse:    inUse,
